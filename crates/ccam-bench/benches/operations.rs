@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks for the network operations (Find,
+//! Get-successors, route evaluation, delete/insert) on CCAM-S vs
+//! BFS-AM — the CPU-time complement to the page-access counts the paper
+//! reports.
+
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Duration;
+
+use ccam_core::am::{AccessMethod, CcamBuilder, TopoAm, TraversalOrder};
+use ccam_core::query::route::evaluate_route;
+use ccam_graph::roadmap::{road_map, RoadMapConfig};
+use ccam_graph::walks::random_walk_routes;
+use ccam_graph::Network;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_network() -> Network {
+    // A quarter-scale road map keeps bench wall time low.
+    road_map(&RoadMapConfig {
+        grid_w: 17,
+        grid_h: 17,
+        removed_nodes: 4,
+        target_segments: 440,
+        target_directed: 780,
+        cell: 64,
+        jitter: 24,
+        seed: 7,
+    })
+}
+
+fn ops(c: &mut Criterion) {
+    let net = bench_network();
+    let ccam: Box<dyn AccessMethod> =
+        Box::new(CcamBuilder::new(1024).build_static(&net).expect("ccam"));
+    let bfs: Box<dyn AccessMethod> = Box::new(
+        TopoAm::create(
+            &net,
+            1024,
+            TraversalOrder::BreadthFirst,
+            None,
+            &HashMap::new(),
+        )
+        .expect("bfs"),
+    );
+    let ids = net.node_ids();
+    let routes = random_walk_routes(&net, 20, 20, 3);
+
+    let mut group = c.benchmark_group("operations");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for (label, am) in [("ccam", &ccam), ("bfs", &bfs)] {
+        group.bench_function(format!("find/{label}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 7) % ids.len();
+                black_box(am.find(ids[i]).unwrap())
+            })
+        });
+        group.bench_function(format!("get_successors/{label}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 7) % ids.len();
+                black_box(am.get_successors(ids[i]).unwrap())
+            })
+        });
+        group.bench_function(format!("route_eval_L20/{label}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % routes.len();
+                am.file().pool().clear().unwrap();
+                black_box(evaluate_route(am.as_ref(), &routes[i]).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn updates(c: &mut Criterion) {
+    let net = bench_network();
+    let ids = net.node_ids();
+    let mut group = c.benchmark_group("updates");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    group.bench_function("delete_insert_roundtrip/ccam", |b| {
+        let mut am = CcamBuilder::new(1024).build_static(&net).expect("ccam");
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 13) % ids.len();
+            let del = am.delete_node(ids[i]).unwrap().unwrap();
+            am.insert_node(&del.data, &del.incoming).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn queries(c: &mut Criterion) {
+    use ccam_core::query::search::a_star;
+    use ccam_core::query::traversal::reachable_within;
+    let net = bench_network();
+    let am = CcamBuilder::new(1024).build_static(&net).expect("ccam");
+    let ids = net.node_ids();
+    let mut group = c.benchmark_group("queries");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    group.bench_function("a_star/ccam", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 41) % ids.len();
+            let goal = ids[(i * 13 + 7) % ids.len()];
+            black_box(a_star(&am, ids[i], goal).unwrap())
+        })
+    });
+    group.bench_function("reachable_within_60/ccam", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 29) % ids.len();
+            black_box(reachable_within(&am, ids[i], 60).unwrap().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ops, updates, queries);
+criterion_main!(benches);

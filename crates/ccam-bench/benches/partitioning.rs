@@ -1,0 +1,85 @@
+//! Criterion benchmarks for the graph-partitioning substrate: the CPU
+//! cost of `cluster-nodes-into-pages()` under each heuristic (the
+//! paper's §5 flags reorganization CPU cost as future work — this is the
+//! number that conversation would start from).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use ccam_graph::roadmap::{road_map, RoadMapConfig};
+use ccam_partition::{cluster_nodes_into_pages, PartGraph, Partitioner};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// The benchmark road map as a partitioning graph with record-byte node
+/// sizes.
+fn part_graph() -> PartGraph {
+    let net = road_map(&RoadMapConfig {
+        grid_w: 17,
+        grid_h: 17,
+        removed_nodes: 4,
+        target_segments: 440,
+        target_directed: 780,
+        cell: 64,
+        jitter: 24,
+        seed: 7,
+    });
+    let nodes: Vec<_> = net.nodes().collect();
+    let idx: std::collections::HashMap<_, _> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.id, i))
+        .collect();
+    let sizes: Vec<usize> = nodes
+        .iter()
+        .map(|n| ccam_core::file::clustering_weight(n))
+        .collect();
+    let mut edges = Vec::new();
+    for (i, n) in nodes.iter().enumerate() {
+        for e in &n.successors {
+            if let Some(&j) = idx.get(&e.to) {
+                edges.push((i, j, 1u64));
+            }
+        }
+    }
+    PartGraph::new(sizes, &edges)
+}
+
+fn clustering(c: &mut Criterion) {
+    let g = part_graph();
+    let mut group = c.benchmark_group("cluster_nodes_into_pages");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (label, p) in [
+        ("ratio_cut", Partitioner::RatioCut),
+        ("fm", Partitioner::FiducciaMattheyses),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(cluster_nodes_into_pages(&g, 1018, p)))
+        });
+    }
+    group.finish();
+}
+
+fn bipartition(c: &mut Criterion) {
+    let g = part_graph();
+    let mut group = c.benchmark_group("two_way_partition");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (label, p) in [
+        ("ratio_cut", Partitioner::RatioCut),
+        ("fm", Partitioner::FiducciaMattheyses),
+        ("kl", Partitioner::KernighanLin),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(p.bipartition(&g, g.total_size() / 4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, clustering, bipartition);
+criterion_main!(benches);

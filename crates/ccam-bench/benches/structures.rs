@@ -1,0 +1,147 @@
+//! Criterion benchmarks for the storage/index substrates: slotted-page
+//! record churn, B⁺-tree point ops, grid-file inserts and Z-order
+//! encoding.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use ccam_index::gridfile::GridFile;
+use ccam_index::zorder::{z_decode, z_encode};
+use ccam_index::BPlusTree;
+use ccam_storage::SlottedPage;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn slotted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slotted_page");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    group.bench_function("insert_delete_cycle", |b| {
+        let mut buf = vec![0u8; 1024];
+        let mut page = SlottedPage::init(&mut buf);
+        let rec = [0xabu8; 64];
+        b.iter(|| {
+            let mut slots = [0u16; 8];
+            for s in &mut slots {
+                *s = page.insert(&rec).unwrap();
+            }
+            for s in slots {
+                page.delete(s).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bptree");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut t = BPlusTree::new_mem(1024).unwrap();
+            for k in 0..10_000u64 {
+                t.insert(k.wrapping_mul(0x9E3779B97F4A7C15), k).unwrap();
+            }
+            black_box(t.len())
+        })
+    });
+    group.bench_function("get_hot", |b| {
+        let mut t = BPlusTree::new_mem(1024).unwrap();
+        for k in 0..10_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 4999) % 10_000;
+            black_box(t.get(k).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gridfile");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    group.bench_function("insert_2k_points", |b| {
+        b.iter(|| {
+            let mut g: GridFile<u64> = GridFile::new(512);
+            let mut x = 1u64;
+            for i in 0..2000u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                g.insert((x >> 40) as u32, (x >> 16) as u32 & 0xFFFFFF, 80, i);
+            }
+            black_box(g.num_buckets())
+        })
+    });
+    group.finish();
+}
+
+fn zorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zorder");
+    group
+        .sample_size(50)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+    group.bench_function("encode_decode", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E3779B9);
+            let z = z_encode(x, !x);
+            black_box(z_decode(z))
+        })
+    });
+    group.finish();
+}
+
+fn rtree(c: &mut Criterion) {
+    use ccam_index::rtree::{RTree, Rect};
+    let mut group = c.benchmark_group("rtree");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    group.bench_function("insert_2k_points", |b| {
+        b.iter(|| {
+            let mut t: RTree<u64> = RTree::new(16);
+            let mut x = 1u64;
+            for i in 0..2000u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                t.insert(Rect::point((x >> 40) as u32, (x >> 16) as u32 & 0xFFFFF), i);
+            }
+            black_box(t.len())
+        })
+    });
+    group.bench_function("window_query", |b| {
+        let mut t: RTree<u64> = RTree::new(16);
+        let mut x = 1u64;
+        for i in 0..5000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            t.insert(
+                Rect::point((x >> 40) as u32 % 10_000, (x >> 16) as u32 % 10_000),
+                i,
+            );
+        }
+        let mut q = 0u32;
+        b.iter(|| {
+            q = q.wrapping_add(977) % 9000;
+            black_box(t.window_query(Rect::new(q, q, q + 1000, q + 1000)).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, slotted, btree, grid, zorder, rtree);
+criterion_main!(benches);

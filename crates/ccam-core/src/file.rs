@@ -1,0 +1,604 @@
+//! The network data file shared by every access method.
+//!
+//! A [`NetworkFile`] is the paper's "connectivity-clustered data file"
+//! stripped of any particular clustering policy: slotted data pages
+//! holding variable-length node records behind a *counted* buffer pool,
+//! plus the B⁺-tree secondary index mapping node-id → data page. The
+//! access methods differ only in *which* page each record lands on —
+//! exactly the design space the paper explores.
+//!
+//! I/O accounting: every data-page fetch flows through the buffer pool
+//! and shows up in [`NetworkFile::stats`]. Index traffic is kept on the
+//! index's own pool ("we assume that the index pages are buffered in main
+//! memory", §3.2). Diagnostic whole-file scans (CRR measurement, page
+//! maps) read the store directly and are *not* counted.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ccam_graph::record::{decode_record, encode_record, encoded_len, peek_id};
+use ccam_graph::{NodeData, NodeId};
+use ccam_index::BPlusTree;
+use ccam_storage::{
+    BufferPool, IoStats, MemPageStore, PageId, PageStore, SlottedPage, StorageError,
+    StorageResult,
+};
+
+/// Default buffer capacity for update operations — the paper "assume\[s\]
+/// that sufficient buffers are provided for update operations" (§3.2).
+pub const DEFAULT_BUFFER_FRAMES: usize = 64;
+
+/// The data file: counted data pages + secondary index.
+///
+/// Generic over the page store: experiments run on [`MemPageStore`] (the
+/// paper's metric is page-access *counts*), while
+/// [`ccam_storage::FilePageStore`] gives a genuinely persistent file —
+/// see [`NetworkFile::save_to`] / [`NetworkFile::open`]. The secondary
+/// index always lives in memory ("we assume that the index pages are
+/// buffered in main memory", §3.2); `open` rebuilds it by scanning the
+/// data pages.
+pub struct NetworkFile<S: PageStore = MemPageStore> {
+    pool: BufferPool<S>,
+    index: BPlusTree<MemPageStore>,
+    page_size: usize,
+}
+
+impl NetworkFile<MemPageStore> {
+    /// Creates an empty memory-backed file over `page_size`-byte data
+    /// pages.
+    pub fn new(page_size: usize) -> StorageResult<Self> {
+        Self::create(MemPageStore::new(page_size)?)
+    }
+}
+
+impl<S: PageStore> NetworkFile<S> {
+    /// Creates an empty file over a fresh (empty) page store.
+    pub fn create(store: S) -> StorageResult<Self> {
+        let page_size = store.page_size();
+        Ok(NetworkFile {
+            pool: BufferPool::new(store, DEFAULT_BUFFER_FRAMES),
+            // The index uses 1 KiB pages regardless of the data page size;
+            // its I/O is not part of the reported metric.
+            index: BPlusTree::new_mem(1024)?,
+            page_size,
+        })
+    }
+
+    /// Opens a store that already holds data pages, rebuilding the
+    /// secondary index with one uncounted scan.
+    pub fn open(store: S) -> StorageResult<Self> {
+        let mut file = Self::create(store)?;
+        let scan = file.scan_uncounted();
+        for (page, records) in scan {
+            for rec in records {
+                file.index_insert(rec.id, page)?;
+            }
+        }
+        Ok(file)
+    }
+
+    /// Persists every live data page into a fresh page file at `path`
+    /// (page ids preserved, gaps freed). The result reopens with
+    /// [`NetworkFile::open`] on a [`ccam_storage::FilePageStore`].
+    pub fn save_to(&self, path: &std::path::Path) -> StorageResult<()> {
+        self.pool.flush_all()?;
+        let mut out = ccam_storage::FilePageStore::create(path, self.page_size)?;
+        self.pool.with_store(|store| {
+            let live = store.live_pages();
+            let max = live.iter().map(|p| p.index()).max().map(|m| m + 1).unwrap_or(0);
+            let mut buf = vec![0u8; self.page_size];
+            for i in 0..max {
+                let id = out.allocate()?;
+                debug_assert_eq!(id.index(), i);
+                if store.is_live(PageId(i)) {
+                    store.read(PageId(i), &mut buf)?;
+                    out.write(id, &buf)?;
+                }
+            }
+            for i in 0..max {
+                if !store.is_live(PageId(i)) {
+                    out.free(PageId(i))?;
+                }
+            }
+            out.sync()
+        })
+    }
+
+    /// Data page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Largest record this file can store.
+    pub fn max_record_len(&self) -> usize {
+        SlottedPage::max_record_len(self.page_size)
+    }
+
+    /// Counted I/O statistics of the data pages.
+    pub fn stats(&self) -> Arc<IoStats> {
+        self.pool.stats()
+    }
+
+    /// The buffer pool (experiments adjust capacity / clear it between
+    /// measured operations).
+    pub fn pool(&self) -> &BufferPool<S> {
+        &self.pool
+    }
+
+    /// Number of live data pages.
+    pub fn num_pages(&self) -> usize {
+        self.pool.with_store(|s| s.live_pages().len())
+    }
+
+    /// True when `page` is a live data page (uncounted store metadata).
+    pub fn is_live_page(&self, page: PageId) -> bool {
+        self.pool.with_store(|s| s.is_live(page))
+    }
+
+    /// Number of indexed node records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the file stores no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // -- index ------------------------------------------------------------
+
+    /// Page currently holding `id`, from the secondary index (no data-page
+    /// I/O).
+    pub fn page_of(&self, id: NodeId) -> StorageResult<Option<PageId>> {
+        Ok(self.index.get(id.0)?.map(|v| PageId(v as u32)))
+    }
+
+    /// Index entries with `lo <= id <= hi` as `(raw id, raw page)` pairs
+    /// (index-only; used by Z-order window queries).
+    pub fn index_range(&self, lo: u64, hi: u64) -> StorageResult<Vec<(u64, u64)>> {
+        self.index.range(lo, hi)
+    }
+
+    /// I/O counters of the secondary index's own buffer pool (separate
+    /// from the data-page counts the paper reports; see
+    /// [`Self::set_index_buffer_capacity`]).
+    pub fn index_stats(&self) -> Arc<IoStats> {
+        self.index.index_stats()
+    }
+
+    /// Restricts the secondary index to `frames` buffered pages, making
+    /// index I/O observable instead of assumed free (§3.2's assumption,
+    /// flagged for evaluation in §5).
+    pub fn set_index_buffer_capacity(&self, frames: usize) -> StorageResult<()> {
+        self.index.set_buffer_capacity(frames)
+    }
+
+    /// Number of index pages.
+    pub fn index_pages(&self) -> usize {
+        self.index.num_pages()
+    }
+
+    fn index_insert(&mut self, id: NodeId, page: PageId) -> StorageResult<()> {
+        self.index.insert(id.0, page.index() as u64)?;
+        Ok(())
+    }
+
+    fn index_remove(&mut self, id: NodeId) -> StorageResult<()> {
+        self.index.remove(id.0)?;
+        Ok(())
+    }
+
+    // -- counted record access ---------------------------------------------
+
+    /// `Find()`: secondary-index lookup, then a (counted) data-page fetch.
+    pub fn find(&self, id: NodeId) -> StorageResult<Option<(PageId, NodeData)>> {
+        let Some(page) = self.page_of(id)? else {
+            return Ok(None);
+        };
+        let rec = self.read_from_page(page, id)?;
+        Ok(rec.map(|r| (page, r)))
+    }
+
+    /// Reads `id`'s record from `page` (counted fetch; in-page scan is
+    /// free). `None` when the record is not on that page.
+    pub fn read_from_page(&self, page: PageId, id: NodeId) -> StorageResult<Option<NodeData>> {
+        self.pool.with_page(page, |buf| {
+            let mut scratch = buf.to_vec();
+            let sp = SlottedPage::attach(&mut scratch);
+            let found = sp
+                .iter()
+                .find(|(_, rec)| peek_id(rec) == id)
+                .map(|(_, rec)| decode_record(rec));
+            found
+        })
+    }
+
+    /// Scans the pages currently resident in the buffer for `id` —
+    /// the `Get-A-successor()` fast path ("the buffered data-page should
+    /// be searched first", §2.3). Costs no physical I/O.
+    pub fn find_in_buffer(&self, id: NodeId) -> StorageResult<Option<(PageId, NodeData)>> {
+        for page in self.pool.resident_pages() {
+            if let Some(rec) = self.read_from_page(page, id)? {
+                return Ok(Some((page, rec)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// All records on `page` (counted fetch).
+    pub fn read_page_records(&self, page: PageId) -> StorageResult<Vec<NodeData>> {
+        self.pool.with_page(page, |buf| {
+            let mut scratch = buf.to_vec();
+            let sp = SlottedPage::attach(&mut scratch);
+            let records: Vec<NodeData> = sp.iter().map(|(_, rec)| decode_record(rec)).collect();
+            records
+        })
+    }
+
+    /// Free bytes on `page` after compaction (counted fetch).
+    pub fn page_free_space(&self, page: PageId) -> StorageResult<usize> {
+        self.pool.with_page(page, |buf| {
+            let mut scratch = buf.to_vec();
+            SlottedPage::attach(&mut scratch).free_space()
+        })
+    }
+
+    /// Live record bytes on `page` (counted fetch).
+    pub fn page_used_bytes(&self, page: PageId) -> StorageResult<usize> {
+        self.pool.with_page(page, |buf| {
+            let mut scratch = buf.to_vec();
+            SlottedPage::attach(&mut scratch).used_bytes()
+        })
+    }
+
+    // -- counted record mutation --------------------------------------------
+
+    /// Allocates a fresh, slot-formatted data page.
+    pub fn allocate_page(&mut self) -> StorageResult<PageId> {
+        let page = self.pool.allocate()?;
+        self.pool
+            .with_page_mut(page, |buf| {
+                SlottedPage::init(buf);
+            })?;
+        Ok(page)
+    }
+
+    /// Frees an (empty) data page.
+    pub fn free_page(&mut self, page: PageId) -> StorageResult<()> {
+        self.pool.free(page)
+    }
+
+    /// Tries to store `node` on `page`; updates the index on success.
+    /// Returns false when the page lacks space.
+    pub fn insert_into(&mut self, page: PageId, node: &NodeData) -> StorageResult<bool> {
+        let rec = encode_record(node);
+        if rec.len() > self.max_record_len() {
+            return Err(StorageError::RecordTooLarge {
+                record: rec.len(),
+                max: self.max_record_len(),
+            });
+        }
+        let ok = self.pool.with_page_mut(page, |buf| {
+            let mut sp = SlottedPage::attach(buf);
+            match sp.insert(&rec) {
+                Ok(_) => true,
+                Err(StorageError::PageFull { .. }) => false,
+                Err(e) => panic!("unexpected page error: {e}"),
+            }
+        })?;
+        if ok {
+            self.index_insert(node.id, page)?;
+        }
+        Ok(ok)
+    }
+
+    /// Removes `id`'s record from `page`, returning it and dropping the
+    /// index entry.
+    pub fn remove_from(&mut self, page: PageId, id: NodeId) -> StorageResult<Option<NodeData>> {
+        let removed = self.pool.with_page_mut(page, |buf| {
+            let mut sp = SlottedPage::attach(buf);
+            let found = sp
+                .iter()
+                .find(|(_, rec)| peek_id(rec) == id)
+                .map(|(slot, rec)| (slot, decode_record(rec)));
+            if let Some((slot, _)) = found {
+                sp.delete(slot).expect("slot just observed");
+            }
+            found.map(|(_, rec)| rec)
+        })?;
+        if removed.is_some() {
+            self.index_remove(id)?;
+        }
+        Ok(removed)
+    }
+
+    /// Rewrites `node`'s record in place on `page`. Returns false when
+    /// the grown record no longer fits (the caller must relocate it —
+    /// the record is left *unchanged* in that case).
+    pub fn update_in(&mut self, page: PageId, node: &NodeData) -> StorageResult<bool> {
+        let rec = encode_record(node);
+        self.pool.with_page_mut(page, |buf| {
+            let mut sp = SlottedPage::attach(buf);
+            let Some((slot, _)) = sp.iter().find(|(_, r)| peek_id(r) == node.id) else {
+                return Err(StorageError::InvalidSlot(u16::MAX));
+            };
+            match sp.update(slot, &rec) {
+                Ok(()) => Ok(true),
+                Err(StorageError::PageFull { .. }) => Ok(false),
+                Err(e) => Err(e),
+            }
+        })?
+    }
+
+    /// Stores `node` on `page` if it fits, otherwise on a freshly
+    /// allocated page; returns the page used.
+    pub fn insert_or_spill(&mut self, page: PageId, node: &NodeData) -> StorageResult<PageId> {
+        if self.insert_into(page, node)? {
+            return Ok(page);
+        }
+        let fresh = self.allocate_page()?;
+        let ok = self.insert_into(fresh, node)?;
+        debug_assert!(ok, "fresh page must fit any valid record");
+        Ok(fresh)
+    }
+
+    /// Bulk-loads `groups` of records, one group per fresh page, in group
+    /// order (used by every `Create()` implementation). Panics if a group
+    /// exceeds the page capacity — the clustering layer guarantees fit.
+    pub fn bulk_load<'a>(
+        &mut self,
+        groups: impl IntoIterator<Item = Vec<&'a NodeData>>,
+    ) -> StorageResult<Vec<PageId>> {
+        let mut pages = Vec::new();
+        for group in groups {
+            let page = self.allocate_page()?;
+            for node in group {
+                assert!(
+                    self.insert_into(page, node)?,
+                    "clustered group exceeds page capacity (node {:?}, page {:?})",
+                    node.id,
+                    page
+                );
+            }
+            pages.push(page);
+        }
+        Ok(pages)
+    }
+
+    // -- uncounted diagnostics ------------------------------------------------
+
+    /// `node → page` map for the whole file, straight from the index
+    /// (uncounted; used by CRR measurement and experiments).
+    pub fn page_map(&self) -> StorageResult<HashMap<NodeId, PageId>> {
+        Ok(self
+            .index
+            .entries()?
+            .into_iter()
+            .map(|(k, v)| (NodeId(k), PageId(v as u32)))
+            .collect())
+    }
+
+    /// Exact post-compaction free bytes per live page, bypassing the
+    /// buffer pool (uncounted — models the in-memory free-space map a
+    /// real system maintains).
+    pub fn free_space_map_uncounted(&self) -> Vec<(PageId, usize)> {
+        self.pool.flush_all().expect("flush for scan");
+        self.pool.with_store(|store| {
+            let mut out = Vec::new();
+            let mut buf = vec![0u8; store.page_size()];
+            for page in store.live_pages() {
+                store.read(page, &mut buf).expect("live page readable");
+                let mut scratch = buf.clone();
+                let free = SlottedPage::attach(&mut scratch).free_space();
+                out.push((page, free));
+            }
+            out
+        })
+    }
+
+    /// Decodes every record in the file, grouped by page, bypassing the
+    /// buffer pool (uncounted; diagnostics only).
+    pub fn scan_uncounted(&self) -> Vec<(PageId, Vec<NodeData>)> {
+        self.pool.flush_all().expect("flush for scan");
+        self.pool.with_store(|store| {
+            let mut out = Vec::new();
+            let mut buf = vec![0u8; store.page_size()];
+            for page in store.live_pages() {
+                store.read(page, &mut buf).expect("live page readable");
+                let mut scratch = buf.clone();
+                let sp = SlottedPage::attach(&mut scratch);
+                let records: Vec<NodeData> =
+                    sp.iter().map(|(_, rec)| decode_record(rec)).collect();
+                out.push((page, records));
+            }
+            out
+        })
+    }
+
+    /// The paper's blocking factor γ: average records per data page.
+    pub fn blocking_factor(&self) -> f64 {
+        let pages = self.num_pages();
+        if pages == 0 {
+            0.0
+        } else {
+            self.len() as f64 / pages as f64
+        }
+    }
+
+
+    /// Page byte budget the clustering layer must respect so that any
+    /// group it produces is guaranteed to fit one slotted page (header
+    /// subtracted; per-record slot overhead is included in
+    /// [`clustering_weight`]).
+    pub fn clustering_budget(&self) -> usize {
+        self.page_size - ccam_storage::slotted::HEADER_LEN
+    }
+
+}
+
+/// Byte size `node`'s record will occupy.
+pub fn record_len(node: &NodeData) -> usize {
+    encoded_len(node)
+}
+
+/// Clustering weight of a node: record bytes plus slot-directory
+/// overhead (the clustering layer budgets against
+/// [`NetworkFile::clustering_budget`]).
+pub fn clustering_weight(node: &NodeData) -> usize {
+    encoded_len(node) + ccam_storage::slotted::SLOT_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccam_graph::EdgeTo;
+
+    fn node(id: u64, degree: usize) -> NodeData {
+        NodeData {
+            id: NodeId(id),
+            x: id as u32,
+            y: id as u32,
+            payload: vec![0xaa; 8],
+            successors: (0..degree)
+                .map(|i| EdgeTo {
+                    to: NodeId(1000 + i as u64),
+                    cost: 1,
+                })
+                .collect(),
+            predecessors: vec![],
+        }
+    }
+
+    #[test]
+    fn insert_find_roundtrip() {
+        let mut f = NetworkFile::new(512).unwrap();
+        let p = f.allocate_page().unwrap();
+        let n = node(7, 3);
+        assert!(f.insert_into(p, &n).unwrap());
+        let (page, rec) = f.find(NodeId(7)).unwrap().unwrap();
+        assert_eq!(page, p);
+        assert_eq!(rec, n);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn find_missing_is_none() {
+        let f = NetworkFile::new(512).unwrap();
+        assert!(f.find(NodeId(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn remove_clears_index() {
+        let mut f = NetworkFile::new(512).unwrap();
+        let p = f.allocate_page().unwrap();
+        f.insert_into(p, &node(7, 0)).unwrap();
+        let removed = f.remove_from(p, NodeId(7)).unwrap().unwrap();
+        assert_eq!(removed.id, NodeId(7));
+        assert!(f.find(NodeId(7)).unwrap().is_none());
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn update_in_place_and_relocation_signal() {
+        let mut f = NetworkFile::new(256).unwrap();
+        let p = f.allocate_page().unwrap();
+        let mut n = node(7, 1);
+        f.insert_into(p, &n).unwrap();
+        // Fill the rest of the page so growth must fail.
+        let filler = NodeData {
+            payload: vec![1; f.page_free_space(p).unwrap() - 40],
+            ..node(8, 0)
+        };
+        assert!(f.insert_into(p, &filler).unwrap());
+        n.successors.push(EdgeTo {
+            to: NodeId(99),
+            cost: 9,
+        });
+        n.successors.push(EdgeTo {
+            to: NodeId(100),
+            cost: 9,
+        });
+        assert!(!f.update_in(p, &n).unwrap(), "grow must signal relocation");
+        // Old record still intact.
+        let (_, rec) = f.find(NodeId(7)).unwrap().unwrap();
+        assert_eq!(rec.successors.len(), 1);
+    }
+
+    #[test]
+    fn insert_or_spill_allocates() {
+        let mut f = NetworkFile::new(128).unwrap();
+        let p = f.allocate_page().unwrap();
+        let big = NodeData {
+            payload: vec![0; 60],
+            ..node(1, 0)
+        };
+        let p1 = f.insert_or_spill(p, &big).unwrap();
+        assert_eq!(p1, p);
+        let big2 = NodeData {
+            id: NodeId(2),
+            ..big.clone()
+        };
+        let p2 = f.insert_or_spill(p, &big2).unwrap();
+        assert_ne!(p2, p);
+        assert_eq!(f.num_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_load_groups_pages() {
+        let mut f = NetworkFile::new(512).unwrap();
+        let nodes: Vec<NodeData> = (0..10).map(|i| node(i, 2)).collect();
+        let groups: Vec<Vec<&NodeData>> =
+            vec![nodes[0..5].iter().collect(), nodes[5..10].iter().collect()];
+        let pages = f.bulk_load(groups).unwrap();
+        assert_eq!(pages.len(), 2);
+        for i in 0..5u64 {
+            assert_eq!(f.page_of(NodeId(i)).unwrap(), Some(pages[0]));
+        }
+        for i in 5..10u64 {
+            assert_eq!(f.page_of(NodeId(i)).unwrap(), Some(pages[1]));
+        }
+        assert!((f.blocking_factor() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_hits_are_free() {
+        let mut f = NetworkFile::new(512).unwrap();
+        let p = f.allocate_page().unwrap();
+        f.insert_into(p, &node(1, 0)).unwrap();
+        f.pool().clear().unwrap();
+        let before = f.stats().snapshot();
+        f.find(NodeId(1)).unwrap();
+        f.find(NodeId(1)).unwrap();
+        let d = f.stats().snapshot().since(&before);
+        assert_eq!(d.physical_reads, 1, "second find must be a buffer hit");
+    }
+
+    #[test]
+    fn find_in_buffer_costs_nothing() {
+        let mut f = NetworkFile::new(512).unwrap();
+        let p = f.allocate_page().unwrap();
+        f.insert_into(p, &node(1, 0)).unwrap();
+        f.insert_into(p, &node(2, 0)).unwrap();
+        f.pool().clear().unwrap();
+        f.find(NodeId(1)).unwrap(); // faults the page in
+        let before = f.stats().snapshot();
+        let hit = f.find_in_buffer(NodeId(2)).unwrap();
+        assert!(hit.is_some());
+        assert_eq!(f.stats().snapshot().since(&before).physical_reads, 0);
+        // And a node on no resident page is simply not found this way.
+        assert!(f.find_in_buffer(NodeId(99)).unwrap().is_none());
+    }
+
+    #[test]
+    fn scan_uncounted_leaves_stats_alone() {
+        let mut f = NetworkFile::new(512).unwrap();
+        let p = f.allocate_page().unwrap();
+        f.insert_into(p, &node(1, 1)).unwrap();
+        let before = f.stats().snapshot();
+        let scan = f.scan_uncounted();
+        assert_eq!(scan.len(), 1);
+        assert_eq!(scan[0].1.len(), 1);
+        let d = f.stats().snapshot().since(&before);
+        assert_eq!(d.physical_reads, 0);
+    }
+}

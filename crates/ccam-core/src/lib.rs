@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! The CCAM access-method layer: the paper's contribution and every
+//! comparator it is evaluated against.
+//!
+//! * [`mod@file`] — the network data file shared by all access methods:
+//!   slotted data pages behind a counted buffer pool plus the B⁺-tree
+//!   secondary index,
+//! * [`am`] — the [`am::AccessMethod`] operations (`Create`, `Find`,
+//!   `Insert`, `Delete`, `Get-A-successor`, `Get-successors`, §1.2) and
+//!   the four implementations: [`am::Ccam`] (connectivity clustering,
+//!   static and dynamic create), [`am::TopoAm`] (DFS-AM / BFS-AM /
+//!   WDFS-AM) and [`am::GridAm`] (Grid-File clustering),
+//! * [`pag`] — the Page Access Graph of Definition 1–2 (`NbrPages`,
+//!   `PagesOfNbrs`),
+//! * [`reorg`] — the reorganization policies of Table 1,
+//! * [`crr`] — CRR / WCRR measurement over a data file,
+//! * [`check`] — database integrity verification (index ↔ pages ↔
+//!   cross-links),
+//! * [`workload`] — operation-trace record/replay for portable
+//!   benchmarking,
+//! * [`costmodel`] — the algebraic cost model of Tables 3 and 4,
+//! * [`query`] — aggregate queries: route evaluation, graph search (A*,
+//!   Dijkstra), graph traversal / reachability / transitive closure,
+//!   tour evaluation, route-unit aggregates, location-allocation and
+//!   spatial window queries.
+
+pub mod am;
+pub mod check;
+pub mod costmodel;
+pub mod crr;
+pub mod file;
+pub mod pag;
+pub mod query;
+pub mod reorg;
+pub mod workload;
+
+pub use am::{AccessMethod, Ccam, CcamBuilder, GridAm, TopoAm, TraversalOrder};
+pub use costmodel::CostParams;
+pub use file::NetworkFile;
+pub use reorg::ReorgPolicy;

@@ -1,0 +1,186 @@
+//! The Page Access Graph (paper Definitions 1 and 2).
+//!
+//! The PAG formalises "the connectivity relationship between data pages":
+//! its vertices are data pages, with an edge between two pages whenever
+//! some network edge connects records stored on them. The reorganization
+//! policies of Table 1 are defined in terms of two PAG neighborhoods:
+//!
+//! * `PagesOfNbrs(x)` — pages holding neighbors (successors ∪
+//!   predecessors) of node `x`,
+//! * `NbrPages(P)` — pages adjacent to page `P` in the PAG.
+//!
+//! Following the paper, the PAG is **not materialised** ("we choose not
+//! to materialize the page access graph, since it requires additional
+//! redundant data structures", §2.4): both neighborhoods are computed on
+//! demand from the records and the secondary index. Identifying the
+//! *page ids* costs only index probes; actually reading those pages (for
+//! reorganisation) is what incurs the counted data-page I/O.
+
+use std::collections::BTreeSet;
+
+use ccam_graph::{NodeData, NodeId};
+use ccam_storage::{PageId, PageStore, StorageResult};
+
+use crate::file::NetworkFile;
+
+/// `PagesOfNbrs(x)` for a node whose record (hence neighbor lists) is
+/// already in hand: the set of pages holding `x`'s neighbors. Index
+/// probes only; no data-page I/O.
+pub fn pages_of_nbrs<S: PageStore>(file: &NetworkFile<S>, node: &NodeData) -> StorageResult<BTreeSet<PageId>> {
+    let mut pages = BTreeSet::new();
+    for nbr in node.neighbors() {
+        if let Some(p) = file.page_of(nbr)? {
+            pages.insert(p);
+        }
+    }
+    Ok(pages)
+}
+
+/// `PagesOfNbrs` for an explicit neighbor list (used on `Insert(x)` when
+/// `x`'s record is not stored yet).
+pub fn pages_of<S: PageStore>(file: &NetworkFile<S>, neighbors: &[NodeId]) -> StorageResult<BTreeSet<PageId>> {
+    let mut pages = BTreeSet::new();
+    for &nbr in neighbors {
+        if let Some(p) = file.page_of(nbr)? {
+            pages.insert(p);
+        }
+    }
+    Ok(pages)
+}
+
+/// `NbrPages(P)`: pages adjacent to `P` in the page access graph — the
+/// pages (≠ `P`) holding neighbors of any record on `P`.
+///
+/// Reading `P`'s records is a counted data-page access (the page must be
+/// fetched); mapping neighbor ids to pages costs only index probes.
+pub fn nbr_pages<S: PageStore>(file: &NetworkFile<S>, page: PageId) -> StorageResult<BTreeSet<PageId>> {
+    let mut pages = BTreeSet::new();
+    for rec in file.read_page_records(page)? {
+        for nbr in rec.neighbors() {
+            if let Some(p) = file.page_of(nbr)? {
+                if p != page {
+                    pages.insert(p);
+                }
+            }
+        }
+    }
+    Ok(pages)
+}
+
+/// Materialises the full PAG as an adjacency list over live pages
+/// (diagnostics / tests only — the access methods never call this).
+pub fn full_pag<S: PageStore>(file: &NetworkFile<S>) -> Vec<(PageId, BTreeSet<PageId>)> {
+    let page_map = file.page_map().expect("page map");
+    let scan = file.scan_uncounted();
+    let mut pag: Vec<(PageId, BTreeSet<PageId>)> = Vec::new();
+    for (page, records) in &scan {
+        let mut adj = BTreeSet::new();
+        for rec in records {
+            for nbr in rec.neighbors() {
+                if let Some(&p) = page_map.get(&nbr) {
+                    if p != *page {
+                        adj.insert(p);
+                    }
+                }
+            }
+        }
+        pag.push((*page, adj));
+    }
+    pag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccam_graph::EdgeTo;
+
+    /// Three pages: {1, 2} on p0, {3} on p1, {4} on p2.
+    /// Edges: 1→3 (p0–p1), 3→4 (p1–p2); 1→2 internal to p0.
+    fn setup() -> (NetworkFile, Vec<PageId>) {
+        let mut f = NetworkFile::new(512).unwrap();
+        let n = |id: u64, succs: &[u64], preds: &[u64]| NodeData {
+            id: NodeId(id),
+            x: 0,
+            y: 0,
+            payload: vec![],
+            successors: succs
+                .iter()
+                .map(|&s| EdgeTo {
+                    to: NodeId(s),
+                    cost: 1,
+                })
+                .collect(),
+            predecessors: preds.iter().map(|&p| NodeId(p)).collect(),
+        };
+        let nodes = [
+            n(1, &[2, 3], &[]),
+            n(2, &[], &[1]),
+            n(3, &[4], &[1]),
+            n(4, &[], &[3]),
+        ];
+        let groups = vec![
+            vec![&nodes[0], &nodes[1]],
+            vec![&nodes[2]],
+            vec![&nodes[3]],
+        ];
+        let pages = f.bulk_load(groups).unwrap();
+        (f, pages)
+    }
+
+    #[test]
+    fn pages_of_nbrs_covers_succ_and_pred() {
+        let (f, pages) = setup();
+        let (_, rec3) = f.find(NodeId(3)).unwrap().unwrap();
+        let p = pages_of_nbrs(&f, &rec3).unwrap();
+        // Neighbors of 3: 1 (pred, p0) and 4 (succ, p2).
+        assert_eq!(p.into_iter().collect::<Vec<_>>(), vec![pages[0], pages[2]]);
+    }
+
+    #[test]
+    fn nbr_pages_excludes_self() {
+        let (f, pages) = setup();
+        let nbrs = nbr_pages(&f, pages[1]).unwrap();
+        assert_eq!(
+            nbrs.into_iter().collect::<Vec<_>>(),
+            vec![pages[0], pages[2]]
+        );
+        // p0's only external connection is to p1 (edge 1->3).
+        let nbrs0 = nbr_pages(&f, pages[0]).unwrap();
+        assert_eq!(nbrs0.into_iter().collect::<Vec<_>>(), vec![pages[1]]);
+    }
+
+    #[test]
+    fn full_pag_is_symmetric() {
+        let (f, _) = setup();
+        let pag = full_pag(&f);
+        for (p, adj) in &pag {
+            for q in adj {
+                let back = pag
+                    .iter()
+                    .find(|(r, _)| r == q)
+                    .map(|(_, a)| a.contains(p))
+                    .unwrap_or(false);
+                assert!(back, "PAG edge {p:?}–{q:?} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_neighbors_are_skipped() {
+        let (f, _) = setup();
+        // A record referencing a node that is not stored anywhere.
+        let ghost = NodeData {
+            id: NodeId(99),
+            x: 0,
+            y: 0,
+            payload: vec![],
+            successors: vec![EdgeTo {
+                to: NodeId(12345),
+                cost: 1,
+            }],
+            predecessors: vec![NodeId(1)],
+        };
+        let pages = pages_of_nbrs(&f, &ghost).unwrap();
+        assert_eq!(pages.len(), 1, "only node 1's page exists");
+    }
+}

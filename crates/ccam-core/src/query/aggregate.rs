@@ -1,0 +1,209 @@
+//! Aggregate queries beyond single-route evaluation (paper §1.1 and the
+//! §5 future-work list: "tour evaluation, location-allocation evaluation
+//! etc.").
+//!
+//! * **Route-unit aggregates** — "several GIS support \[a\] special
+//!   datatype of a route-unit which represents a collection of arcs with
+//!   common characteristics. ... Processing aggregate queries over
+//!   route-units may require the retrieval of all nodes and all edges in
+//!   the specified route-units" (§1.1). Think: total ridership over a
+//!   bus route, gas volume over a pipeline.
+//! * **Tour evaluation** — a route that returns to its origin.
+//! * **Location-allocation evaluation** — score candidate facility
+//!   locations by total shortest-path cost to a set of demand nodes.
+
+use ccam_graph::walks::Route;
+use ccam_graph::NodeId;
+use ccam_storage::{PageStore, StorageResult};
+
+use crate::am::AccessMethod;
+use crate::query::route::{evaluate_route, RouteEvaluation};
+use crate::query::search::dijkstra;
+
+/// Aggregate over one route-unit (a set of directed arcs).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RouteUnitAggregate {
+    /// Arcs found in the stored network.
+    pub arcs_found: usize,
+    /// Arcs referencing missing nodes/edges.
+    pub arcs_missing: usize,
+    /// Sum of edge costs over found arcs.
+    pub total_cost: u64,
+    /// Sum of the payload bytes of the distinct nodes touched (stand-in
+    /// for "aggregate the attribute data over nodes", §1.1).
+    pub node_payload_sum: u64,
+    /// Distinct nodes retrieved.
+    pub nodes_retrieved: usize,
+}
+
+/// Computes the aggregate properties of a route-unit given as directed
+/// arcs `(from, to)`. Retrieves every referenced node through the access
+/// method (using `Get-A-successor` buffering for arc targets).
+pub fn route_unit_aggregate<S: PageStore>(
+    am: &dyn AccessMethod<S>,
+    arcs: &[(NodeId, NodeId)],
+) -> StorageResult<RouteUnitAggregate> {
+    let mut agg = RouteUnitAggregate::default();
+    let mut seen: Vec<NodeId> = Vec::new();
+    for &(from, to) in arcs {
+        let Some(rec) = (if seen.contains(&from) {
+            // Already aggregated; still need the edge cost.
+            am.get_a_successor(from, from)?
+        } else {
+            am.find(from)?
+        }) else {
+            agg.arcs_missing += 1;
+            continue;
+        };
+        let Some(edge) = rec.successors.iter().find(|e| e.to == to) else {
+            agg.arcs_missing += 1;
+            continue;
+        };
+        agg.arcs_found += 1;
+        agg.total_cost += edge.cost as u64;
+        for id in [from, to] {
+            if !seen.contains(&id) {
+                let node = if id == from {
+                    Some(rec.clone())
+                } else {
+                    am.get_a_successor(from, id)?
+                };
+                if let Some(node) = node {
+                    agg.node_payload_sum += node.payload.iter().map(|&b| b as u64).sum::<u64>();
+                    agg.nodes_retrieved += 1;
+                    seen.push(id);
+                }
+            }
+        }
+    }
+    Ok(agg)
+}
+
+/// Evaluates a tour: a route whose last node must equal its first.
+/// Returns `None` when the node sequence is not a closed tour.
+pub fn evaluate_tour<S: PageStore>(
+    am: &dyn AccessMethod<S>,
+    tour: &Route,
+) -> StorageResult<Option<RouteEvaluation>> {
+    if tour.nodes.len() < 2 || tour.nodes.first() != tour.nodes.last() {
+        return Ok(None);
+    }
+    Ok(Some(evaluate_route(am, tour)?))
+}
+
+/// One candidate's score in a location-allocation evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocationScore {
+    /// The candidate facility node.
+    pub candidate: NodeId,
+    /// Sum of shortest-path costs to every reachable demand node.
+    pub total_cost: u64,
+    /// Demand nodes unreachable from this candidate.
+    pub unreachable: usize,
+}
+
+/// Location-allocation evaluation: scores each `candidate` facility by
+/// the total shortest-path cost of serving all `demands`, best first.
+/// Unreachable demands are counted rather than disqualifying (real road
+/// networks have one-way pockets); ties break towards fewer unreachable
+/// demands, then lower node id.
+pub fn location_allocation<S: PageStore>(
+    am: &dyn AccessMethod<S>,
+    candidates: &[NodeId],
+    demands: &[NodeId],
+) -> StorageResult<Vec<AllocationScore>> {
+    let mut scores = Vec::with_capacity(candidates.len());
+    for &c in candidates {
+        let mut total = 0u64;
+        let mut unreachable = 0usize;
+        for &d in demands {
+            match dijkstra(am, c, d)? {
+                Some(r) => total += r.cost,
+                None => unreachable += 1,
+            }
+        }
+        scores.push(AllocationScore {
+            candidate: c,
+            total_cost: total,
+            unreachable,
+        });
+    }
+    scores.sort_by_key(|s| (s.unreachable, s.total_cost, s.candidate));
+    Ok(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::am::CcamBuilder;
+    use ccam_graph::generators::{grid_network, zorder_id};
+
+    #[test]
+    fn route_unit_totals() {
+        let net = grid_network(4, 1, 1.0); // line of 4 nodes, unit costs
+        let am = CcamBuilder::new(512).build_static(&net).unwrap();
+        let arcs = [
+            (zorder_id(0, 0), zorder_id(1, 0)),
+            (zorder_id(1, 0), zorder_id(2, 0)),
+            (zorder_id(2, 0), zorder_id(3, 0)),
+        ];
+        let agg = route_unit_aggregate(&am, &arcs).unwrap();
+        assert_eq!(agg.arcs_found, 3);
+        assert_eq!(agg.arcs_missing, 0);
+        assert_eq!(agg.total_cost, 3);
+        assert_eq!(agg.nodes_retrieved, 4);
+    }
+
+    #[test]
+    fn route_unit_tolerates_missing_arcs() {
+        let net = grid_network(3, 3, 1.0);
+        let am = CcamBuilder::new(512).build_static(&net).unwrap();
+        let arcs = [
+            (zorder_id(0, 0), zorder_id(1, 0)),
+            (zorder_id(0, 0), zorder_id(2, 2)), // not an edge
+            (ccam_graph::NodeId(99999), zorder_id(0, 0)), // missing node
+        ];
+        let agg = route_unit_aggregate(&am, &arcs).unwrap();
+        assert_eq!(agg.arcs_found, 1);
+        assert_eq!(agg.arcs_missing, 2);
+    }
+
+    #[test]
+    fn tour_requires_closure() {
+        let net = grid_network(3, 3, 1.0);
+        let am = CcamBuilder::new(512).build_static(&net).unwrap();
+        let open = Route {
+            nodes: vec![zorder_id(0, 0), zorder_id(1, 0)],
+        };
+        assert!(evaluate_tour(&am, &open).unwrap().is_none());
+        let closed = Route {
+            nodes: vec![
+                zorder_id(0, 0),
+                zorder_id(1, 0),
+                zorder_id(1, 1),
+                zorder_id(0, 1),
+                zorder_id(0, 0),
+            ],
+        };
+        let eval = evaluate_tour(&am, &closed).unwrap().unwrap();
+        assert!(eval.complete);
+        assert_eq!(eval.total_cost, 4);
+        assert_eq!(eval.nodes_visited, 5);
+    }
+
+    #[test]
+    fn location_allocation_prefers_central_nodes() {
+        let net = grid_network(5, 5, 1.0);
+        let am = CcamBuilder::new(512).build_static(&net).unwrap();
+        let corner = zorder_id(0, 0);
+        let center = zorder_id(2, 2);
+        let demands: Vec<_> = [(0u32, 4u32), (4, 0), (4, 4), (0, 0), (2, 2)]
+            .iter()
+            .map(|&(x, y)| zorder_id(x, y))
+            .collect();
+        let scores = location_allocation(&am, &[corner, center], &demands).unwrap();
+        assert_eq!(scores[0].candidate, center, "center serves demand cheaper");
+        assert!(scores[0].total_cost < scores[1].total_cost);
+        assert_eq!(scores[0].unreachable, 0);
+    }
+}

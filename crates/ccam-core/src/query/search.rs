@@ -1,0 +1,220 @@
+//! Graph search over an access method — the `Get-successors()`
+//! consumers: "Get-successors() is used in graph search algorithms like
+//! A*" (paper §1.2, citing the IVHS route-planning work \[24\]).
+//!
+//! Both algorithms expand nodes exclusively through
+//! [`AccessMethod::get_successors`], so their I/O profile directly
+//! reflects the access method's clustering quality.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use ccam_graph::NodeId;
+use ccam_storage::{PageStore, StorageResult};
+
+use crate::am::AccessMethod;
+
+/// A shortest path found by [`dijkstra`] / [`a_star`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Total cost of the path.
+    pub cost: u64,
+    /// Node sequence from source to goal (inclusive).
+    pub path: Vec<NodeId>,
+    /// Number of nodes expanded (A* quality diagnostics).
+    pub expanded: usize,
+}
+
+/// Dijkstra's algorithm from `source` to `goal` over the stored network.
+pub fn dijkstra<S: PageStore>(
+    am: &dyn AccessMethod<S>,
+    source: NodeId,
+    goal: NodeId,
+) -> StorageResult<Option<SearchResult>> {
+    a_star_with(am, source, goal, |_| 0)
+}
+
+/// A* with the Euclidean travel-time lower bound used by the road-map
+/// generator (`distance / 4`; edge costs are `⌊distance/4⌋ + 1 + noise`,
+/// so the heuristic is admissible).
+pub fn a_star<S: PageStore>(
+    am: &dyn AccessMethod<S>,
+    source: NodeId,
+    goal: NodeId,
+) -> StorageResult<Option<SearchResult>> {
+    let Some(goal_rec) = am.find(goal)? else {
+        return Ok(None);
+    };
+    let (gx, gy) = (goal_rec.x as f64, goal_rec.y as f64);
+    a_star_with(am, source, goal, move |rec: &ccam_graph::NodeData| {
+        let dx = rec.x as f64 - gx;
+        let dy = rec.y as f64 - gy;
+        ((dx * dx + dy * dy).sqrt() / 4.0) as u64
+    })
+}
+
+/// A* with a caller-supplied admissible heuristic over node records.
+pub fn a_star_with<S: PageStore>(
+    am: &dyn AccessMethod<S>,
+    source: NodeId,
+    goal: NodeId,
+    heuristic: impl Fn(&ccam_graph::NodeData) -> u64,
+) -> StorageResult<Option<SearchResult>> {
+    let Some(start) = am.find(source)? else {
+        return Ok(None);
+    };
+    let mut dist: HashMap<NodeId, u64> = HashMap::new();
+    let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(u64, u64, NodeId)>> = BinaryHeap::new();
+    dist.insert(source, 0);
+    heap.push(Reverse((heuristic(&start), 0, source)));
+    let mut expanded = 0usize;
+
+    while let Some(Reverse((_f, g, node))) = heap.pop() {
+        if dist.get(&node).copied().unwrap_or(u64::MAX) < g {
+            continue; // stale entry
+        }
+        expanded += 1;
+        if node == goal {
+            let mut path = vec![goal];
+            let mut cur = goal;
+            while let Some(&p) = prev.get(&cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Ok(Some(SearchResult {
+                cost: g,
+                path,
+                expanded,
+            }));
+        }
+        // One Find() + Get-successors() per expansion: the dominant I/O
+        // cost of the query (paper §1.2). The Find() is usually a buffer
+        // hit because the expansion order has spatial locality.
+        let node_rec = match am.find(node)? {
+            Some(r) => r,
+            None => continue,
+        };
+        let succs = am.get_successors(node)?;
+        for s in succs {
+            let edge = node_rec.successors.iter().find(|e| e.to == s.id);
+            let Some(edge) = edge else { continue };
+            let ng = g + edge.cost as u64;
+            if ng < dist.get(&s.id).copied().unwrap_or(u64::MAX) {
+                dist.insert(s.id, ng);
+                prev.insert(s.id, node);
+                heap.push(Reverse((ng + heuristic(&s), ng, s.id)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::am::CcamBuilder;
+    use ccam_graph::generators::{grid_network, path_network, zorder_id};
+    use ccam_graph::Network;
+
+    #[test]
+    fn dijkstra_on_a_line() {
+        let net = path_network(10);
+        let am = CcamBuilder::new(512).build_static(&net).unwrap();
+        let r = dijkstra(&am, zorder_id(0, 0), zorder_id(9, 0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.cost, 9);
+        assert_eq!(r.path.len(), 10);
+    }
+
+    #[test]
+    fn unreachable_goal_is_none() {
+        let net = path_network(5); // one-way: node 4 cannot reach node 0
+        let am = CcamBuilder::new(512).build_static(&net).unwrap();
+        assert!(dijkstra(&am, zorder_id(4, 0), zorder_id(0, 0))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn missing_endpoints_are_none() {
+        let net = path_network(3);
+        let am = CcamBuilder::new(512).build_static(&net).unwrap();
+        use ccam_graph::NodeId;
+        assert!(dijkstra(&am, NodeId(12345), zorder_id(0, 0)).unwrap().is_none());
+        assert!(a_star(&am, zorder_id(0, 0), NodeId(12345)).unwrap().is_none());
+    }
+
+    #[test]
+    fn source_equals_goal() {
+        let net = path_network(3);
+        let am = CcamBuilder::new(512).build_static(&net).unwrap();
+        let r = dijkstra(&am, zorder_id(1, 0), zorder_id(1, 0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.cost, 0);
+        assert_eq!(r.path, vec![zorder_id(1, 0)]);
+    }
+
+    #[test]
+    fn a_star_agrees_with_dijkstra_on_cost() {
+        let net = grid_network(8, 8, 1.0);
+        let am = CcamBuilder::new(1024).build_static(&net).unwrap();
+        let (s, g) = (zorder_id(0, 0), zorder_id(7, 7));
+        let d = dijkstra(&am, s, g).unwrap().unwrap();
+        let a = a_star(&am, s, g).unwrap().unwrap();
+        assert_eq!(d.cost, a.cost, "A* must stay optimal");
+    }
+
+    #[test]
+    fn dijkstra_matches_in_memory_reference() {
+        // Cross-check against a plain in-memory Dijkstra on the Network.
+        fn reference(net: &Network, s: ccam_graph::NodeId, g: ccam_graph::NodeId) -> Option<u64> {
+            use std::cmp::Reverse;
+            use std::collections::{BinaryHeap, HashMap};
+            let mut dist = HashMap::new();
+            let mut heap = BinaryHeap::new();
+            dist.insert(s, 0u64);
+            heap.push(Reverse((0u64, s)));
+            while let Some(Reverse((d, v))) = heap.pop() {
+                if v == g {
+                    return Some(d);
+                }
+                if dist.get(&v).copied().unwrap_or(u64::MAX) < d {
+                    continue;
+                }
+                for e in &net.node(v)?.successors {
+                    let nd = d + e.cost as u64;
+                    if nd < dist.get(&e.to).copied().unwrap_or(u64::MAX) {
+                        dist.insert(e.to, nd);
+                        heap.push(Reverse((nd, e.to)));
+                    }
+                }
+            }
+            None
+        }
+        let net = grid_network(6, 6, 0.6);
+        let am = CcamBuilder::new(512).build_static(&net).unwrap();
+        let ids = net.node_ids();
+        for (i, &s) in ids.iter().enumerate().step_by(7) {
+            let g = ids[(i * 13 + 5) % ids.len()];
+            let got = dijkstra(&am, s, g).unwrap().map(|r| r.cost);
+            assert_eq!(got, reference(&net, s, g), "{s:?} -> {g:?}");
+        }
+    }
+
+    #[test]
+    fn path_edges_are_real() {
+        let net = grid_network(7, 7, 1.0);
+        let am = CcamBuilder::new(512).build_static(&net).unwrap();
+        let r = a_star(&am, zorder_id(0, 0), zorder_id(6, 6))
+            .unwrap()
+            .unwrap();
+        for w in r.path.windows(2) {
+            let rec = net.node(w[0]).unwrap();
+            assert!(rec.successors.iter().any(|e| e.to == w[1]));
+        }
+    }
+}

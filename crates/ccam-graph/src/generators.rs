@@ -1,0 +1,186 @@
+//! Synthetic network generators for tests and benchmarks.
+//!
+//! All generators are deterministic given their parameters (and seed,
+//! where randomised), so every experiment regenerates identical inputs.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use ccam_index::zorder::z_encode;
+
+use crate::network::{Network, NodeId};
+
+/// Node id for a point: its Z-order code — the paper's id convention
+/// ("node-id values ... represent the Z-order of the location", §2.2).
+pub fn zorder_id(x: u32, y: u32) -> NodeId {
+    NodeId(z_encode(x, y))
+}
+
+/// A `w × h` rectangular grid road network with unit-ish edge costs.
+///
+/// `two_way_fraction` of the grid segments get edges in both directions;
+/// the rest are one-way (alternating direction by parity, deterministic).
+/// Node ids are Z-order codes of the coordinates.
+pub fn grid_network(w: u32, h: u32, two_way_fraction: f64) -> Network {
+    let mut net = Network::new();
+    for y in 0..h {
+        for x in 0..w {
+            net.add_node(zorder_id(x, y), x, y, vec![0u8; 8]);
+        }
+    }
+    let mut segment = 0u64;
+    let mut add = |net: &mut Network, a: NodeId, b: NodeId| {
+        // Deterministic "fraction" via a rolling counter.
+        let two_way = (segment as f64 * two_way_fraction).fract() + two_way_fraction >= 1.0;
+        if two_way {
+            net.add_edge_bidir(a, b, 1);
+        } else if segment.is_multiple_of(2) {
+            net.add_edge(a, b, 1);
+        } else {
+            net.add_edge(b, a, 1);
+        }
+        segment += 1;
+    };
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                add(&mut net, zorder_id(x, y), zorder_id(x + 1, y));
+            }
+            if y + 1 < h {
+                add(&mut net, zorder_id(x, y), zorder_id(x, y + 1));
+            }
+        }
+    }
+    net
+}
+
+/// A directed path `0 → 1 → ... → n-1` (ids are Z-orders of `(i, 0)`).
+pub fn path_network(n: u32) -> Network {
+    let mut net = Network::new();
+    for i in 0..n {
+        net.add_node(zorder_id(i, 0), i, 0, vec![0u8; 8]);
+    }
+    for i in 0..n.saturating_sub(1) {
+        net.add_edge(zorder_id(i, 0), zorder_id(i + 1, 0), 1);
+    }
+    net
+}
+
+/// A star: hub at the centre with `spokes` bidirectional edges.
+pub fn star_network(spokes: u32) -> Network {
+    let mut net = Network::new();
+    let hub = zorder_id(1000, 1000);
+    net.add_node(hub, 1000, 1000, vec![0u8; 8]);
+    for i in 0..spokes {
+        let id = zorder_id(i, 0);
+        net.add_node(id, i, 0, vec![0u8; 8]);
+        net.add_edge_bidir(hub, id, 1);
+    }
+    net
+}
+
+/// A random connected directed network: `n` nodes scattered in
+/// `[0, extent)²`, a random spanning tree (bidirectional, guarantees
+/// connectivity) plus extra random directed edges up to ~`m` total.
+pub fn random_network(n: usize, m: usize, extent: u32, seed: u64) -> Network {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new();
+    let mut coords: Vec<(u32, u32)> = Vec::with_capacity(n);
+    while coords.len() < n {
+        let p = (rng.random_range(0..extent), rng.random_range(0..extent));
+        // Z-order ids must be unique: retry coordinate collisions.
+        if !coords.contains(&p) {
+            coords.push(p);
+        }
+    }
+    let ids: Vec<NodeId> = coords.iter().map(|&(x, y)| zorder_id(x, y)).collect();
+    for (&id, &(x, y)) in ids.iter().zip(&coords) {
+        net.add_node(id, x, y, vec![0u8; 8]);
+    }
+    // Spanning tree: attach each node to a random earlier node.
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        let cost = 1 + rng.random_range(0..10);
+        net.add_edge_bidir(ids[i], ids[j], cost);
+    }
+    // Extra directed edges.
+    let mut edges = net.num_edges();
+    let mut attempts = 0;
+    while edges < m && attempts < m * 20 {
+        attempts += 1;
+        let a = ids[rng.random_range(0..n)];
+        let b = ids[rng.random_range(0..n)];
+        if a == b || net.node(a).unwrap().successors.iter().any(|e| e.to == b) {
+            continue;
+        }
+        net.add_edge(a, b, 1 + rng.random_range(0..10));
+        edges += 1;
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid_network(4, 3, 1.0);
+        assert_eq!(g.len(), 12);
+        // 4x3 grid: 3*3 horizontal + 4*2 vertical = 17 segments, all two-way.
+        assert_eq!(g.num_edges(), 34);
+        g.validate();
+    }
+
+    #[test]
+    fn grid_one_way_fraction() {
+        let all_two = grid_network(5, 5, 1.0);
+        let half = grid_network(5, 5, 0.5);
+        let none = grid_network(5, 5, 0.0);
+        assert!(none.num_edges() < half.num_edges());
+        assert!(half.num_edges() < all_two.num_edges());
+        // 40 segments in a 5x5 grid.
+        assert_eq!(none.num_edges(), 40);
+        assert_eq!(all_two.num_edges(), 80);
+        half.validate();
+    }
+
+    #[test]
+    fn grid_ids_are_zorder() {
+        let g = grid_network(3, 3, 1.0);
+        let n = g.node(zorder_id(2, 1)).unwrap();
+        assert_eq!((n.x, n.y), (2, 1));
+    }
+
+    #[test]
+    fn path_and_star() {
+        let p = path_network(5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.num_edges(), 4);
+        p.validate();
+        let s = star_network(6);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.num_edges(), 12);
+        assert_eq!(
+            s.node(zorder_id(1000, 1000)).unwrap().successors.len(),
+            6
+        );
+        s.validate();
+    }
+
+    #[test]
+    fn random_network_connected_and_deterministic() {
+        let a = random_network(50, 150, 1 << 12, 42);
+        let b = random_network(50, 150, 1 << 12, 42);
+        assert_eq!(a.len(), 50);
+        assert!(a.num_edges() >= 98, "spanning tree must be present");
+        a.validate();
+        // Determinism.
+        assert_eq!(a.node_ids(), b.node_ids());
+        assert_eq!(a.num_edges(), b.num_edges());
+        // Different seeds differ.
+        let c = random_network(50, 150, 1 << 12, 43);
+        assert_ne!(a.node_ids(), c.node_ids());
+    }
+}

@@ -1,0 +1,378 @@
+//! The adjacency-list network model.
+//!
+//! "A network (structurally identical to a graph) is modeled as a list of
+//! nodes, and each node has attributes named successor-list and
+//! predecessor-list, which represent the outgoing and incoming edges. The
+//! predecessor-list facilitates updating the successor-lists during the
+//! insertion and deletion of nodes." (paper §1.2)
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a network node.
+///
+/// In the paper "the node-id values ... represent the Z-order of the
+/// location of the nodes in space" — the road-map generator follows that
+/// convention, but the model itself accepts any unique `u64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// Raw id value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// One outgoing edge: destination and cost (e.g. current travel time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeTo {
+    /// Destination node.
+    pub to: NodeId,
+    /// Edge cost / travel time.
+    pub cost: u32,
+}
+
+/// All data of one node — exactly what a CCAM record stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeData {
+    /// Node id.
+    pub id: NodeId,
+    /// X coordinate (networks of interest are spatially embedded, §2.1).
+    pub x: u32,
+    /// Y coordinate.
+    pub y: u32,
+    /// Application attribute bytes (street names, sensor data, ...).
+    pub payload: Vec<u8>,
+    /// Outgoing edges (the successor / adjacency list).
+    pub successors: Vec<EdgeTo>,
+    /// Sources of incoming edges (the predecessor list).
+    pub predecessors: Vec<NodeId>,
+}
+
+impl NodeData {
+    /// The neighbor-list of the paper: every node appearing in the
+    /// successor or predecessor list, deduplicated.
+    pub fn neighbors(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .successors
+            .iter()
+            .map(|e| e.to)
+            .chain(self.predecessors.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// An in-memory network: the source of truth the access methods load
+/// from (Create) and the workloads traverse.
+///
+/// ```
+/// use ccam_graph::{Network, NodeId};
+///
+/// let mut net = Network::new();
+/// net.add_node(NodeId(1), 0, 0, vec![]);
+/// net.add_node(NodeId(2), 1, 0, vec![]);
+/// net.add_edge(NodeId(1), NodeId(2), 7);
+/// assert_eq!(net.num_edges(), 1);
+/// assert_eq!(net.node(NodeId(2)).unwrap().predecessors, vec![NodeId(1)]);
+/// net.remove_node(NodeId(2));
+/// assert!(net.node(NodeId(1)).unwrap().successors.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    nodes: BTreeMap<u64, NodeData>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.nodes.values().map(|n| n.successors.len()).sum()
+    }
+
+    /// Adds an isolated node. Panics if the id is taken.
+    pub fn add_node(&mut self, id: NodeId, x: u32, y: u32, payload: Vec<u8>) {
+        match self.nodes.entry(id.0) {
+            Entry::Occupied(_) => panic!("duplicate node id {id:?}"),
+            Entry::Vacant(e) => {
+                e.insert(NodeData {
+                    id,
+                    x,
+                    y,
+                    payload,
+                    successors: Vec::new(),
+                    predecessors: Vec::new(),
+                });
+            }
+        }
+    }
+
+    /// Adds directed edge `from → to` with `cost`. Panics when either
+    /// endpoint is missing or the edge already exists.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cost: u32) {
+        assert!(self.nodes.contains_key(&to.0), "missing target {to:?}");
+        let src = self
+            .nodes
+            .get_mut(&from.0)
+            .unwrap_or_else(|| panic!("missing source {from:?}"));
+        assert!(
+            !src.successors.iter().any(|e| e.to == to),
+            "duplicate edge {from:?}->{to:?}"
+        );
+        src.successors.push(EdgeTo { to, cost });
+        self.nodes
+            .get_mut(&to.0)
+            .expect("checked above")
+            .predecessors
+            .push(from);
+    }
+
+    /// Adds the pair of edges `a ↔ b` (a two-way road segment).
+    pub fn add_edge_bidir(&mut self, a: NodeId, b: NodeId, cost: u32) {
+        self.add_edge(a, b, cost);
+        self.add_edge(b, a, cost);
+    }
+
+    /// Removes directed edge `from → to`, returning its cost.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> Option<u32> {
+        let src = self.nodes.get_mut(&from.0)?;
+        let pos = src.successors.iter().position(|e| e.to == to)?;
+        let cost = src.successors.remove(pos).cost;
+        let dst = self.nodes.get_mut(&to.0).expect("edge target exists");
+        let ppos = dst
+            .predecessors
+            .iter()
+            .position(|&p| p == from)
+            .expect("predecessor entry exists");
+        dst.predecessors.remove(ppos);
+        Some(cost)
+    }
+
+    /// Removes a node and all incident edges, returning its data.
+    pub fn remove_node(&mut self, id: NodeId) -> Option<NodeData> {
+        let data = self.nodes.remove(&id.0)?;
+        // Patch the neighbors' lists — this is what the predecessor-list
+        // is for (paper §1.2).
+        for e in &data.successors {
+            if let Some(n) = self.nodes.get_mut(&e.to.0) {
+                n.predecessors.retain(|&p| p != id);
+            }
+        }
+        for p in &data.predecessors {
+            if let Some(n) = self.nodes.get_mut(&p.0) {
+                n.successors.retain(|e| e.to != id);
+            }
+        }
+        Some(data)
+    }
+
+    /// The node with `id`.
+    pub fn node(&self, id: NodeId) -> Option<&NodeData> {
+        self.nodes.get(&id.0)
+    }
+
+    /// Mutable access to a node (tests and generators only — keeping
+    /// succ/pred lists consistent is the caller's burden here).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut NodeData> {
+        self.nodes.get_mut(&id.0)
+    }
+
+    /// All node ids, ascending.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().map(|&k| NodeId(k)).collect()
+    }
+
+    /// Iterates nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeData> {
+        self.nodes.values()
+    }
+
+    /// Iterates directed edges `(from, to, cost)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u32)> + '_ {
+        self.nodes
+            .values()
+            .flat_map(|n| n.successors.iter().map(move |e| (n.id, e.to, e.cost)))
+    }
+
+    /// The paper's `|A|`: mean successor-list length.
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.num_edges() as f64 / self.len() as f64
+    }
+
+    /// The paper's `λ`: mean neighbor-list length (distinct successor ∪
+    /// predecessor nodes).
+    pub fn avg_neighbor_count(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.nodes.values().map(|n| n.neighbors().len()).sum();
+        total as f64 / self.len() as f64
+    }
+
+    /// Verifies succ/pred cross-consistency; panics with a description on
+    /// violation (test-support API).
+    pub fn validate(&self) {
+        for n in self.nodes.values() {
+            for e in &n.successors {
+                let t = self
+                    .nodes
+                    .get(&e.to.0)
+                    .unwrap_or_else(|| panic!("{:?} points at missing {:?}", n.id, e.to));
+                assert!(
+                    t.predecessors.contains(&n.id),
+                    "{:?} -> {:?} lacks the predecessor back-link",
+                    n.id,
+                    e.to
+                );
+            }
+            for p in &n.predecessors {
+                let s = self
+                    .nodes
+                    .get(&p.0)
+                    .unwrap_or_else(|| panic!("{:?} lists missing predecessor {:?}", n.id, p));
+                assert!(
+                    s.successors.iter().any(|e| e.to == n.id),
+                    "{:?} lists {:?} as predecessor but no such edge",
+                    n.id,
+                    p
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Network {
+        // 1 -> 2 -> 4, 1 -> 3 -> 4, 4 -> 1
+        let mut n = Network::new();
+        for id in 1..=4 {
+            n.add_node(NodeId(id), id as u32, id as u32, vec![id as u8]);
+        }
+        n.add_edge(NodeId(1), NodeId(2), 10);
+        n.add_edge(NodeId(1), NodeId(3), 20);
+        n.add_edge(NodeId(2), NodeId(4), 30);
+        n.add_edge(NodeId(3), NodeId(4), 40);
+        n.add_edge(NodeId(4), NodeId(1), 50);
+        n
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let n = diamond();
+        assert_eq!(n.len(), 4);
+        assert_eq!(n.num_edges(), 5);
+        assert!((n.avg_out_degree() - 1.25).abs() < 1e-12);
+        n.validate();
+    }
+
+    #[test]
+    fn neighbors_deduplicate() {
+        let mut n = diamond();
+        // Make 1 <-> 2 mutual: 2 appears in both lists of 1.
+        n.add_edge(NodeId(2), NodeId(1), 5);
+        let nbrs = n.node(NodeId(1)).unwrap().neighbors();
+        assert_eq!(nbrs, vec![NodeId(2), NodeId(3), NodeId(4)]);
+        n.validate();
+    }
+
+    #[test]
+    fn remove_edge_patches_both_lists() {
+        let mut n = diamond();
+        assert_eq!(n.remove_edge(NodeId(1), NodeId(2)), Some(10));
+        assert_eq!(n.remove_edge(NodeId(1), NodeId(2)), None);
+        assert!(n
+            .node(NodeId(2))
+            .unwrap()
+            .predecessors
+            .is_empty());
+        n.validate();
+    }
+
+    #[test]
+    fn remove_node_patches_neighbors() {
+        let mut n = diamond();
+        let data = n.remove_node(NodeId(4)).unwrap();
+        assert_eq!(data.successors.len(), 1);
+        assert_eq!(data.predecessors.len(), 2);
+        assert!(n.node(NodeId(4)).is_none());
+        // 2 and 3 no longer point at 4; 1 no longer lists 4 as pred.
+        assert!(n.node(NodeId(2)).unwrap().successors.is_empty());
+        assert!(n.node(NodeId(3)).unwrap().successors.is_empty());
+        assert!(n.node(NodeId(1)).unwrap().predecessors.is_empty());
+        n.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn duplicate_node_panics() {
+        let mut n = Network::new();
+        n.add_node(NodeId(1), 0, 0, vec![]);
+        n.add_node(NodeId(1), 1, 1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_panics() {
+        let mut n = Network::new();
+        n.add_node(NodeId(1), 0, 0, vec![]);
+        n.add_node(NodeId(2), 0, 0, vec![]);
+        n.add_edge(NodeId(1), NodeId(2), 1);
+        n.add_edge(NodeId(1), NodeId(2), 2);
+    }
+
+    #[test]
+    fn bidirectional_helper() {
+        let mut n = Network::new();
+        n.add_node(NodeId(1), 0, 0, vec![]);
+        n.add_node(NodeId(2), 0, 0, vec![]);
+        n.add_edge_bidir(NodeId(1), NodeId(2), 7);
+        assert_eq!(n.num_edges(), 2);
+        assert!((n.avg_neighbor_count() - 1.0).abs() < 1e-12);
+        n.validate();
+    }
+
+    #[test]
+    fn edges_iterator_matches_counts() {
+        let n = diamond();
+        let edges: Vec<_> = n.edges().collect();
+        assert_eq!(edges.len(), n.num_edges());
+        assert!(edges.contains(&(NodeId(4), NodeId(1), 50)));
+    }
+}

@@ -1,0 +1,305 @@
+//! Synthetic road-map generator — the stand-in for the paper's
+//! Minneapolis road map.
+//!
+//! The paper's experiments run on "the Minneapolis road map consisted of
+//! 1079 nodes and 3057 edges, representing the road intersections and
+//! highway segments for a 20-square-mile section of the Minneapolis
+//! area" (§4). That 1990s dataset is not redistributable, so this module
+//! generates a network with the same characteristics that drive CCAM's
+//! behaviour (DESIGN.md §4 records the substitution):
+//!
+//! * the same node count and (directed) edge count,
+//! * mean out-degree `|A| ≈ 2.83` and mean neighbor-list size `λ ≈ 3.2`
+//!   (achieved with a calibrated mix of two-way and one-way streets),
+//! * planar, grid-like connectivity with jittered intersection
+//!   coordinates (connectivity correlates with spatial proximity, the
+//!   property the Grid File exploits in §4.1),
+//! * node ids assigned as the Z-order of the coordinates, the paper's id
+//!   convention.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::generators::zorder_id;
+use crate::network::{Network, NodeId};
+
+/// Parameters of the road-map generator.
+#[derive(Debug, Clone)]
+pub struct RoadMapConfig {
+    /// Lattice width (intersections per row before removals).
+    pub grid_w: u32,
+    /// Lattice height.
+    pub grid_h: u32,
+    /// Intersections removed to break the perfect lattice.
+    pub removed_nodes: usize,
+    /// Road segments kept (undirected pairs).
+    pub target_segments: usize,
+    /// Directed edges after one-way/two-way assignment.
+    pub target_directed: usize,
+    /// Coordinate distance between adjacent lattice points.
+    pub cell: u32,
+    /// Maximum coordinate jitter (must stay below `cell / 2`).
+    pub jitter: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RoadMapConfig {
+    /// The Minneapolis-calibrated configuration: 33×33 lattice − 10
+    /// intersections = 1079 nodes; 1726 segments of which 1331 two-way →
+    /// 3057 directed edges, giving |A| = 2.833 and λ = 3.200 exactly as
+    /// reported under Table 5.
+    pub fn minneapolis(seed: u64) -> Self {
+        RoadMapConfig {
+            grid_w: 33,
+            grid_h: 33,
+            removed_nodes: 10,
+            target_segments: 1726,
+            target_directed: 3057,
+            cell: 64,
+            jitter: 24,
+            seed,
+        }
+    }
+}
+
+impl RoadMapConfig {
+    /// A Minneapolis-*proportioned* configuration at an arbitrary lattice
+    /// size: ~1.6 road segments and ~2.83 directed edges per intersection,
+    /// 1% of intersections removed. Used by the scaling experiment and
+    /// the CLI generator.
+    pub fn scaled(grid: u32, seed: u64) -> Self {
+        assert!(grid >= 3, "lattice too small to keep a border");
+        let nodes = grid * grid;
+        RoadMapConfig {
+            grid_w: grid,
+            grid_h: grid,
+            removed_nodes: (nodes / 100) as usize,
+            target_segments: (nodes as f64 * 1.6) as usize,
+            target_directed: (nodes as f64 * 2.83) as usize,
+            cell: 64,
+            jitter: 24,
+            seed,
+        }
+    }
+}
+
+/// Generates the Minneapolis-like benchmark network.
+pub fn minneapolis_like(seed: u64) -> Network {
+    road_map(&RoadMapConfig::minneapolis(seed))
+}
+
+/// Generates a road network per `cfg`. See the module docs.
+pub fn road_map(cfg: &RoadMapConfig) -> Network {
+    assert!(cfg.jitter * 2 < cfg.cell, "jitter must not collide cells");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let w = cfg.grid_w as usize;
+    let h = cfg.grid_h as usize;
+
+    // 1. Lattice minus a few random intersections.
+    let mut alive = vec![true; w * h];
+    let mut removed = 0;
+    while removed < cfg.removed_nodes {
+        let v = rng.random_range(0..w * h);
+        // Keep the border intact so removals cannot disconnect corners.
+        let (x, y) = (v % w, v / w);
+        if alive[v] && x > 0 && y > 0 && x < w - 1 && y < h - 1 {
+            alive[v] = false;
+            removed += 1;
+        }
+    }
+
+    // 2. Jittered coordinates and Z-order ids.
+    let mut coord = vec![(0u32, 0u32); w * h];
+    let mut net = Network::new();
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if !alive[v] {
+                continue;
+            }
+            let cx = (x as u32 + 1) * cfg.cell + rng.random_range(0..=2 * cfg.jitter) - cfg.jitter;
+            let cy = (y as u32 + 1) * cfg.cell + rng.random_range(0..=2 * cfg.jitter) - cfg.jitter;
+            coord[v] = (cx, cy);
+            // Variable-size application payload (street attributes).
+            let payload_len = 4 + rng.random_range(0..9);
+            let payload: Vec<u8> = (0..payload_len).map(|_| rng.random_range(0..=255)).collect();
+            net.add_node(zorder_id(cx, cy), cx, cy, payload);
+        }
+    }
+
+    // 3. Candidate segments: lattice-adjacent alive pairs.
+    let mut segments: Vec<(usize, usize)> = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if !alive[v] {
+                continue;
+            }
+            if x + 1 < w && alive[v + 1] {
+                segments.push((v, v + 1));
+            }
+            if y + 1 < h && alive[v + w] {
+                segments.push((v, v + w));
+            }
+        }
+    }
+
+    // 4. Thin to the target count, keeping the street graph connected.
+    segments.shuffle(&mut rng);
+    let mut kept = segments.clone();
+    let mut i = 0;
+    while kept.len() > cfg.target_segments && i < kept.len() {
+        let candidate = kept[i];
+        let mut trial = kept.clone();
+        trial.remove(i);
+        if undirected_connected(w * h, &alive, &trial) {
+            kept = trial;
+            // Do not advance: position i now holds the next candidate.
+        } else {
+            i += 1;
+        }
+        let _ = candidate;
+    }
+
+    // 5. One-way / two-way assignment hitting the directed-edge target.
+    let two_way = cfg.target_directed.saturating_sub(kept.len()).min(kept.len());
+    for (si, &(a, b)) in kept.iter().enumerate() {
+        let (ida, idb) = (id_of(coord[a]), id_of(coord[b]));
+        let cost = travel_time(coord[a], coord[b], &mut rng);
+        if si < two_way {
+            net.add_edge_bidir(ida, idb, cost);
+        } else if rng.random_range(0..2u32) == 0 {
+            net.add_edge(ida, idb, cost);
+        } else {
+            net.add_edge(idb, ida, cost);
+        }
+    }
+
+    net
+}
+
+fn id_of((x, y): (u32, u32)) -> NodeId {
+    zorder_id(x, y)
+}
+
+/// Travel time: scaled Euclidean distance plus congestion noise.
+fn travel_time(a: (u32, u32), b: (u32, u32), rng: &mut StdRng) -> u32 {
+    let dx = a.0 as f64 - b.0 as f64;
+    let dy = a.1 as f64 - b.1 as f64;
+    let dist = (dx * dx + dy * dy).sqrt();
+    (dist / 4.0) as u32 + 1 + rng.random_range(0..8)
+}
+
+/// Connectivity of the alive nodes under the given undirected segments.
+fn undirected_connected(n: usize, alive: &[bool], segments: &[(usize, usize)]) -> bool {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in segments {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let start = match (0..n).find(|&v| alive[v]) {
+        Some(s) => s,
+        None => return true,
+    };
+    let mut seen = vec![false; n];
+    let mut stack = vec![start];
+    seen[start] = true;
+    let mut visited = 0usize;
+    while let Some(v) = stack.pop() {
+        visited += 1;
+        for &u in &adj[v] {
+            if !seen[u] {
+                seen[u] = true;
+                stack.push(u);
+            }
+        }
+    }
+    visited == alive.iter().filter(|&&a| a).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minneapolis_counts_match_the_paper() {
+        let net = minneapolis_like(1995);
+        assert_eq!(net.len(), 1079, "node count");
+        assert_eq!(net.num_edges(), 3057, "directed edge count");
+        net.validate();
+    }
+
+    #[test]
+    fn minneapolis_degree_statistics() {
+        let net = minneapolis_like(1995);
+        let a = net.avg_out_degree();
+        let lambda = net.avg_neighbor_count();
+        assert!((a - 2.833).abs() < 0.02, "|A| = {a}");
+        assert!((lambda - 3.20).abs() < 0.05, "lambda = {lambda}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = minneapolis_like(7);
+        let b = minneapolis_like(7);
+        assert_eq!(a.node_ids(), b.node_ids());
+        assert_eq!(a.num_edges(), b.num_edges());
+        let c = minneapolis_like(8);
+        assert_ne!(a.node_ids(), c.node_ids());
+    }
+
+    #[test]
+    fn street_graph_is_connected() {
+        let net = minneapolis_like(3);
+        // Undirected reachability over successor∪predecessor lists.
+        let ids = net.node_ids();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![ids[0]];
+        seen.insert(ids[0]);
+        while let Some(v) = stack.pop() {
+            for n in net.node(v).unwrap().neighbors() {
+                if seen.insert(n) {
+                    stack.push(n);
+                }
+            }
+        }
+        assert_eq!(seen.len(), net.len(), "road network must be connected");
+    }
+
+    #[test]
+    fn ids_are_zorder_of_coordinates() {
+        let net = minneapolis_like(5);
+        for n in net.nodes().take(50) {
+            assert_eq!(n.id, zorder_id(n.x, n.y));
+        }
+    }
+
+    #[test]
+    fn scaled_config_keeps_minneapolis_proportions() {
+        let net = road_map(&RoadMapConfig::scaled(20, 9));
+        let a = net.avg_out_degree();
+        assert!((a - 2.83).abs() < 0.1, "|A| = {a}");
+        assert_eq!(net.len(), 396); // 400 - 4 removed
+        net.validate();
+    }
+
+    #[test]
+    fn smaller_config_scales() {
+        let cfg = RoadMapConfig {
+            grid_w: 10,
+            grid_h: 10,
+            removed_nodes: 2,
+            target_segments: 150,
+            target_directed: 260,
+            cell: 64,
+            jitter: 24,
+            seed: 1,
+        };
+        let net = road_map(&cfg);
+        assert_eq!(net.len(), 98);
+        assert_eq!(net.num_edges(), 260);
+        net.validate();
+    }
+}

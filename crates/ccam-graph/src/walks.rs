@@ -1,0 +1,277 @@
+//! Random-walk route workloads.
+//!
+//! "We generate routes by performing random walks on the network. ... A
+//! route of length L has L nodes and L−1 edges. Each set contains 100
+//! routes. The weights on the edges of the network are derived by
+//! counting the number of times that an edge is accessed by those
+//! routes." (paper §4.3)
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::network::{Network, NodeId};
+
+/// A route: a connected node sequence following successor edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// The nodes, in travel order.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Route {
+    /// Number of nodes (the paper's route length `L`).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a degenerate empty route.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The `L − 1` directed edges of the route.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes.windows(2).map(|w| (w[0], w[1]))
+    }
+}
+
+/// Generates `count` random-walk routes of exactly `length` nodes each.
+///
+/// A walk starts at a uniformly random node and repeatedly follows a
+/// uniformly random successor edge; walks that strand on a node without
+/// successors restart from scratch. Panics (after a bounded number of
+/// retries) if the network cannot support walks of the requested length —
+/// e.g. an edgeless network.
+pub fn random_walk_routes(net: &Network, count: usize, length: usize, seed: u64) -> Vec<Route> {
+    assert!(length >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids = net.node_ids();
+    assert!(!ids.is_empty(), "empty network");
+    let mut routes = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    let max_attempts = count * 1000;
+    while routes.len() < count {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "network cannot support {count} walks of length {length}"
+        );
+        let mut nodes = Vec::with_capacity(length);
+        let mut cur = ids[rng.random_range(0..ids.len())];
+        nodes.push(cur);
+        while nodes.len() < length {
+            let succ = &net.node(cur).expect("walk stays in network").successors;
+            if succ.is_empty() {
+                break; // stranded — restart
+            }
+            cur = succ[rng.random_range(0..succ.len())].to;
+            nodes.push(cur);
+        }
+        if nodes.len() == length {
+            routes.push(Route { nodes });
+        }
+    }
+    routes
+}
+
+/// Generates `count` commuter routes: shortest paths between random
+/// origin/destination pairs — the workload the paper's IVHS motivation
+/// actually describes ("evaluating a set of familiar routes" between
+/// home and work, §1.1). Compared with random walks, commuter routes
+/// never revisit nodes and follow cost-optimal corridors, concentrating
+/// edge weight on arterials.
+///
+/// Pairs whose destination is unreachable are redrawn; gives up (panics)
+/// when the network cannot supply `count` connected pairs.
+pub fn commuter_routes(net: &Network, count: usize, seed: u64) -> Vec<Route> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids = net.node_ids();
+    assert!(ids.len() >= 2, "need at least two nodes");
+    let mut routes = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while routes.len() < count {
+        attempts += 1;
+        assert!(
+            attempts <= count * 200,
+            "network cannot supply {count} connected O/D pairs"
+        );
+        let o = ids[rng.random_range(0..ids.len())];
+        let d = ids[rng.random_range(0..ids.len())];
+        if o == d {
+            continue;
+        }
+        if let Some(nodes) = shortest_path(net, o, d) {
+            if nodes.len() >= 2 {
+                routes.push(Route { nodes });
+            }
+        }
+    }
+    routes
+}
+
+/// In-memory Dijkstra used by the workload generator (queries over access
+/// methods live in `ccam-core`; the generator must not depend on it).
+fn shortest_path(net: &Network, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap};
+    let mut dist: HashMap<NodeId, u64> = HashMap::new();
+    let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(from, 0);
+    heap.push(Reverse((0u64, from)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if v == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while let Some(&p) = prev.get(&cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if dist.get(&v).copied().unwrap_or(u64::MAX) < d {
+            continue;
+        }
+        for e in &net.node(v)?.successors {
+            let nd = d + e.cost as u64;
+            if nd < dist.get(&e.to).copied().unwrap_or(u64::MAX) {
+                dist.insert(e.to, nd);
+                prev.insert(e.to, v);
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+    None
+}
+
+/// Edge access counts over a route workload: the WCRR edge weights of
+/// §4.3. Only edges traversed at least once appear in the map.
+pub fn edge_weights_from_routes(routes: &[Route]) -> HashMap<(NodeId, NodeId), u64> {
+    let mut weights = HashMap::new();
+    for route in routes {
+        for e in route.edges() {
+            *weights.entry(e).or_insert(0) += 1;
+        }
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::grid_network;
+
+    #[test]
+    fn routes_have_requested_shape() {
+        let net = grid_network(6, 6, 1.0);
+        let routes = random_walk_routes(&net, 20, 10, 99);
+        assert_eq!(routes.len(), 20);
+        for r in &routes {
+            assert_eq!(r.len(), 10);
+            assert_eq!(r.edges().count(), 9);
+        }
+    }
+
+    #[test]
+    fn routes_follow_real_edges() {
+        let net = grid_network(5, 5, 0.5);
+        for r in random_walk_routes(&net, 30, 8, 7) {
+            for (a, b) in r.edges() {
+                assert!(
+                    net.node(a).unwrap().successors.iter().any(|e| e.to == b),
+                    "{a:?} -> {b:?} is not a network edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = grid_network(6, 6, 1.0);
+        assert_eq!(
+            random_walk_routes(&net, 10, 10, 5),
+            random_walk_routes(&net, 10, 10, 5)
+        );
+        assert_ne!(
+            random_walk_routes(&net, 10, 10, 5),
+            random_walk_routes(&net, 10, 10, 6)
+        );
+    }
+
+    #[test]
+    fn weights_count_traversals() {
+        let a = NodeId(1);
+        let b = NodeId(2);
+        let c = NodeId(3);
+        let routes = vec![
+            Route {
+                nodes: vec![a, b, c],
+            },
+            Route {
+                nodes: vec![a, b],
+            },
+        ];
+        let w = edge_weights_from_routes(&routes);
+        assert_eq!(w[&(a, b)], 2);
+        assert_eq!(w[&(b, c)], 1);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.values().sum::<u64>(), 3); // total edge accesses
+    }
+
+    #[test]
+    fn total_weight_is_routes_times_length_minus_one() {
+        let net = grid_network(8, 8, 1.0);
+        let routes = random_walk_routes(&net, 100, 20, 1);
+        let w = edge_weights_from_routes(&routes);
+        assert_eq!(w.values().sum::<u64>(), 100 * 19);
+    }
+
+    #[test]
+    fn commuter_routes_are_shortest_paths() {
+        let net = grid_network(8, 8, 1.0);
+        let routes = commuter_routes(&net, 25, 11);
+        assert_eq!(routes.len(), 25);
+        for r in &routes {
+            // Simple paths (no revisits) over real edges.
+            let mut seen = std::collections::HashSet::new();
+            for &n in &r.nodes {
+                assert!(seen.insert(n), "commuter route revisited {n:?}");
+            }
+            for (a, b) in r.edges() {
+                assert!(net.node(a).unwrap().successors.iter().any(|e| e.to == b));
+            }
+            // On a unit-cost grid the path length equals the Manhattan
+            // distance + 1 (shortest-path property).
+            let s = net.node(r.nodes[0]).unwrap();
+            let t = net.node(*r.nodes.last().unwrap()).unwrap();
+            let manhattan = (s.x as i64 - t.x as i64).unsigned_abs()
+                + (s.y as i64 - t.y as i64).unsigned_abs();
+            assert_eq!(r.len() as u64, manhattan + 1, "not a shortest path");
+        }
+    }
+
+    #[test]
+    fn commuter_routes_deterministic() {
+        let net = grid_network(6, 6, 1.0);
+        assert_eq!(commuter_routes(&net, 10, 3), commuter_routes(&net, 10, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot support")]
+    fn edgeless_network_panics_for_long_walks() {
+        let mut net = Network::new();
+        net.add_node(NodeId(1), 0, 0, vec![]);
+        random_walk_routes(&net, 1, 2, 0);
+    }
+
+    #[test]
+    fn length_one_routes_work_everywhere() {
+        let mut net = Network::new();
+        net.add_node(NodeId(1), 0, 0, vec![]);
+        let r = random_walk_routes(&net, 3, 1, 0);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the network model, record codec, and generators.
+
+use ccam_graph::record::{decode_record, encode_record, encoded_len, peek_id};
+use ccam_graph::{EdgeTo, Network, NodeData, NodeId};
+use proptest::prelude::*;
+
+fn arb_node() -> impl Strategy<Value = NodeData> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<u32>(),
+        prop::collection::vec(any::<u8>(), 0..64),
+        prop::collection::vec((any::<u64>(), any::<u32>()), 0..12),
+        prop::collection::vec(any::<u64>(), 0..12),
+    )
+        .prop_map(|(id, x, y, payload, succs, preds)| NodeData {
+            id: NodeId(id),
+            x,
+            y,
+            payload,
+            successors: succs
+                .into_iter()
+                .map(|(to, cost)| EdgeTo {
+                    to: NodeId(to),
+                    cost,
+                })
+                .collect(),
+            predecessors: preds.into_iter().map(NodeId).collect(),
+        })
+}
+
+proptest! {
+    /// The record codec is a bijection and its length function is exact.
+    #[test]
+    fn record_codec_roundtrip(node in arb_node()) {
+        let buf = encode_record(&node);
+        prop_assert_eq!(buf.len(), encoded_len(&node));
+        prop_assert_eq!(peek_id(&buf), node.id);
+        prop_assert_eq!(decode_record(&buf), node);
+    }
+
+    /// Network edge insert/remove sequences keep successor/predecessor
+    /// lists mutually consistent.
+    #[test]
+    fn network_edges_stay_consistent(
+        n in 2usize..12,
+        ops in prop::collection::vec((any::<usize>(), any::<usize>(), any::<bool>()), 1..80),
+    ) {
+        let mut net = Network::new();
+        for i in 0..n {
+            net.add_node(NodeId(i as u64), i as u32, 0, vec![]);
+        }
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for (a, b, insert) in ops {
+            let from = NodeId((a % n) as u64);
+            let to = NodeId((b % n) as u64);
+            if insert {
+                if from != to && !edges.contains(&(from, to)) {
+                    net.add_edge(from, to, 1);
+                    edges.push((from, to));
+                }
+            } else if let Some(pos) = edges.iter().position(|&e| e == (from, to)) {
+                prop_assert_eq!(net.remove_edge(from, to), Some(1));
+                edges.remove(pos);
+            } else {
+                prop_assert_eq!(net.remove_edge(from, to), None);
+            }
+            net.validate();
+            prop_assert_eq!(net.num_edges(), edges.len());
+        }
+    }
+
+    /// Removing any node leaves a consistent network with no references
+    /// to the removed node.
+    #[test]
+    fn node_removal_is_clean(victim_sel in any::<usize>(), seed in any::<u64>()) {
+        let mut net = ccam_graph::generators::random_network(20, 60, 1 << 12, seed);
+        let ids = net.node_ids();
+        let victim = ids[victim_sel % ids.len()];
+        net.remove_node(victim).unwrap();
+        net.validate();
+        for n in net.nodes() {
+            prop_assert!(!n.successors.iter().any(|e| e.to == victim));
+            prop_assert!(!n.predecessors.contains(&victim));
+        }
+    }
+
+    /// Network save/load round-trips exactly.
+    #[test]
+    fn network_io_roundtrip(seed in any::<u64>(), n in 2usize..30) {
+        let net = ccam_graph::generators::random_network(n, n * 3, 1 << 12, seed);
+        let mut path = std::env::temp_dir();
+        path.push(format!("ccam-propio-{}-{seed}-{n}", std::process::id()));
+        ccam_graph::save_network(&net, &path).unwrap();
+        let back = ccam_graph::load_network(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back.len(), net.len());
+        for id in net.node_ids() {
+            prop_assert_eq!(back.node(id).unwrap(), net.node(id).unwrap());
+        }
+    }
+
+    /// Road-map generator invariants across seeds: exact counts,
+    /// uniqueness of ids, undirected connectivity.
+    #[test]
+    fn roadmap_invariants(seed in 0u64..50) {
+        let cfg = ccam_graph::roadmap::RoadMapConfig {
+            grid_w: 8,
+            grid_h: 8,
+            removed_nodes: 2,
+            target_segments: 90,
+            target_directed: 160,
+            cell: 64,
+            jitter: 24,
+            seed,
+        };
+        let net = ccam_graph::roadmap::road_map(&cfg);
+        prop_assert_eq!(net.len(), 62);
+        prop_assert_eq!(net.num_edges(), 160);
+        net.validate();
+        // Undirected connectivity.
+        let ids = net.node_ids();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![ids[0]];
+        seen.insert(ids[0]);
+        while let Some(v) = stack.pop() {
+            for nb in net.node(v).unwrap().neighbors() {
+                if seen.insert(nb) {
+                    stack.push(nb);
+                }
+            }
+        }
+        prop_assert_eq!(seen.len(), net.len());
+    }
+}

@@ -1,0 +1,163 @@
+//! On-page encoding of B⁺-tree nodes.
+
+use ccam_storage::{BufferPool, PageId, PageStore, StorageResult};
+
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+const HEADER: usize = 7; // tag u8 | count u16 | next_leaf-or-child0 u32
+const LEAF_ENTRY: usize = 16; // key u64 | val u64
+const INTERNAL_ENTRY: usize = 12; // key u64 | child u32
+
+/// In-memory form of one tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Leaf: sorted `(key, value)` entries plus the next-leaf link.
+    Leaf {
+        next: PageId,
+        entries: Vec<(u64, u64)>,
+    },
+    /// Internal: `children.len() == keys.len() + 1`.
+    Internal {
+        keys: Vec<u64>,
+        children: Vec<PageId>,
+    },
+}
+
+/// `(leaf_capacity, internal_key_capacity)` for pages of `page_size` bytes.
+pub fn capacities(page_size: usize) -> (usize, usize) {
+    (
+        (page_size - HEADER) / LEAF_ENTRY,
+        (page_size - HEADER) / INTERNAL_ENTRY,
+    )
+}
+
+/// Decodes the node stored in `page`.
+pub fn read_node<S: PageStore>(pool: &BufferPool<S>, page: PageId) -> StorageResult<Node> {
+    pool.with_page(page, |buf| {
+        let tag = buf[0];
+        let count = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+        let head = u32::from_le_bytes(buf[3..7].try_into().unwrap());
+        match tag {
+            TAG_INTERNAL => {
+                let mut keys = Vec::with_capacity(count);
+                let mut children = Vec::with_capacity(count + 1);
+                children.push(PageId(head));
+                for i in 0..count {
+                    let off = HEADER + i * INTERNAL_ENTRY;
+                    keys.push(u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()));
+                    children.push(PageId(u32::from_le_bytes(
+                        buf[off + 8..off + 12].try_into().unwrap(),
+                    )));
+                }
+                Node::Internal { keys, children }
+            }
+            // A freshly zeroed page (tag 0) decodes as an empty leaf; this
+            // only happens for a brand-new root before its first write.
+            _ => {
+                let mut entries = Vec::with_capacity(count);
+                for i in 0..count {
+                    let off = HEADER + i * LEAF_ENTRY;
+                    let k = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+                    let v = u64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+                    entries.push((k, v));
+                }
+                Node::Leaf {
+                    next: if tag == TAG_LEAF {
+                        PageId(head)
+                    } else {
+                        PageId::INVALID
+                    },
+                    entries,
+                }
+            }
+        }
+    })
+}
+
+/// Encodes `node` into `page`.
+pub fn write_node<S: PageStore>(
+    pool: &BufferPool<S>,
+    page: PageId,
+    node: &Node,
+) -> StorageResult<()> {
+    pool.with_page_mut(page, |buf| match node {
+        Node::Leaf { next, entries } => {
+            buf[0] = TAG_LEAF;
+            buf[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+            buf[3..7].copy_from_slice(&next.index().to_le_bytes());
+            for (i, (k, v)) in entries.iter().enumerate() {
+                let off = HEADER + i * LEAF_ENTRY;
+                buf[off..off + 8].copy_from_slice(&k.to_le_bytes());
+                buf[off + 8..off + 16].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        Node::Internal { keys, children } => {
+            debug_assert_eq!(children.len(), keys.len() + 1);
+            buf[0] = TAG_INTERNAL;
+            buf[1..3].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+            buf[3..7].copy_from_slice(&children[0].index().to_le_bytes());
+            for (i, k) in keys.iter().enumerate() {
+                let off = HEADER + i * INTERNAL_ENTRY;
+                buf[off..off + 8].copy_from_slice(&k.to_le_bytes());
+                buf[off + 8..off + 12].copy_from_slice(&children[i + 1].index().to_le_bytes());
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccam_storage::MemPageStore;
+
+    fn pool() -> BufferPool<MemPageStore> {
+        BufferPool::new(MemPageStore::new(256).unwrap(), 16)
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let p = pool();
+        let page = p.allocate().unwrap();
+        let node = Node::Leaf {
+            next: PageId(9),
+            entries: vec![(1, 10), (2, 20), (5, 50)],
+        };
+        write_node(&p, page, &node).unwrap();
+        assert_eq!(read_node(&p, page).unwrap(), node);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let p = pool();
+        let page = p.allocate().unwrap();
+        let node = Node::Internal {
+            keys: vec![100, 200],
+            children: vec![PageId(1), PageId(2), PageId(3)],
+        };
+        write_node(&p, page, &node).unwrap();
+        assert_eq!(read_node(&p, page).unwrap(), node);
+    }
+
+    #[test]
+    fn zeroed_page_reads_as_empty_leaf() {
+        let p = pool();
+        let page = p.allocate().unwrap();
+        match read_node(&p, page).unwrap() {
+            Node::Leaf { next, entries } => {
+                assert!(!next.is_valid());
+                assert!(entries.is_empty());
+            }
+            _ => panic!("expected leaf"),
+        }
+    }
+
+    #[test]
+    fn capacities_scale_with_page_size() {
+        let (l1, i1) = capacities(1024);
+        let (l4, i4) = capacities(4096);
+        assert!(l4 > l1 * 3);
+        assert!(i4 > i1 * 3);
+        assert_eq!(l1, (1024 - 7) / 16);
+        assert_eq!(i1, (1024 - 7) / 12);
+    }
+}

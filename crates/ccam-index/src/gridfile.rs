@@ -1,0 +1,673 @@
+//! The Grid File of Nievergelt, Hinterberger & Sevcik \[21\].
+//!
+//! A grid file partitions 2-D space by two *linear scales* (sorted split
+//! coordinates per axis) whose cross product defines a grid of cells; a
+//! *directory* maps every cell to a data bucket, and several adjacent
+//! cells may share one bucket (here: bucket regions are kept rectangular).
+//! When a bucket overflows it splits — either by dividing its cell
+//! rectangle, or, when it covers a single cell, by inserting a new split
+//! coordinate into one scale (which adds a directory row/column).
+//!
+//! The paper evaluates the Grid File as the *proximity-clustering*
+//! competitor to CCAM: nodes that are spatially close share a bucket, so
+//! it "takes advantage of the correlation between connectivity and
+//! spatial proximity" (§4.1). To serve as the clustering engine of the
+//! Grid-File access method, every entry carries a caller-supplied
+//! **weight** (the node record's size in bytes) and buckets overflow on
+//! total weight, not entry count — node records have variable size.
+
+use std::fmt;
+
+/// Identifier of a grid-file bucket. The Grid-File access method maps
+/// bucket ids 1:1 to data pages.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BucketId(pub u32);
+
+impl fmt::Debug for BucketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// One point entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridEntry<V> {
+    /// X coordinate.
+    pub x: u32,
+    /// Y coordinate.
+    pub y: u32,
+    /// Caller-defined weight (record bytes for the Grid-File AM, 1 for a
+    /// pure point index).
+    pub weight: usize,
+    /// Payload.
+    pub value: V,
+}
+
+/// A bucket split performed while absorbing an insert: `moved` values were
+/// transferred from bucket `from` to the new bucket `to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitEvent<V> {
+    /// Bucket that overflowed.
+    pub from: BucketId,
+    /// Newly created bucket.
+    pub to: BucketId,
+    /// Values that moved to `to`.
+    pub moved: Vec<V>,
+}
+
+/// Rectangle of directory cells, `x0..x1` × `y0..y1` (exclusive ends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Rect {
+    x0: usize,
+    x1: usize,
+    y0: usize,
+    y1: usize,
+}
+
+struct Bucket<V> {
+    entries: Vec<GridEntry<V>>,
+    rect: Rect,
+}
+
+impl<V> Bucket<V> {
+    fn total_weight(&self) -> usize {
+        self.entries.iter().map(|e| e.weight).sum()
+    }
+}
+
+/// An in-memory grid file over point data.
+///
+/// ```
+/// use ccam_index::GridFile;
+///
+/// let mut g: GridFile<u64> = GridFile::new(3); // 3 weight units per bucket
+/// for i in 0..20u32 {
+///     g.insert(i * 5, i * 7 % 50, 1, i as u64);
+/// }
+/// assert!(g.num_buckets() >= 7);              // splits happened
+/// assert_eq!(g.point_query(5, 7).len(), 1);   // point i = 1
+/// let hits = g.range_query(0, 0, 25, 50);
+/// assert!(hits.iter().all(|e| e.x <= 25));
+/// ```
+pub struct GridFile<V> {
+    capacity: usize,
+    /// Sorted x split coordinates; cell `i` covers `[xs[i-1], xs[i])`.
+    xs: Vec<u32>,
+    ys: Vec<u32>,
+    /// `dir[xi][yi]` = bucket covering that cell.
+    dir: Vec<Vec<BucketId>>,
+    buckets: Vec<Option<Bucket<V>>>,
+}
+
+impl<V: Copy + PartialEq> GridFile<V> {
+    /// Creates an empty grid file whose buckets hold at most `capacity`
+    /// total weight before splitting.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        GridFile {
+            capacity,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            dir: vec![vec![BucketId(0)]],
+            buckets: vec![Some(Bucket {
+                entries: Vec::new(),
+                rect: Rect {
+                    x0: 0,
+                    x1: 1,
+                    y0: 0,
+                    y1: 1,
+                },
+            })],
+        }
+    }
+
+    /// Maximum bucket weight before a split is attempted.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Directory dimensions `(columns, rows)`.
+    pub fn directory_dims(&self) -> (usize, usize) {
+        (self.xs.len() + 1, self.ys.len() + 1)
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.buckets
+            .iter()
+            .flatten()
+            .map(|b| b.entries.len())
+            .sum()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn cell_of(&self, x: u32, y: u32) -> (usize, usize) {
+        (
+            self.xs.partition_point(|&s| s <= x),
+            self.ys.partition_point(|&s| s <= y),
+        )
+    }
+
+    /// The bucket whose region covers point `(x, y)`.
+    pub fn bucket_of(&self, x: u32, y: u32) -> BucketId {
+        let (xi, yi) = self.cell_of(x, y);
+        self.dir[xi][yi]
+    }
+
+    fn bucket(&self, id: BucketId) -> &Bucket<V> {
+        self.buckets[id.0 as usize].as_ref().expect("live bucket")
+    }
+
+    fn bucket_mut(&mut self, id: BucketId) -> &mut Bucket<V> {
+        self.buckets[id.0 as usize].as_mut().expect("live bucket")
+    }
+
+    /// Inserts an entry, splitting overflowing buckets. Returns the bucket
+    /// the entry finally landed in plus every split performed (the
+    /// Grid-File AM replays these on its data pages).
+    pub fn insert(
+        &mut self,
+        x: u32,
+        y: u32,
+        weight: usize,
+        value: V,
+    ) -> (BucketId, Vec<SplitEvent<V>>) {
+        let id = self.bucket_of(x, y);
+        self.bucket_mut(id).entries.push(GridEntry {
+            x,
+            y,
+            weight,
+            value,
+        });
+        let mut events = Vec::new();
+        let mut queue = vec![id];
+        while let Some(b) = queue.pop() {
+            while self.bucket(b).total_weight() > self.capacity {
+                match self.split(b) {
+                    Some(ev) => {
+                        queue.push(ev.to);
+                        events.push(ev);
+                    }
+                    None => break, // unsplittable (all points identical)
+                }
+            }
+        }
+        (self.bucket_of(x, y), events)
+    }
+
+    /// Removes the first entry at `(x, y)` whose value equals `value`.
+    ///
+    /// Bucket/directory merging on underflow is not implemented — the
+    /// paper's Table 5 experiment explicitly ignores underflow handling
+    /// "to filter out the effect of reorganization policies" (§4.2).
+    pub fn remove(&mut self, x: u32, y: u32, value: V) -> Option<V> {
+        let id = self.bucket_of(x, y);
+        let b = self.bucket_mut(id);
+        let idx = b
+            .entries
+            .iter()
+            .position(|e| e.x == x && e.y == y && e.value == value)?;
+        Some(b.entries.swap_remove(idx).value)
+    }
+
+    /// All entries at exactly `(x, y)`.
+    pub fn point_query(&self, x: u32, y: u32) -> Vec<&GridEntry<V>> {
+        self.bucket(self.bucket_of(x, y))
+            .entries
+            .iter()
+            .filter(|e| e.x == x && e.y == y)
+            .collect()
+    }
+
+    /// All entries with `x0 <= x <= x1` and `y0 <= y <= y1`.
+    pub fn range_query(&self, x0: u32, y0: u32, x1: u32, y1: u32) -> Vec<&GridEntry<V>> {
+        let (cx0, cy0) = self.cell_of(x0, y0);
+        let (cx1, cy1) = self.cell_of(x1, y1);
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        for col in self.dir[cx0..=cx1].iter() {
+            for &id in col[cy0..=cy1].iter() {
+                if seen.contains(&id) {
+                    continue;
+                }
+                seen.push(id);
+                out.extend(
+                    self.bucket(id)
+                        .entries
+                        .iter()
+                        .filter(|e| e.x >= x0 && e.x <= x1 && e.y >= y0 && e.y <= y1),
+                );
+            }
+        }
+        out
+    }
+
+    /// Iterates `(bucket, entries)` over live buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (BucketId, &[GridEntry<V>])> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.as_ref().map(|b| (BucketId(i as u32), &b.entries[..])))
+    }
+
+    /// Splits bucket `id`, returning the split event, or `None` when every
+    /// entry sits at the same point (no boundary can separate them).
+    ///
+    /// The cut position is entry-aware: the region divides at the cell
+    /// boundary that best balances the entry weight (not blindly at the
+    /// rectangle midpoint, which can leave all entries on one side). When
+    /// the entries all share one cell, a new scale boundary at their
+    /// median coordinate is inserted first — that boundary is strictly
+    /// inside the shared cell, so progress is guaranteed.
+    fn split(&mut self, id: BucketId) -> Option<SplitEvent<V>> {
+        // Entry cell indices along both axes.
+        let (cells_x, cells_y): (Vec<usize>, Vec<usize>) = {
+            let b = self.bucket(id);
+            b.entries
+                .iter()
+                .map(|e| self.cell_of(e.x, e.y))
+                .unzip()
+        };
+        let span = |cells: &[usize]| -> (usize, usize) {
+            let min = cells.iter().min().copied().unwrap_or(0);
+            let max = cells.iter().max().copied().unwrap_or(0);
+            (min, max)
+        };
+        let (min_cx, max_cx) = span(&cells_x);
+        let (min_cy, max_cy) = span(&cells_y);
+
+        if min_cx == max_cx && min_cy == max_cy {
+            // Entries share one cell: refine the scale along the axis
+            // with the larger coordinate spread, then retry.
+            let (xs, ys): (Vec<u32>, Vec<u32>) = {
+                let b = self.bucket(id);
+                (
+                    b.entries.iter().map(|e| e.x).collect(),
+                    b.entries.iter().map(|e| e.y).collect(),
+                )
+            };
+            let spread = |v: &[u32]| {
+                v.iter().max().copied().unwrap_or(0) - v.iter().min().copied().unwrap_or(0)
+            };
+            let bx = median_boundary(&xs);
+            let by = median_boundary(&ys);
+            match (bx, by) {
+                (Some(b), _) if spread(&xs) >= spread(&ys) => self.add_x_boundary(b),
+                (_, Some(b)) => self.add_y_boundary(b),
+                (Some(b), None) => self.add_x_boundary(b),
+                (None, None) => return None, // all entries at one point
+            }
+            return self.split(id);
+        }
+
+        // Choose the axis whose entry cells span more; cut at the
+        // weight-median cell boundary so both sides are non-empty.
+        let split_x = (max_cx - min_cx) >= (max_cy - min_cy) && max_cx > min_cx;
+        let rect = self.bucket(id).rect;
+        let cut = {
+            let cells = if split_x { &cells_x } else { &cells_y };
+            let weights: Vec<usize> = self.bucket(id).entries.iter().map(|e| e.weight).collect();
+            weight_median_cut(cells, &weights)
+        };
+        let (left_rect, right_rect) = if split_x {
+            debug_assert!(cut > rect.x0 && cut < rect.x1);
+            (Rect { x1: cut, ..rect }, Rect { x0: cut, ..rect })
+        } else {
+            debug_assert!(cut > rect.y0 && cut < rect.y1);
+            (Rect { y1: cut, ..rect }, Rect { y0: cut, ..rect })
+        };
+
+        // Partition entries between the halves by cell index.
+        let (stay, moved): (Vec<GridEntry<V>>, Vec<GridEntry<V>>) = {
+            let entries = std::mem::take(&mut self.bucket_mut(id).entries);
+            entries.into_iter().partition(|e| {
+                let (xi, yi) = self.cell_of(e.x, e.y);
+                if split_x {
+                    xi < cut
+                } else {
+                    yi < cut
+                }
+            })
+        };
+        debug_assert!(!stay.is_empty() && !moved.is_empty());
+
+        let new_id = self.alloc_bucket(Bucket {
+            entries: moved.clone(),
+            rect: right_rect,
+        });
+        self.bucket_mut(id).entries = stay;
+        self.bucket_mut(id).rect = left_rect;
+        for col in self.dir[right_rect.x0..right_rect.x1].iter_mut() {
+            for cell in col[right_rect.y0..right_rect.y1].iter_mut() {
+                debug_assert_eq!(*cell, id);
+                *cell = new_id;
+            }
+        }
+        Some(SplitEvent {
+            from: id,
+            to: new_id,
+            moved: moved.into_iter().map(|e| e.value).collect(),
+        })
+    }
+
+    fn alloc_bucket(&mut self, b: Bucket<V>) -> BucketId {
+        if let Some(i) = self.buckets.iter().position(|b| b.is_none()) {
+            self.buckets[i] = Some(b);
+            return BucketId(i as u32);
+        }
+        self.buckets.push(Some(b));
+        BucketId(self.buckets.len() as u32 - 1)
+    }
+
+    /// Inserts split coordinate `b` into the x scale: directory cell
+    /// column `k` becomes columns `k` and `k+1`, and every bucket
+    /// rectangle adjusts.
+    fn add_x_boundary(&mut self, b: u32) {
+        debug_assert!(!self.xs.contains(&b));
+        let k = self.xs.partition_point(|&s| s <= b);
+        self.xs.insert(k, b);
+        let col = self.dir[k].clone();
+        self.dir.insert(k + 1, col);
+        for bucket in self.buckets.iter_mut().flatten() {
+            let r = &mut bucket.rect;
+            if r.x0 > k {
+                r.x0 += 1;
+            }
+            if r.x1 > k {
+                r.x1 += 1;
+            }
+        }
+    }
+
+    /// Inserts split coordinate `b` into the y scale (see
+    /// [`Self::add_x_boundary`]).
+    fn add_y_boundary(&mut self, b: u32) {
+        debug_assert!(!self.ys.contains(&b));
+        let k = self.ys.partition_point(|&s| s <= b);
+        self.ys.insert(k, b);
+        for col in &mut self.dir {
+            let cell = col[k];
+            col.insert(k + 1, cell);
+        }
+        for bucket in self.buckets.iter_mut().flatten() {
+            let r = &mut bucket.rect;
+            if r.y0 > k {
+                r.y0 += 1;
+            }
+            if r.y1 > k {
+                r.y1 += 1;
+            }
+        }
+    }
+
+    /// Verifies internal consistency (test-support API):
+    /// directory/bucket-rect agreement, entries inside their bucket's
+    /// region, rectangles tile the directory.
+    pub fn check_invariants(&self) {
+        let (nx, ny) = self.directory_dims();
+        assert_eq!(self.dir.len(), nx);
+        for col in &self.dir {
+            assert_eq!(col.len(), ny);
+        }
+        for w in self.xs.windows(2) {
+            assert!(w[0] < w[1], "x scale unsorted");
+        }
+        for w in self.ys.windows(2) {
+            assert!(w[0] < w[1], "y scale unsorted");
+        }
+        let mut covered = 0usize;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let Some(bucket) = bucket else { continue };
+            let r = bucket.rect;
+            assert!(r.x0 < r.x1 && r.y0 < r.y1, "empty rect");
+            assert!(r.x1 <= nx && r.y1 <= ny, "rect out of range");
+            covered += (r.x1 - r.x0) * (r.y1 - r.y0);
+            for xi in r.x0..r.x1 {
+                for yi in r.y0..r.y1 {
+                    assert_eq!(
+                        self.dir[xi][yi],
+                        BucketId(i as u32),
+                        "directory cell ({xi},{yi}) disagrees with rect of bucket {i}"
+                    );
+                }
+            }
+            for e in &bucket.entries {
+                let (xi, yi) = self.cell_of(e.x, e.y);
+                assert!(
+                    xi >= r.x0 && xi < r.x1 && yi >= r.y0 && yi < r.y1,
+                    "entry ({}, {}) outside its bucket region",
+                    e.x,
+                    e.y
+                );
+            }
+        }
+        assert_eq!(covered, nx * ny, "bucket rects must tile the directory");
+    }
+}
+
+/// The cut cell index that best balances entry weight: entries in cells
+/// `< cut` go left, the rest right, both sides non-empty. `cells` must
+/// span at least two distinct values.
+fn weight_median_cut(cells: &[usize], weights: &[usize]) -> usize {
+    debug_assert_eq!(cells.len(), weights.len());
+    let mut pairs: Vec<(usize, usize)> = cells.iter().copied().zip(weights.iter().copied()).collect();
+    pairs.sort_unstable();
+    let total: usize = weights.iter().sum();
+    let mut acc = 0usize;
+    let max_cell = pairs.last().expect("non-empty").0;
+    for (cell, w) in pairs {
+        acc += w;
+        if acc * 2 >= total && cell < max_cell {
+            return cell + 1;
+        }
+    }
+    // Fallback: cut just below the maximum cell (still non-empty sides).
+    max_cell
+}
+
+/// A boundary value that splits `coords` into two non-empty groups
+/// (`< b` and `>= b`), or `None` when all values are equal. Picks the
+/// median so repeated splits stay balanced.
+fn median_boundary(coords: &[u32]) -> Option<u32> {
+    let mut sorted: Vec<u32> = coords.to_vec();
+    sorted.sort_unstable();
+    let min = *sorted.first()?;
+    if *sorted.last()? == min {
+        return None;
+    }
+    let mid = sorted[sorted.len() / 2];
+    if mid > min {
+        Some(mid)
+    } else {
+        // Median equals the minimum; take the smallest value above it.
+        sorted.into_iter().find(|&c| c > min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bucket_until_capacity() {
+        let mut g: GridFile<u64> = GridFile::new(4);
+        for i in 0..4 {
+            let (_, events) = g.insert(i, i, 1, i as u64);
+            assert!(events.is_empty());
+        }
+        assert_eq!(g.num_buckets(), 1);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn overflow_splits_bucket() {
+        let mut g: GridFile<u64> = GridFile::new(4);
+        for i in 0..5u32 {
+            g.insert(i * 10, 0, 1, i as u64);
+        }
+        assert!(g.num_buckets() >= 2);
+        g.check_invariants();
+        // Every inserted point is still findable.
+        for i in 0..5u32 {
+            assert_eq!(g.point_query(i * 10, 0).len(), 1, "point {i}");
+        }
+    }
+
+    #[test]
+    fn splits_reported_to_caller() {
+        let mut g: GridFile<u64> = GridFile::new(2);
+        g.insert(0, 0, 1, 100);
+        g.insert(100, 0, 1, 101);
+        let (_, events) = g.insert(50, 0, 1, 102);
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert!(!ev.moved.is_empty());
+        // Moved values live in the new bucket now.
+        for &v in &ev.moved {
+            let in_new = g
+                .buckets()
+                .find(|(id, _)| *id == ev.to)
+                .map(|(_, es)| es.iter().any(|e| e.value == v))
+                .unwrap();
+            assert!(in_new);
+        }
+        g.check_invariants();
+    }
+
+    #[test]
+    fn weighted_overflow() {
+        // Capacity 100 bytes; records of 40 bytes: 2 fit, the 3rd splits.
+        let mut g: GridFile<u64> = GridFile::new(100);
+        g.insert(0, 0, 40, 1);
+        g.insert(10, 10, 40, 2);
+        let (_, events) = g.insert(90, 90, 40, 3);
+        assert_eq!(events.len(), 1);
+        assert_eq!(g.num_buckets(), 2);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn identical_points_do_not_split_forever() {
+        let mut g: GridFile<u64> = GridFile::new(2);
+        for i in 0..10 {
+            g.insert(5, 5, 1, i);
+        }
+        // Unsplittable: one bucket holds everything, over capacity.
+        assert_eq!(g.num_buckets(), 1);
+        assert_eq!(g.point_query(5, 5).len(), 10);
+        g.check_invariants();
+    }
+
+    #[test]
+    fn collinear_points_split_on_the_other_axis() {
+        let mut g: GridFile<u64> = GridFile::new(2);
+        // All x equal: splits must use the y axis.
+        for i in 0..8u32 {
+            g.insert(5, i * 10, 1, i as u64);
+        }
+        g.check_invariants();
+        assert!(g.num_buckets() >= 3);
+        for i in 0..8u32 {
+            assert_eq!(g.point_query(5, i * 10).len(), 1);
+        }
+    }
+
+    #[test]
+    fn remove_then_query() {
+        let mut g: GridFile<u64> = GridFile::new(4);
+        g.insert(1, 2, 1, 7);
+        g.insert(1, 2, 1, 8);
+        assert_eq!(g.remove(1, 2, 7), Some(7));
+        assert_eq!(g.remove(1, 2, 7), None);
+        let left: Vec<u64> = g.point_query(1, 2).iter().map(|e| e.value).collect();
+        assert_eq!(left, vec![8]);
+    }
+
+    #[test]
+    fn range_query_clips() {
+        let mut g: GridFile<u64> = GridFile::new(3);
+        for x in 0..10u32 {
+            for y in 0..10u32 {
+                g.insert(x, y, 1, (x * 10 + y) as u64);
+            }
+        }
+        g.check_invariants();
+        let hits = g.range_query(2, 3, 4, 5);
+        assert_eq!(hits.len(), 3 * 3);
+        for e in hits {
+            assert!((2..=4).contains(&e.x) && (3..=5).contains(&e.y));
+        }
+        assert_eq!(g.range_query(100, 100, 200, 200).len(), 0);
+    }
+
+    #[test]
+    fn many_inserts_keep_buckets_within_capacity() {
+        let mut g: GridFile<u64> = GridFile::new(8);
+        // Deterministic scatter.
+        let mut x = 1u64;
+        for i in 0..500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            g.insert((x >> 40) as u32 % 1000, (x >> 20) as u32 % 1000, 1, i);
+        }
+        g.check_invariants();
+        assert_eq!(g.len(), 500);
+        for (_, entries) in g.buckets() {
+            assert!(entries.len() <= 8, "bucket over capacity: {}", entries.len());
+        }
+    }
+
+    #[test]
+    fn clustered_points_grow_directory_locally() {
+        let mut g: GridFile<u64> = GridFile::new(2);
+        // Dense cluster bottom-left, single far point top-right.
+        g.insert(1000, 1000, 1, 999);
+        for i in 0..20u32 {
+            g.insert(i, i / 2, 1, i as u64);
+        }
+        g.check_invariants();
+        // All points retrievable.
+        assert_eq!(g.point_query(1000, 1000).len(), 1);
+        assert_eq!(g.len(), 21);
+    }
+
+    #[test]
+    fn bucket_of_is_stable_for_queries() {
+        let mut g: GridFile<u64> = GridFile::new(3);
+        for i in 0..30u32 {
+            g.insert(i * 7 % 100, i * 13 % 100, 1, i as u64);
+        }
+        for i in 0..30u32 {
+            let (x, y) = (i * 7 % 100, i * 13 % 100);
+            let b = g.bucket_of(x, y);
+            let found = g
+                .buckets()
+                .find(|(id, _)| *id == b)
+                .map(|(_, es)| es.iter().any(|e| e.value == i as u64))
+                .unwrap();
+            assert!(found, "value {i} must be in bucket_of its coordinates");
+        }
+    }
+
+    #[test]
+    fn median_boundary_cases() {
+        assert_eq!(median_boundary(&[]), None);
+        assert_eq!(median_boundary(&[5]), None);
+        assert_eq!(median_boundary(&[5, 5, 5]), None);
+        assert_eq!(median_boundary(&[1, 2]), Some(2));
+        assert_eq!(median_boundary(&[1, 1, 1, 9]), Some(9));
+        let b = median_boundary(&[1, 2, 3, 4, 5]).unwrap();
+        assert!(b > 1 && b <= 5);
+    }
+}

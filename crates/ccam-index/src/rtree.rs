@@ -1,0 +1,576 @@
+//! An R-tree spatial index (Guttman \[11\]).
+//!
+//! The paper's §2.1: "Other access methods such as R-tree \[11\] and Grid
+//! File \[21\], etc. can alternatively be created on top of the data file
+//! as secondary indices in CCAM to suit the application." This is that
+//! alternative: a classic R-tree over point data with quadratic-split
+//! insertion, deletion with under-full node reinsertion, and point /
+//! window queries.
+//!
+//! The tree stores `(rect, value)` pairs; for CCAM's node index the rect
+//! is a point (zero-area rectangle) and the value the node id.
+
+use std::fmt;
+
+/// Axis-aligned rectangle `[x0, x1] × [y0, y1]` (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: u32,
+    /// Bottom edge.
+    pub y0: u32,
+    /// Right edge.
+    pub x1: u32,
+    /// Top edge.
+    pub y1: u32,
+}
+
+impl Rect {
+    /// A zero-area rectangle at a point.
+    pub fn point(x: u32, y: u32) -> Rect {
+        Rect {
+            x0: x,
+            y0: y,
+            x1: x,
+            y1: y,
+        }
+    }
+
+    /// A rectangle from two corners (any order).
+    pub fn new(ax: u32, ay: u32, bx: u32, by: u32) -> Rect {
+        Rect {
+            x0: ax.min(bx),
+            y0: ay.min(by),
+            x1: ax.max(bx),
+            y1: ay.max(by),
+        }
+    }
+
+    /// Area as `u64` (side lengths are inclusive spans).
+    pub fn area(&self) -> u64 {
+        (self.x1 - self.x0) as u64 * (self.y1 - self.y0) as u64
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// True when the rectangles share any point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// True when `other` lies entirely inside `self`.
+    pub fn contains(&self, other: &Rect) -> bool {
+        self.x0 <= other.x0 && self.x1 >= other.x1 && self.y0 <= other.y0 && self.y1 >= other.y1
+    }
+
+    /// Area growth needed to absorb `other`.
+    fn enlargement(&self, other: &Rect) -> u64 {
+        self.union(other).area() - self.area()
+    }
+}
+
+enum Node<V> {
+    Leaf(Vec<(Rect, V)>),
+    Internal(Vec<(Rect, Box<Node<V>>)>),
+}
+
+impl<V> Node<V> {
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf(e) => e.len(),
+            Node::Internal(e) => e.len(),
+        }
+    }
+
+    fn mbr(&self) -> Option<Rect> {
+        match self {
+            Node::Leaf(e) => e.iter().map(|(r, _)| *r).reduce(|a, b| a.union(&b)),
+            Node::Internal(e) => e.iter().map(|(r, _)| *r).reduce(|a, b| a.union(&b)),
+        }
+    }
+}
+
+/// An in-memory R-tree with Guttman's quadratic split.
+///
+/// ```
+/// use ccam_index::{RTree, Rect};
+///
+/// let mut t: RTree<&str> = RTree::new(8);
+/// t.insert(Rect::point(10, 20), "stop A");
+/// t.insert(Rect::point(11, 21), "stop B");
+/// t.insert(Rect::point(90, 90), "depot");
+/// let near = t.window_query(Rect::new(0, 0, 30, 30));
+/// assert_eq!(near.len(), 2);
+/// assert!(t.remove(Rect::point(90, 90), &"depot"));
+/// ```
+pub struct RTree<V> {
+    root: Node<V>,
+    max_entries: usize,
+    min_entries: usize,
+    len: usize,
+    height: usize,
+}
+
+impl<V> fmt::Debug for RTree<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RTree(len={}, height={})", self.len, self.height)
+    }
+}
+
+impl<V: Clone + PartialEq> Default for RTree<V> {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+impl<V: Clone + PartialEq> RTree<V> {
+    /// An empty tree with the given node fanout (`max_entries >= 4`).
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries >= 4);
+        RTree {
+            root: Node::Leaf(Vec::new()),
+            max_entries,
+            min_entries: max_entries.div_ceil(2).max(2),
+            len: 0,
+            height: 1,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Inserts `(rect, value)`.
+    pub fn insert(&mut self, rect: Rect, value: V) {
+        let max = self.max_entries;
+        let min = self.min_entries;
+        if let Some((r1, n1, r2, n2)) = insert_rec(&mut self.root, rect, value, max, min) {
+            // Root split: grow the tree.
+            self.root = Node::Internal(vec![(r1, n1), (r2, n2)]);
+            self.height += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Removes one entry with exactly this `rect` and `value`. Under-full
+    /// nodes dissolve and their entries reinsert (Guttman's condense).
+    pub fn remove(&mut self, rect: Rect, value: &V) -> bool {
+        let mut orphans: Vec<(Rect, V)> = Vec::new();
+        let removed = remove_rec(&mut self.root, rect, value, self.min_entries, &mut orphans);
+        if !removed {
+            return false;
+        }
+        self.len -= 1;
+        // Shrink a root with a single child.
+        loop {
+            let new_root = match &mut self.root {
+                Node::Internal(ch) if ch.len() == 1 => Some(*ch.pop().expect("one child").1),
+                _ => None,
+            };
+            match new_root {
+                Some(n) => {
+                    self.root = n;
+                    self.height -= 1;
+                }
+                None => break,
+            }
+        }
+        for (r, v) in orphans {
+            self.len -= 1; // reinsert bumps it back
+            self.insert(r, v);
+        }
+        true
+    }
+
+    /// All values whose rect intersects `window`.
+    pub fn window_query(&self, window: Rect) -> Vec<&V> {
+        let mut out = Vec::new();
+        window_rec(&self.root, window, &mut out);
+        out
+    }
+
+    /// All values stored exactly at point `(x, y)`.
+    pub fn point_query(&self, x: u32, y: u32) -> Vec<&V> {
+        self.window_query(Rect::point(x, y))
+    }
+
+    /// Verifies R-tree invariants (test-support API): entry counts,
+    /// bounding-rectangle containment, uniform leaf depth.
+    pub fn check_invariants(&self) {
+        fn rec<V>(node: &Node<V>, depth: usize, leaf_depth: &mut Option<usize>, min: usize, max: usize, is_root: bool) {
+            match node {
+                Node::Leaf(entries) => {
+                    match leaf_depth {
+                        Some(d) => assert_eq!(*d, depth, "leaves at different depths"),
+                        None => *leaf_depth = Some(depth),
+                    }
+                    if !is_root {
+                        assert!(entries.len() >= min, "leaf underflow: {}", entries.len());
+                    }
+                    assert!(entries.len() <= max, "leaf overflow");
+                }
+                Node::Internal(entries) => {
+                    if !is_root {
+                        assert!(entries.len() >= min, "internal underflow");
+                    }
+                    assert!(entries.len() <= max, "internal overflow");
+                    assert!(!entries.is_empty(), "empty internal node");
+                    for (r, child) in entries {
+                        let mbr = child.mbr().expect("child non-empty");
+                        assert!(
+                            r.contains(&mbr) && mbr.contains(r),
+                            "stored rect {r:?} != child MBR {mbr:?}"
+                        );
+                        rec(child, depth + 1, leaf_depth, min, max, false);
+                    }
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        rec(
+            &self.root,
+            1,
+            &mut leaf_depth,
+            self.min_entries,
+            self.max_entries,
+            true,
+        );
+    }
+}
+
+/// Recursive insert. On overflow the node's entries split in two; both
+/// halves return to the caller, which overwrites the original slot.
+#[allow(clippy::type_complexity)]
+fn insert_rec<V: Clone>(
+    node: &mut Node<V>,
+    rect: Rect,
+    value: V,
+    max: usize,
+    min: usize,
+) -> Option<(Rect, Box<Node<V>>, Rect, Box<Node<V>>)> {
+    match node {
+        Node::Leaf(entries) => {
+            entries.push((rect, value));
+            if entries.len() <= max {
+                return None;
+            }
+            let (a, b) = quadratic_split(std::mem::take(entries), min);
+            let (ra, rb) = (mbr_of(&a), mbr_of(&b));
+            Some((ra, Box::new(Node::Leaf(a)), rb, Box::new(Node::Leaf(b))))
+        }
+        Node::Internal(entries) => {
+            // ChooseLeaf: least enlargement, ties by smaller area.
+            let idx = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (r, _))| (r.enlargement(&rect), r.area()))
+                .map(|(i, _)| i)
+                .expect("internal node non-empty");
+            let split = insert_rec(&mut entries[idx].1, rect, value, max, min);
+            match split {
+                Some((r1, n1, r2, n2)) => {
+                    entries[idx] = (r1, n1);
+                    entries.push((r2, n2));
+                }
+                None => {
+                    entries[idx].0 = entries[idx].1.mbr().expect("child non-empty");
+                }
+            }
+            if entries.len() <= max {
+                return None;
+            }
+            let (a, b) = quadratic_split(std::mem::take(entries), min);
+            let (ra, rb) = (mbr_of_nodes(&a), mbr_of_nodes(&b));
+            Some((
+                ra,
+                Box::new(Node::Internal(a)),
+                rb,
+                Box::new(Node::Internal(b)),
+            ))
+        }
+    }
+}
+
+fn mbr_of<V>(entries: &[(Rect, V)]) -> Rect {
+    entries
+        .iter()
+        .map(|(r, _)| *r)
+        .reduce(|a, b| a.union(&b))
+        .expect("non-empty")
+}
+
+fn mbr_of_nodes<V>(entries: &[(Rect, Box<Node<V>>)]) -> Rect {
+    entries
+        .iter()
+        .map(|(r, _)| *r)
+        .reduce(|a, b| a.union(&b))
+        .expect("non-empty")
+}
+
+/// Two groups of entries produced by a node split.
+type SplitGroups<E> = (Vec<(Rect, E)>, Vec<(Rect, E)>);
+
+/// Guttman's quadratic split over any entry type with a rect; each group
+/// receives at least `min` entries.
+fn quadratic_split<E>(mut entries: Vec<(Rect, E)>, min: usize) -> SplitGroups<E> {
+    debug_assert!(entries.len() >= 2);
+    // PickSeeds: the pair wasting the most area together.
+    let (mut s1, mut s2, mut worst) = (0usize, 1usize, i64::MIN);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let waste = entries[i].0.union(&entries[j].0).area() as i64
+                - entries[i].0.area() as i64
+                - entries[j].0.area() as i64;
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    // Take seeds out (remove the later index first).
+    let e2 = entries.remove(s2);
+    let e1 = entries.remove(s1);
+    let mut r1 = e1.0;
+    let mut r2 = e2.0;
+    let mut g1 = vec![e1];
+    let mut g2 = vec![e2];
+
+    while let Some(next) = pick_next(&entries, &r1, &r2) {
+        let (rect, e) = entries.remove(next);
+        // Force-assign when a group needs every remaining entry to reach
+        // the minimum occupancy (Guttman's stopping rule).
+        let remaining = entries.len() + 1;
+        let to_g1 = if g1.len() + remaining <= min {
+            true
+        } else if g2.len() + remaining <= min {
+            false
+        } else {
+            let d1 = r1.enlargement(&rect);
+            let d2 = r2.enlargement(&rect);
+            d1 < d2 || (d1 == d2 && r1.area() <= r2.area())
+        };
+        if to_g1 {
+            r1 = r1.union(&rect);
+            g1.push((rect, e));
+        } else {
+            r2 = r2.union(&rect);
+            g2.push((rect, e));
+        }
+    }
+    (g1, g2)
+}
+
+/// PickNext: the entry with the largest preference difference.
+fn pick_next<E>(entries: &[(Rect, E)], r1: &Rect, r2: &Rect) -> Option<usize> {
+    entries
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, (r, _))| {
+            (r1.enlargement(r) as i64 - r2.enlargement(r) as i64).unsigned_abs()
+        })
+        .map(|(i, _)| i)
+}
+
+/// Recursive remove; dissolved nodes push their entries into `orphans`.
+fn remove_rec<V: Clone + PartialEq>(
+    node: &mut Node<V>,
+    rect: Rect,
+    value: &V,
+    min: usize,
+    orphans: &mut Vec<(Rect, V)>,
+) -> bool {
+    match node {
+        Node::Leaf(entries) => {
+            if let Some(pos) = entries.iter().position(|(r, v)| *r == rect && v == value) {
+                entries.remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+        Node::Internal(entries) => {
+            for i in 0..entries.len() {
+                if !entries[i].0.contains(&rect) && !entries[i].0.intersects(&rect) {
+                    continue;
+                }
+                if remove_rec(&mut entries[i].1, rect, value, min, orphans) {
+                    if entries[i].1.len() < min {
+                        // Dissolve the under-full child.
+                        let (_, child) = entries.remove(i);
+                        collect_entries(*child, orphans);
+                    } else {
+                        entries[i].0 = entries[i].1.mbr().expect("non-empty");
+                    }
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+fn collect_entries<V>(node: Node<V>, out: &mut Vec<(Rect, V)>) {
+    match node {
+        Node::Leaf(entries) => out.extend(entries),
+        Node::Internal(entries) => {
+            for (_, child) in entries {
+                collect_entries(*child, out);
+            }
+        }
+    }
+}
+
+fn window_rec<'a, V>(node: &'a Node<V>, window: Rect, out: &mut Vec<&'a V>) {
+    match node {
+        Node::Leaf(entries) => {
+            out.extend(
+                entries
+                    .iter()
+                    .filter(|(r, _)| r.intersects(&window))
+                    .map(|(_, v)| v),
+            );
+        }
+        Node::Internal(entries) => {
+            for (r, child) in entries {
+                if r.intersects(&window) {
+                    window_rec(child, window, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_algebra() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(2, 2, 8, 8);
+        assert_eq!(a.area(), 16);
+        assert_eq!(a.union(&b), Rect::new(0, 0, 8, 8));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&Rect::new(5, 5, 6, 6)));
+        assert!(Rect::new(0, 0, 10, 10).contains(&a));
+        assert!(!a.contains(&b));
+        assert_eq!(Rect::point(3, 3).area(), 0);
+    }
+
+    #[test]
+    fn insert_and_point_query() {
+        let mut t: RTree<u64> = RTree::new(4);
+        for i in 0..50u32 {
+            t.insert(Rect::point(i * 3, i * 7 % 97), i as u64);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 50);
+        for i in 0..50u32 {
+            let hits = t.point_query(i * 3, i * 7 % 97);
+            assert!(hits.contains(&&(i as u64)), "point {i}");
+        }
+        assert!(t.height() > 1, "50 points at fanout 4 must split");
+    }
+
+    #[test]
+    fn window_query_exact() {
+        let mut t: RTree<u64> = RTree::new(6);
+        for x in 0..20u32 {
+            for y in 0..20u32 {
+                t.insert(Rect::point(x, y), (x * 100 + y) as u64);
+            }
+        }
+        t.check_invariants();
+        let mut got: Vec<u64> = t
+            .window_query(Rect::new(3, 4, 7, 6))
+            .into_iter()
+            .copied()
+            .collect();
+        got.sort_unstable();
+        let mut want = Vec::new();
+        for x in 3..=7u64 {
+            for y in 4..=6u64 {
+                want.push(x * 100 + y);
+            }
+        }
+        assert_eq!(got, want);
+        assert!(t.window_query(Rect::new(100, 100, 200, 200)).is_empty());
+    }
+
+    #[test]
+    fn remove_and_reinsert_preserves_the_rest() {
+        let mut t: RTree<u64> = RTree::new(4);
+        for i in 0..80u32 {
+            t.insert(Rect::point(i % 16, i / 16), i as u64);
+        }
+        for i in (0..80u32).step_by(2) {
+            assert!(t.remove(Rect::point(i % 16, i / 16), &(i as u64)), "{i}");
+            t.check_invariants();
+        }
+        assert_eq!(t.len(), 40);
+        for i in 0..80u32 {
+            let hits = t.point_query(i % 16, i / 16);
+            let present = hits.contains(&&(i as u64));
+            assert_eq!(present, i % 2 == 1, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn remove_missing_returns_false() {
+        let mut t: RTree<u64> = RTree::new(4);
+        t.insert(Rect::point(1, 1), 7);
+        assert!(!t.remove(Rect::point(1, 1), &8));
+        assert!(!t.remove(Rect::point(2, 2), &7));
+        assert!(t.remove(Rect::point(1, 1), &7));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn rectangles_not_just_points() {
+        let mut t: RTree<&'static str> = RTree::new(4);
+        t.insert(Rect::new(0, 0, 10, 10), "big");
+        t.insert(Rect::new(2, 2, 3, 3), "small");
+        t.insert(Rect::new(20, 20, 25, 25), "far");
+        let hits = t.window_query(Rect::new(1, 1, 4, 4));
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&&"big") && hits.contains(&&"small"));
+    }
+
+    #[test]
+    fn deep_tree_stays_consistent() {
+        let mut t: RTree<u64> = RTree::new(4);
+        let mut x = 1u64;
+        for i in 0..1000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            t.insert(
+                Rect::point((x >> 40) as u32 % 4096, (x >> 20) as u32 % 4096),
+                i,
+            );
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 1000);
+        assert!(t.height() >= 4);
+    }
+}

@@ -1,0 +1,111 @@
+//! Morton (Z-order) encoding of 2-D coordinates.
+//!
+//! Z-ordering maps a 2-D point to a single integer whose order roughly
+//! preserves spatial proximity — points close in the plane tend to be
+//! close on the Z-curve. The paper uses it to order CCAM's secondary
+//! index (§2.1, citing Orenstein & Merrett \[22\]); this reproduction also
+//! uses it to assign node ids in the synthetic road map so that, as in
+//! the paper, "the node-id values ... represent the Z-order of the
+//! location of the nodes in space".
+
+/// Spreads the bits of `v` so bit *i* lands at position *2i*
+/// (`abcd` → `0a0b0c0d`).
+#[inline]
+fn spread(v: u32) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`spread`]: collects every second bit back into a `u32`.
+#[inline]
+fn compact(v: u64) -> u32 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Interleaves `x` and `y` into the Morton code `...y1x1y0x0`.
+///
+/// The full `u32 × u32 → u64` domain is supported and the mapping is a
+/// bijection (see [`z_decode`]).
+#[inline]
+pub fn z_encode(x: u32, y: u32) -> u64 {
+    spread(x) | (spread(y) << 1)
+}
+
+/// Recovers `(x, y)` from a Morton code produced by [`z_encode`].
+#[inline]
+pub fn z_decode(z: u64) -> (u32, u32) {
+    (compact(z), compact(z >> 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(z_encode(0, 0), 0);
+        assert_eq!(z_encode(1, 0), 0b01);
+        assert_eq!(z_encode(0, 1), 0b10);
+        assert_eq!(z_encode(1, 1), 0b11);
+        assert_eq!(z_encode(2, 0), 0b0100);
+        assert_eq!(z_encode(0, 2), 0b1000);
+        assert_eq!(z_encode(3, 3), 0b1111);
+        assert_eq!(z_encode(u32::MAX, u32::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn z_curve_visits_quadrants_in_order() {
+        // Within a 4x4 grid the curve visits the four 2x2 quadrants in
+        // Z order: (0..2)x(0..2), (2..4)x(0..2), (0..2)x(2..4), (2..4)x(2..4).
+        let quadrant = |x: u32, y: u32| (y / 2) * 2 + x / 2;
+        let mut seen = Vec::new();
+        let mut codes: Vec<(u64, u32, u32)> = (0..4)
+            .flat_map(|y| (0..4).map(move |x| (z_encode(x, y), x, y)))
+            .collect();
+        codes.sort();
+        for (_, x, y) in codes {
+            let q = quadrant(x, y);
+            if seen.last() != Some(&q) {
+                seen.push(q);
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(x in any::<u32>(), y in any::<u32>()) {
+            let z = z_encode(x, y);
+            prop_assert_eq!(z_decode(z), (x, y));
+        }
+
+        #[test]
+        fn decode_encode_roundtrip(z in any::<u64>()) {
+            let (x, y) = z_decode(z);
+            prop_assert_eq!(z_encode(x, y), z);
+        }
+
+        /// Monotone in each coordinate when the other is fixed.
+        #[test]
+        fn monotone_per_axis(x in any::<u32>(), y in any::<u32>()) {
+            if x < u32::MAX {
+                prop_assert!(z_encode(x, y) < z_encode(x + 1, y));
+            }
+            if y < u32::MAX {
+                prop_assert!(z_encode(x, y) < z_encode(x, y + 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Fiduccia–Mattheyses single-move refinement \[8\].
+//!
+//! FM improves a bipartition by tentatively moving one node at a time —
+//! always the unlocked node with the highest *gain* (cut-weight decrease)
+//! whose move keeps both sides within the byte-size bounds — locking each
+//! moved node, and finally rolling back to the best prefix of the move
+//! sequence. Passes repeat until a pass yields no improvement.
+//!
+//! The same pass machinery serves two objectives:
+//!
+//! * [`Objective::Cut`] — plain minimum cut (classic FM),
+//! * [`Objective::Ratio`] — Cheng & Wei's ratio cut `cut/(|A|·|B|)`
+//!   (see [`crate::ratiocut`]), where the best *prefix* is chosen by the
+//!   ratio value, which lets the pass drift towards better balance.
+//!
+//! Gains are kept in a lazy max-heap: stale entries (outdated gain or
+//! locked node) are skipped on pop. This keeps a pass at
+//! `O(m log n)` like the classic bucket implementation while staying
+//! simple and safe.
+
+use std::collections::BinaryHeap;
+
+use crate::graph::PartGraph;
+use crate::metrics::cut_weight;
+
+/// What a refinement pass minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Total weight of cut edges.
+    Cut,
+    /// Cheng–Wei ratio cut: `cut / (bytes(A) · bytes(B))`.
+    Ratio,
+}
+
+/// Byte-size bounds each side must respect during refinement.
+#[derive(Debug, Clone, Copy)]
+pub struct Bounds {
+    /// Minimum bytes per side (the paper's `MinPgSize` = half a page).
+    pub min_side: usize,
+    /// Maximum bytes per side.
+    pub max_side: usize,
+}
+
+impl Bounds {
+    /// Bounds for splitting `total` bytes with at least `min_side` per
+    /// side. Falls back to unconstrained when infeasible (e.g. one record
+    /// dominates the subset) — the paper keeps pages "at least half full
+    /// *whenever possible*" (§2.1).
+    pub fn at_least(min_side: usize, total: usize) -> Bounds {
+        if 2 * min_side > total {
+            Bounds {
+                min_side: 0,
+                max_side: total,
+            }
+        } else {
+            Bounds {
+                min_side,
+                max_side: total - min_side,
+            }
+        }
+    }
+}
+
+/// A two-way partition: `side[v]` is false for part A, true for part B.
+#[derive(Debug, Clone)]
+pub struct Bipartition {
+    /// Side assignment per node.
+    pub side: Vec<bool>,
+    /// Weight of the cut.
+    pub cut: u64,
+}
+
+impl Bipartition {
+    /// Nodes of part A (side false).
+    pub fn part_a(&self) -> Vec<usize> {
+        (0..self.side.len()).filter(|&v| !self.side[v]).collect()
+    }
+
+    /// Nodes of part B (side true).
+    pub fn part_b(&self) -> Vec<usize> {
+        (0..self.side.len()).filter(|&v| self.side[v]).collect()
+    }
+}
+
+/// Runs FM to convergence from the given starting sides.
+///
+/// Returns the refined bipartition; `side` is consumed as the start
+/// state. At most `max_passes` passes run (each pass is a full tentative
+/// move sequence with best-prefix rollback).
+pub fn refine(
+    g: &PartGraph,
+    mut side: Vec<bool>,
+    bounds: Bounds,
+    objective: Objective,
+    max_passes: usize,
+) -> Bipartition {
+    assert_eq!(side.len(), g.len());
+    for _ in 0..max_passes {
+        if !one_pass(g, &mut side, bounds, objective) {
+            break;
+        }
+    }
+    let part: Vec<usize> = side.iter().map(|&s| s as usize).collect();
+    let cut = cut_weight(g, &part);
+    Bipartition { side, cut }
+}
+
+/// Classic FM (cut objective) from a deterministic BFS-balanced start.
+pub fn fiduccia_mattheyses(g: &PartGraph, min_side: usize) -> Bipartition {
+    let side = balanced_seed(g);
+    let bounds = Bounds::at_least(min_side, g.total_size());
+    refine(g, side, bounds, Objective::Cut, 16)
+}
+
+/// A deterministic starting bipartition: BFS order from node 0, packing
+/// nodes into side A until half the total bytes. BFS keeps each seed side
+/// connected, which gives refinement a strong start on road networks.
+pub fn balanced_seed(g: &PartGraph) -> Vec<bool> {
+    let mut side = vec![true; g.len()];
+    if g.is_empty() {
+        return side;
+    }
+    let half = g.total_size() / 2;
+    let mut acc = 0usize;
+    for v in g.bfs_order(0) {
+        if acc >= half {
+            break;
+        }
+        side[v] = false;
+        acc += g.size(v);
+    }
+    side
+}
+
+/// Objective value of a state (lower is better).
+fn objective_value(objective: Objective, cut: u64, size_a: usize, size_b: usize) -> f64 {
+    match objective {
+        Objective::Cut => cut as f64,
+        Objective::Ratio => {
+            if size_a == 0 || size_b == 0 {
+                f64::INFINITY
+            } else {
+                cut as f64 / (size_a as f64 * size_b as f64)
+            }
+        }
+    }
+}
+
+/// One FM pass with best-prefix rollback. Returns true when it improved
+/// the objective.
+fn one_pass(g: &PartGraph, side: &mut [bool], bounds: Bounds, objective: Objective) -> bool {
+    let n = g.len();
+    let part: Vec<usize> = side.iter().map(|&s| s as usize).collect();
+    let mut cut = cut_weight(g, &part);
+    let (mut size_a, mut size_b) = side_sizes(g, side);
+    let start_value = objective_value(objective, cut, size_a, size_b);
+
+    // gain[v] = cut decrease if v moves to the other side.
+    let mut gain: Vec<i64> = (0..n)
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .map(|&(u, w)| if side[u] != side[v] { w as i64 } else { -(w as i64) })
+                .sum()
+        })
+        .collect();
+    let mut locked = vec![false; n];
+    let mut heap: BinaryHeap<(i64, usize)> = (0..n).map(|v| (gain[v], v)).collect();
+
+    // The tentative move sequence and the running best prefix.
+    let mut moves: Vec<usize> = Vec::with_capacity(n);
+    let mut best_value = start_value;
+    let mut best_prefix = 0usize;
+    let mut skipped: Vec<(i64, usize)> = Vec::new();
+
+    loop {
+        // Pop the best movable, unlocked, non-stale node. Nodes whose move
+        // would violate the size bounds are set aside and retried after
+        // the next successful move (the balance changes).
+        let mut chosen = None;
+        while let Some((gv, v)) = heap.pop() {
+            if locked[v] || gv != gain[v] {
+                continue; // stale heap entry
+            }
+            let movable = if side[v] {
+                size_b.saturating_sub(g.size(v)) >= bounds.min_side
+                    && size_a + g.size(v) <= bounds.max_side
+            } else {
+                size_a.saturating_sub(g.size(v)) >= bounds.min_side
+                    && size_b + g.size(v) <= bounds.max_side
+            };
+            if movable {
+                chosen = Some((gv, v));
+                break;
+            }
+            skipped.push((gv, v));
+        }
+        let Some((gv, v)) = chosen else { break };
+        // Blocked nodes become candidates again.
+        for e in skipped.drain(..) {
+            heap.push(e);
+        }
+
+        // Apply the move.
+        if side[v] {
+            size_b -= g.size(v);
+            size_a += g.size(v);
+        } else {
+            size_a -= g.size(v);
+            size_b += g.size(v);
+        }
+        side[v] = !side[v];
+        locked[v] = true;
+        cut = (cut as i64 - gv) as u64;
+        moves.push(v);
+
+        // Incremental gain updates for unlocked neighbors.
+        for &(u, w) in g.neighbors(v) {
+            if locked[u] {
+                continue;
+            }
+            // v changed side: edges (u,v) flip between internal/external
+            // for u, shifting u's gain by ±2w.
+            if side[u] == side[v] {
+                gain[u] -= 2 * w as i64;
+            } else {
+                gain[u] += 2 * w as i64;
+            }
+            heap.push((gain[u], u));
+        }
+
+        let value = objective_value(objective, cut, size_a, size_b);
+        if value < best_value {
+            best_value = value;
+            best_prefix = moves.len();
+        }
+    }
+
+    // Roll back every move after the best prefix.
+    for &v in moves.iter().skip(best_prefix) {
+        side[v] = !side[v];
+    }
+    best_value + 1e-12 < start_value
+}
+
+/// Byte sizes of the two sides.
+pub fn side_sizes(g: &PartGraph, side: &[bool]) -> (usize, usize) {
+    let mut a = 0;
+    let mut b = 0;
+    for (v, &s) in side.iter().enumerate() {
+        if s {
+            b += g.size(v);
+        } else {
+            a += g.size(v);
+        }
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques joined by one light edge: the obvious optimum cuts
+    /// only the bridge.
+    fn two_cliques() -> PartGraph {
+        let mut edges = Vec::new();
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                edges.push((a, b, 10));
+                edges.push((a + 4, b + 4, 10));
+            }
+        }
+        edges.push((0, 4, 1)); // bridge
+        PartGraph::new(vec![1; 8], &edges)
+    }
+
+    #[test]
+    fn fm_finds_the_bridge_cut() {
+        let g = two_cliques();
+        let bp = fiduccia_mattheyses(&g, 2);
+        assert_eq!(bp.cut, 1, "should cut only the bridge");
+        // The cliques must be separated whole.
+        let s0 = bp.side[0];
+        assert!(bp.side[..4].iter().all(|&s| s == s0));
+        assert!(bp.side[4..].iter().all(|&s| s != s0));
+    }
+
+    #[test]
+    fn refine_never_worsens_the_cut() {
+        let g = two_cliques();
+        // Deliberately bad start: interleaved.
+        let side: Vec<bool> = (0..8).map(|v| v % 2 == 0).collect();
+        let start_cut = cut_weight(&g, &side.iter().map(|&s| s as usize).collect::<Vec<_>>());
+        let bp = refine(
+            &g,
+            side,
+            Bounds::at_least(2, g.total_size()),
+            Objective::Cut,
+            16,
+        );
+        assert!(bp.cut <= start_cut);
+        assert_eq!(bp.cut, 1);
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let g = two_cliques();
+        let bp = fiduccia_mattheyses(&g, 3);
+        let (a, b) = side_sizes(&g, &bp.side);
+        assert!(a >= 3 && b >= 3, "sides {a}/{b} violate min_side 3");
+    }
+
+    #[test]
+    fn infeasible_bounds_relax() {
+        let b = Bounds::at_least(100, 50);
+        assert_eq!(b.min_side, 0);
+        assert_eq!(b.max_side, 50);
+    }
+
+    #[test]
+    fn variable_node_sizes_respected() {
+        // One 60-byte node and six 10-byte nodes; min side 40 bytes.
+        let g = PartGraph::new(
+            vec![60, 10, 10, 10, 10, 10, 10],
+            &[(0, 1, 1), (1, 2, 5), (2, 3, 5), (3, 4, 5), (4, 5, 5), (5, 6, 5)],
+        );
+        let bp = fiduccia_mattheyses(&g, 40);
+        let (a, b) = side_sizes(&g, &bp.side);
+        assert!(a >= 40 && b >= 40, "sides {a}/{b}");
+    }
+
+    #[test]
+    fn ratio_objective_beats_trivial_cut_on_path() {
+        // A path: plain min-cut with min_side=0 could cut one end edge;
+        // ratio cut prefers the middle.
+        let g = PartGraph::new(
+            vec![1; 8],
+            &(0..7).map(|i| (i, i + 1, 1)).collect::<Vec<_>>(),
+        );
+        let side = balanced_seed(&g);
+        let bp = refine(
+            &g,
+            side,
+            Bounds::at_least(1, g.total_size()),
+            Objective::Ratio,
+            16,
+        );
+        let (a, b) = side_sizes(&g, &bp.side);
+        assert_eq!(bp.cut, 1);
+        assert_eq!(a.min(b), 4, "ratio cut should balance the path halves");
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g = PartGraph::new(vec![], &[]);
+        let bp = fiduccia_mattheyses(&g, 0);
+        assert!(bp.side.is_empty());
+        let g = PartGraph::new(vec![5], &[]);
+        let bp = fiduccia_mattheyses(&g, 0);
+        assert_eq!(bp.cut, 0);
+    }
+}

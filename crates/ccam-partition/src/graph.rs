@@ -1,0 +1,200 @@
+//! The weighted graph the partitioners operate on.
+//!
+//! Nodes are dense indices `0..n`, each with a *size* (the node record's
+//! byte size — page capacities are byte budgets, not record counts, since
+//! CCAM records are variable-length). Edges are undirected with `u64`
+//! weights; parallel edges are merged by summing weights. Directed
+//! network edges are symmetrised before partitioning: an edge split
+//! across pages costs the same I/O whichever direction a query traverses
+//! it, so the clustering objective (WCRR) is inherently undirected.
+
+/// An undirected, edge-weighted, node-sized graph for partitioning.
+#[derive(Debug, Clone)]
+pub struct PartGraph {
+    sizes: Vec<usize>,
+    adj: Vec<Vec<(usize, u64)>>,
+    total_edge_weight: u64,
+}
+
+impl PartGraph {
+    /// Builds a graph with `n` nodes of the given byte `sizes` and the
+    /// undirected weighted `edges` `(u, v, w)`. Self-loops are ignored
+    /// (they can never be cut); parallel edges merge by weight.
+    pub fn new(sizes: Vec<usize>, edges: &[(usize, usize, u64)]) -> Self {
+        let n = sizes.len();
+        let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+        let mut total = 0u64;
+        for &(u, v, w) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range (n={n})");
+            if u == v || w == 0 {
+                continue;
+            }
+            total += w;
+            merge_edge(&mut adj[u], v, w);
+            merge_edge(&mut adj[v], u, w);
+        }
+        PartGraph {
+            sizes,
+            adj,
+            total_edge_weight: total,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Byte size of node `v`.
+    #[inline]
+    pub fn size(&self, v: usize) -> usize {
+        self.sizes[v]
+    }
+
+    /// Sum of all node sizes.
+    pub fn total_size(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+
+    /// Weighted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[(usize, u64)] {
+        &self.adj[v]
+    }
+
+    /// Sum of the weights of all (merged, undirected) edges.
+    pub fn total_edge_weight(&self) -> u64 {
+        self.total_edge_weight
+    }
+
+    /// The subgraph induced by `nodes`. Returns the graph plus the map
+    /// from new index to original index.
+    pub fn induced(&self, nodes: &[usize]) -> (PartGraph, Vec<usize>) {
+        let mut new_of = vec![usize::MAX; self.len()];
+        for (i, &v) in nodes.iter().enumerate() {
+            new_of[v] = i;
+        }
+        let sizes = nodes.iter().map(|&v| self.sizes[v]).collect();
+        let mut edges = Vec::new();
+        for (i, &v) in nodes.iter().enumerate() {
+            for &(u, w) in &self.adj[v] {
+                let j = new_of[u];
+                if j != usize::MAX && j > i {
+                    edges.push((i, j, w));
+                }
+            }
+        }
+        (PartGraph::new(sizes, &edges), nodes.to_vec())
+    }
+
+    /// Nodes in breadth-first order from `start` (used to seed balanced
+    /// initial bipartitions); unreachable nodes follow in index order.
+    pub fn bfs_order(&self, start: usize) -> Vec<usize> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::new();
+        let mut next_root = start;
+        loop {
+            if !seen[next_root] {
+                seen[next_root] = true;
+                queue.push_back(next_root);
+                while let Some(v) = queue.pop_front() {
+                    order.push(v);
+                    for &(u, _) in &self.adj[v] {
+                        if !seen[u] {
+                            seen[u] = true;
+                            queue.push_back(u);
+                        }
+                    }
+                }
+            }
+            match (0..n).find(|&v| !seen[v]) {
+                Some(v) => next_root = v,
+                None => break,
+            }
+        }
+        order
+    }
+}
+
+fn merge_edge(adj: &mut Vec<(usize, u64)>, v: usize, w: u64) {
+    if let Some(e) = adj.iter_mut().find(|(u, _)| *u == v) {
+        e.1 += w;
+    } else {
+        adj.push((v, w));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> PartGraph {
+        PartGraph::new(vec![10, 20, 30], &[(0, 1, 1), (1, 2, 2), (0, 2, 3)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.size(1), 20);
+        assert_eq!(g.total_size(), 60);
+        assert_eq!(g.total_edge_weight(), 6);
+        assert_eq!(g.neighbors(0).len(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let g = PartGraph::new(vec![1, 1], &[(0, 1, 2), (1, 0, 3), (0, 1, 5)]);
+        assert_eq!(g.neighbors(0), &[(1, 10)]);
+        assert_eq!(g.total_edge_weight(), 10);
+    }
+
+    #[test]
+    fn self_loops_and_zero_weights_ignored() {
+        let g = PartGraph::new(vec![1, 1], &[(0, 0, 9), (0, 1, 0), (0, 1, 4)]);
+        assert_eq!(g.neighbors(0), &[(1, 4)]);
+        assert_eq!(g.total_edge_weight(), 4);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps() {
+        let g = PartGraph::new(
+            vec![1, 2, 3, 4],
+            &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (0, 3, 4)],
+        );
+        let (sub, back) = g.induced(&[1, 2, 3]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(back, vec![1, 2, 3]);
+        assert_eq!(sub.size(0), 2); // node 1's size
+        // Edges (1,2) and (2,3) survive; (0,1) and (0,3) are cut away.
+        assert_eq!(sub.total_edge_weight(), 5);
+    }
+
+    #[test]
+    fn bfs_order_visits_everything_once() {
+        let g = PartGraph::new(
+            vec![1; 6],
+            &[(0, 1, 1), (1, 2, 1), (3, 4, 1)], // node 5 isolated
+        );
+        let order = g.bfs_order(0);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+        // Component of 0 comes first.
+        assert_eq!(&order[..3], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = PartGraph::new(vec![], &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.total_edge_weight(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Graph-partitioning substrate for the CCAM reproduction.
+//!
+//! CCAM "clusters the nodes of the network via graph partitioning, using
+//! the ratio-cut heuristic" (paper §2). This crate implements that
+//! machinery from scratch:
+//!
+//! * [`graph`] — the weighted, node-sized partitioning graph,
+//! * [`kl`] — Kernighan–Lin pairwise-swap refinement \[15\],
+//! * [`fm`] — Fiduccia–Mattheyses single-move refinement with gain
+//!   buckets \[8\],
+//! * [`ratiocut`] — an adaptation of Cheng & Wei's two-way ratio-cut
+//!   heuristic \[5\], the partitioner the paper uses,
+//! * [`recursive`] — the paper's `cluster-nodes-into-pages()` procedure
+//!   (Figure 2): recursive two-way splitting until every subset fits a
+//!   page, each at least half full whenever possible,
+//! * [`multiway`] — direct m-way partitioning (the paper notes it "may be
+//!   used to further improve the result", §2.2) for the ablation bench,
+//! * [`metrics`] — cut weight, ratio-cut objective and residue ratios.
+//!
+//! Edge weights are integers (`u64`): in CCAM they are access
+//! frequencies — either 1 (uniform CRR experiments) or counts derived
+//! from a route workload (WCRR experiments).
+
+pub mod fm;
+pub mod graph;
+pub mod kl;
+pub mod metrics;
+pub mod multiway;
+pub mod ratiocut;
+pub mod recursive;
+
+pub use graph::PartGraph;
+pub use metrics::{cut_weight, ratio_cut_cost, residue_ratio};
+pub use multiway::{m_way_cluster, refine_m_way};
+pub use recursive::{cluster_nodes_into_pages, Partitioner};

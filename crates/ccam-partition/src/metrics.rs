@@ -1,0 +1,98 @@
+//! Partition quality metrics: cut weight, the ratio-cut objective, and
+//! the residue ratio (the in-partition analogue of the paper's CRR).
+
+use crate::graph::PartGraph;
+
+/// Sum of the weights of edges whose endpoints lie in different parts.
+///
+/// `part[v]` is the part id of node `v` (any `usize` labels).
+pub fn cut_weight(g: &PartGraph, part: &[usize]) -> u64 {
+    assert_eq!(part.len(), g.len());
+    let mut cut = 0u64;
+    for v in 0..g.len() {
+        for &(u, w) in g.neighbors(v) {
+            if u > v && part[u] != part[v] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+/// Cheng & Wei's ratio-cut objective for a bipartition:
+/// `cut / (size(A) · size(B))`. Lower is better; the denominator rewards
+/// balanced cuts without a hard balance constraint. Returns `f64::INFINITY`
+/// for a degenerate (one-sided) bipartition.
+pub fn ratio_cut_cost(g: &PartGraph, side: &[bool]) -> f64 {
+    assert_eq!(side.len(), g.len());
+    let (mut sa, mut sb) = (0usize, 0usize);
+    for (v, &s) in side.iter().enumerate() {
+        if s {
+            sb += g.size(v);
+        } else {
+            sa += g.size(v);
+        }
+    }
+    if sa == 0 || sb == 0 {
+        return f64::INFINITY;
+    }
+    let part: Vec<usize> = side.iter().map(|&s| s as usize).collect();
+    cut_weight(g, &part) as f64 / (sa as f64 * sb as f64)
+}
+
+/// Fraction of total edge weight that is *not* cut — the partitioning
+/// analogue of the paper's (W)CRR: with unit weights this is exactly the
+/// Connectivity Residue Ratio of storing each part on one page.
+/// Returns 1.0 for an edgeless graph (nothing can be split).
+pub fn residue_ratio(g: &PartGraph, part: &[usize]) -> f64 {
+    let total = g.total_edge_weight();
+    if total == 0 {
+        return 1.0;
+    }
+    1.0 - cut_weight(g, part) as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> PartGraph {
+        // 0 - 1 - 2 - 3 with weights 1, 2, 3
+        PartGraph::new(vec![1; 4], &[(0, 1, 1), (1, 2, 2), (2, 3, 3)])
+    }
+
+    #[test]
+    fn cut_weight_counts_cross_edges_once() {
+        let g = path4();
+        assert_eq!(cut_weight(&g, &[0, 0, 1, 1]), 2);
+        assert_eq!(cut_weight(&g, &[0, 1, 0, 1]), 6);
+        assert_eq!(cut_weight(&g, &[0, 0, 0, 0]), 0);
+        assert_eq!(cut_weight(&g, &[0, 1, 2, 3]), 6);
+    }
+
+    #[test]
+    fn ratio_cut_prefers_balanced() {
+        let g = path4();
+        // Balanced middle cut: 2 / (2*2) = 0.5
+        let balanced = ratio_cut_cost(&g, &[false, false, true, true]);
+        // Unbalanced end cut: 1 / (1*3) ≈ 0.333 — cheaper cut wins here
+        let end = ratio_cut_cost(&g, &[false, true, true, true]);
+        assert!((balanced - 0.5).abs() < 1e-12);
+        assert!((end - 1.0 / 3.0).abs() < 1e-12);
+        assert!(ratio_cut_cost(&g, &[false; 4]).is_infinite());
+    }
+
+    #[test]
+    fn residue_ratio_complements_cut() {
+        let g = path4();
+        let rr = residue_ratio(&g, &[0, 0, 1, 1]);
+        assert!((rr - (1.0 - 2.0 / 6.0)).abs() < 1e-12);
+        assert_eq!(residue_ratio(&g, &[0, 0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn residue_ratio_of_edgeless_graph_is_one() {
+        let g = PartGraph::new(vec![1, 1], &[]);
+        assert_eq!(residue_ratio(&g, &[0, 1]), 1.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! The paper's `cluster-nodes-into-pages()` procedure (Figure 2).
+//!
+//! Top-down clustering: keep a frontier `F` of over-page-size node sets,
+//! repeatedly 2-way partition one (with each side at least
+//! `MinPgSize = ⌈page-size/2⌉` bytes when feasible) and route the halves
+//! back to `F` (still too big) or to the result `P` (fits a page).
+//! `sizeof(A) = Σ record sizes`, exactly as in the paper.
+
+use crate::fm::Bipartition;
+use crate::graph::PartGraph;
+use crate::{fm, kl, ratiocut};
+
+/// Which two-way partitioning heuristic drives the clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Cheng & Wei's ratio cut — the paper's choice.
+    RatioCut,
+    /// Fiduccia–Mattheyses min-cut.
+    FiducciaMattheyses,
+    /// Kernighan–Lin pairwise swaps.
+    KernighanLin,
+}
+
+impl Partitioner {
+    /// Runs the selected heuristic on `g` with a per-side minimum byte
+    /// size.
+    pub fn bipartition(self, g: &PartGraph, min_side: usize) -> Bipartition {
+        match self {
+            Partitioner::RatioCut => ratiocut::two_way_ratio_cut(g, min_side),
+            Partitioner::FiducciaMattheyses => fm::fiduccia_mattheyses(g, min_side),
+            Partitioner::KernighanLin => kl::kernighan_lin(g, min_side),
+        }
+    }
+}
+
+/// Clusters the nodes of `g` into pages of at most `page_size` bytes
+/// (Figure 2 of the paper). Returns the pages as lists of node indices.
+///
+/// Every returned page satisfies `sizeof(page) <= page_size`; pages are
+/// at least half full whenever the partitioner can achieve it (the
+/// `MinPgSize` bound is relaxed only for degenerate subsets, mirroring
+/// "kept at least half full whenever possible", §2.1).
+///
+/// Panics if any single record exceeds `page_size` — such a record can
+/// never be stored.
+///
+/// ```
+/// use ccam_partition::{cluster_nodes_into_pages, PartGraph, Partitioner};
+///
+/// // A 6-node path of 40-byte records, 100-byte pages.
+/// let g = PartGraph::new(
+///     vec![40; 6],
+///     &(0..5).map(|i| (i, i + 1, 1)).collect::<Vec<_>>(),
+/// );
+/// let pages = cluster_nodes_into_pages(&g, 100, Partitioner::RatioCut);
+/// // Every node exactly once, every page within budget.
+/// assert_eq!(pages.iter().map(|p| p.len()).sum::<usize>(), 6);
+/// assert!(pages.iter().all(|p| p.len() * 40 <= 100));
+/// ```
+pub fn cluster_nodes_into_pages(
+    g: &PartGraph,
+    page_size: usize,
+    partitioner: Partitioner,
+) -> Vec<Vec<usize>> {
+    for v in 0..g.len() {
+        assert!(
+            g.size(v) <= page_size,
+            "record of node {v} ({} bytes) exceeds the page size {page_size}",
+            g.size(v)
+        );
+    }
+    let min_pg_size = page_size.div_ceil(2);
+    let mut result: Vec<Vec<usize>> = Vec::new();
+    let mut frontier: Vec<Vec<usize>> = vec![(0..g.len()).collect()];
+
+    while let Some(subset) = frontier.pop() {
+        let size: usize = subset.iter().map(|&v| g.size(v)).sum();
+        if size <= page_size {
+            if !subset.is_empty() {
+                result.push(subset);
+            }
+            continue;
+        }
+        let (sub, back) = g.induced(&subset);
+        let bp = partitioner.bipartition(&sub, min_pg_size);
+        let mut a: Vec<usize> = bp.part_a().into_iter().map(|v| back[v]).collect();
+        let mut b: Vec<usize> = bp.part_b().into_iter().map(|v| back[v]).collect();
+        if a.is_empty() || b.is_empty() {
+            // Degenerate bipartition (e.g. unsplittable weights): force
+            // progress by halving the subset by byte size.
+            let mut all = if a.is_empty() { b } else { a };
+            all.sort_unstable();
+            let total: usize = all.iter().map(|&v| g.size(v)).sum();
+            let mut acc = 0usize;
+            let mut first = Vec::new();
+            let mut second = Vec::new();
+            for v in all {
+                if acc < total / 2 {
+                    acc += g.size(v);
+                    first.push(v);
+                } else {
+                    second.push(v);
+                }
+            }
+            a = first;
+            b = second;
+        }
+        for half in [a, b] {
+            let half_size: usize = half.iter().map(|&v| g.size(v)).sum();
+            if half_size > page_size {
+                frontier.push(half);
+            } else if !half.is_empty() {
+                result.push(half);
+            }
+        }
+    }
+    pack_groups(g, result, page_size)
+}
+
+/// Greedy post-pass: merges clustered groups that fit on one page
+/// together, most-connected pairs first. Merging never splits an edge —
+/// it can only *unsplit* inter-group edges — so CRR is monotonically
+/// non-decreasing while the blocking factor rises towards the paper's
+/// well-packed files.
+pub fn pack_groups(g: &PartGraph, mut groups: Vec<Vec<usize>>, page_size: usize) -> Vec<Vec<usize>> {
+    loop {
+        let k = groups.len();
+        if k < 2 {
+            return groups;
+        }
+        let mut group_of = vec![usize::MAX; g.len()];
+        for (gi, group) in groups.iter().enumerate() {
+            for &v in group {
+                group_of[v] = gi;
+            }
+        }
+        let sizes: Vec<usize> = groups
+            .iter()
+            .map(|gr| gr.iter().map(|&v| g.size(v)).sum())
+            .collect();
+        // Inter-group edge weights.
+        let mut weight: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        for v in 0..g.len() {
+            for &(u, w) in g.neighbors(v) {
+                if u > v && group_of[u] != group_of[v] {
+                    let key = (group_of[u].min(group_of[v]), group_of[u].max(group_of[v]));
+                    *weight.entry(key).or_insert(0) += w;
+                }
+            }
+        }
+        // Best feasible merge: heaviest connected pair that fits; fall
+        // back to the smallest two groups that fit (connectivity-free
+        // packing still helps the blocking factor).
+        let mut best: Option<(u64, usize, usize)> = None;
+        for (&(a, b), &w) in &weight {
+            if sizes[a] + sizes[b] <= page_size && best.map(|(bw, _, _)| w > bw).unwrap_or(true) {
+                best = Some((w, a, b));
+            }
+        }
+        if best.is_none() {
+            let mut order: Vec<usize> = (0..k).collect();
+            order.sort_by_key(|&i| sizes[i]);
+            if sizes[order[0]] + sizes[order[1]] <= page_size {
+                best = Some((0, order[0].min(order[1]), order[0].max(order[1])));
+            }
+        }
+        let Some((_, a, b)) = best else { return groups };
+        let merged = groups.remove(b);
+        groups[a].extend(merged);
+    }
+}
+
+/// Verifies a page clustering is a true partition within the size budget
+/// (test-support API): every node exactly once, every page within
+/// `page_size` bytes.
+pub fn check_clustering(g: &PartGraph, pages: &[Vec<usize>], page_size: usize) {
+    let mut seen = vec![false; g.len()];
+    for page in pages {
+        let size: usize = page.iter().map(|&v| g.size(v)).sum();
+        assert!(size <= page_size, "page of {size} bytes exceeds {page_size}");
+        for &v in page {
+            assert!(!seen[v], "node {v} assigned twice");
+            seen[v] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "some node left unassigned");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::residue_ratio;
+
+    fn grid(n: usize) -> PartGraph {
+        let idx = |x: usize, y: usize| y * n + x;
+        let mut edges = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                if x + 1 < n {
+                    edges.push((idx(x, y), idx(x + 1, y), 1));
+                }
+                if y + 1 < n {
+                    edges.push((idx(x, y), idx(x, y + 1), 1));
+                }
+            }
+        }
+        PartGraph::new(vec![16; n * n], &edges)
+    }
+
+    #[test]
+    fn fits_single_page() {
+        let g = grid(2); // 4 nodes * 16 bytes = 64
+        let pages = cluster_nodes_into_pages(&g, 64, Partitioner::RatioCut);
+        assert_eq!(pages.len(), 1);
+        check_clustering(&g, &pages, 64);
+    }
+
+    #[test]
+    fn clustering_is_a_partition_for_every_heuristic() {
+        let g = grid(8); // 64 nodes * 16 = 1024 bytes
+        for p in [
+            Partitioner::RatioCut,
+            Partitioner::FiducciaMattheyses,
+            Partitioner::KernighanLin,
+        ] {
+            let pages = cluster_nodes_into_pages(&g, 128, p);
+            check_clustering(&g, &pages, 128);
+            // 1024 bytes / 128 per page = at least 8 pages.
+            assert!(pages.len() >= 8, "{p:?} produced {} pages", pages.len());
+        }
+    }
+
+    #[test]
+    fn pages_are_mostly_half_full() {
+        let g = grid(8);
+        let pages = cluster_nodes_into_pages(&g, 128, Partitioner::RatioCut);
+        let half_full = pages
+            .iter()
+            .filter(|p| p.iter().map(|&v| g.size(v)).sum::<usize>() >= 64)
+            .count();
+        assert!(
+            half_full * 10 >= pages.len() * 8,
+            "only {half_full}/{} pages at least half full",
+            pages.len()
+        );
+    }
+
+    #[test]
+    fn connectivity_clustering_beats_arbitrary_assignment() {
+        let g = grid(10);
+        let pages = cluster_nodes_into_pages(&g, 128, Partitioner::RatioCut);
+        let mut part = vec![0usize; g.len()];
+        for (i, page) in pages.iter().enumerate() {
+            for &v in page {
+                part[v] = i;
+            }
+        }
+        let clustered = residue_ratio(&g, &part);
+        // Round-robin strawman with the same page count.
+        let k = pages.len();
+        let strawman: Vec<usize> = (0..g.len()).map(|v| v % k).collect();
+        let scattered = residue_ratio(&g, &strawman);
+        assert!(
+            clustered > scattered + 0.2,
+            "clustered {clustered:.3} vs scattered {scattered:.3}"
+        );
+    }
+
+    #[test]
+    fn oversized_record_panics() {
+        let g = PartGraph::new(vec![100], &[]);
+        let r = std::panic::catch_unwind(|| {
+            cluster_nodes_into_pages(&g, 64, Partitioner::RatioCut)
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn variable_record_sizes() {
+        // Mixed 10..50-byte records on a path.
+        let sizes: Vec<usize> = (0..30).map(|i| 10 + (i * 7) % 41).collect();
+        let edges: Vec<(usize, usize, u64)> = (0..29).map(|i| (i, i + 1, 1)).collect();
+        let g = PartGraph::new(sizes, &edges);
+        let pages = cluster_nodes_into_pages(&g, 100, Partitioner::RatioCut);
+        check_clustering(&g, &pages, 100);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_pages() {
+        let g = PartGraph::new(vec![], &[]);
+        assert!(cluster_nodes_into_pages(&g, 64, Partitioner::RatioCut).is_empty());
+    }
+}

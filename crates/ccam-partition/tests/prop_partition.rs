@@ -1,0 +1,97 @@
+//! Property tests: every partitioner, on any random graph, produces a
+//! true partition that respects the size bounds, and the clustering
+//! pipeline never loses or duplicates nodes.
+
+use ccam_partition::fm::side_sizes;
+use ccam_partition::recursive::check_clustering;
+use ccam_partition::{cluster_nodes_into_pages, cut_weight, PartGraph, Partitioner};
+use proptest::prelude::*;
+
+/// A random connected-ish graph: a Hamiltonian path (guarantees one
+/// component per index range) plus random extra edges, with bounded
+/// record sizes.
+fn arb_graph() -> impl Strategy<Value = PartGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        let extra = prop::collection::vec((0..n, 0..n, 1u64..5), 0..n * 2);
+        let sizes = prop::collection::vec(8usize..40, n);
+        (Just(n), sizes, extra).prop_map(|(n, sizes, extra)| {
+            let mut edges: Vec<(usize, usize, u64)> =
+                (0..n - 1).map(|i| (i, i + 1, 1)).collect();
+            edges.extend(extra);
+            PartGraph::new(sizes, &edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bipartitions from all three heuristics cover each node exactly
+    /// once and report the correct cut weight.
+    #[test]
+    fn bipartition_is_sound(g in arb_graph()) {
+        for p in [Partitioner::RatioCut, Partitioner::FiducciaMattheyses, Partitioner::KernighanLin] {
+            let bp = p.bipartition(&g, 0);
+            prop_assert_eq!(bp.side.len(), g.len());
+            let part: Vec<usize> = bp.side.iter().map(|&s| s as usize).collect();
+            prop_assert_eq!(bp.cut, cut_weight(&g, &part), "{:?}", p);
+        }
+    }
+
+    /// With a feasible min-side bound, both sides respect it.
+    #[test]
+    fn bipartition_respects_feasible_bounds(g in arb_graph()) {
+        let total = g.total_size();
+        let max_record = (0..g.len()).map(|v| g.size(v)).max().unwrap();
+        // A bound that is always achievable: one max record per side.
+        let min_side = max_record.min(total / 4);
+        for p in [Partitioner::RatioCut, Partitioner::FiducciaMattheyses] {
+            let bp = p.bipartition(&g, min_side);
+            let (a, b) = side_sizes(&g, &bp.side);
+            if a > 0 && b > 0 {
+                prop_assert!(a >= min_side.min(a + b - min_side));
+            }
+            prop_assert_eq!(a + b, total);
+        }
+    }
+
+    /// cluster-nodes-into-pages always yields a size-respecting partition
+    /// for every heuristic and assorted page sizes.
+    #[test]
+    fn clustering_always_partitions(g in arb_graph(), page_mult in 2usize..6) {
+        let max_record = (0..g.len()).map(|v| g.size(v)).max().unwrap();
+        let page_size = max_record * page_mult;
+        for p in [Partitioner::RatioCut, Partitioner::FiducciaMattheyses, Partitioner::KernighanLin] {
+            let pages = cluster_nodes_into_pages(&g, page_size, p);
+            check_clustering(&g, &pages, page_size);
+        }
+    }
+
+    /// FM refinement never worsens the cut of an arbitrary starting
+    /// bipartition.
+    #[test]
+    fn refinement_never_worsens(g in arb_graph(), seed_bits in prop::collection::vec(any::<bool>(), 2..40)) {
+        use ccam_partition::fm::{refine, Bounds, Objective};
+        let side: Vec<bool> = (0..g.len()).map(|v| seed_bits[v % seed_bits.len()]).collect();
+        let start_part: Vec<usize> = side.iter().map(|&s| s as usize).collect();
+        let start_cut = cut_weight(&g, &start_part);
+        let bp = refine(&g, side, Bounds::at_least(0, g.total_size()), Objective::Cut, 8);
+        prop_assert!(bp.cut <= start_cut, "refined {} > start {}", bp.cut, start_cut);
+    }
+
+    /// The clustered residue ratio is always within \[0, 1\] and at least
+    /// as good as the worst case 0.
+    #[test]
+    fn residue_ratio_in_unit_interval(g in arb_graph(), page_mult in 2usize..6) {
+        let max_record = (0..g.len()).map(|v| g.size(v)).max().unwrap();
+        let pages = cluster_nodes_into_pages(&g, max_record * page_mult, Partitioner::RatioCut);
+        let mut part = vec![0usize; g.len()];
+        for (i, page) in pages.iter().enumerate() {
+            for &v in page {
+                part[v] = i;
+            }
+        }
+        let rr = ccam_partition::residue_ratio(&g, &part);
+        prop_assert!((0.0..=1.0).contains(&rr), "rr = {rr}");
+    }
+}

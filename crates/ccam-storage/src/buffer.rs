@@ -1,0 +1,419 @@
+//! LRU buffer manager with counted page accesses.
+//!
+//! Every page request from the access-method layer flows through
+//! [`BufferPool`]. A request for a non-resident page evicts the least
+//! recently used frame (writing it back if dirty) and counts one
+//! *data-page access* — the unit the paper's experiments report. Requests
+//! for resident pages are buffer hits and cost nothing, which is exactly
+//! the behaviour the `Get-A-successor()` description relies on ("the
+//! buffered data-page containing the node is likely to contain the
+//! specified successor node if CRR is high", §2.3).
+//!
+//! The pool exposes closure-based access (`with_page` / `with_page_mut`)
+//! instead of guard objects: all experiments are single-threaded, and the
+//! closure style keeps lifetimes simple while still allowing interior
+//! mutability behind a `parking_lot::Mutex`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::PageId;
+use crate::stats::IoStats;
+use crate::store::PageStore;
+
+struct Frame {
+    id: PageId,
+    data: Box<[u8]>,
+    dirty: bool,
+    last_used: u64,
+}
+
+struct Inner<S: PageStore> {
+    store: S,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    capacity: usize,
+    tick: u64,
+}
+
+/// An LRU buffer pool over a [`PageStore`].
+pub struct BufferPool<S: PageStore> {
+    inner: Mutex<Inner<S>>,
+    stats: Arc<IoStats>,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Wraps `store` with a pool of `capacity` frames (≥ 1).
+    pub fn new(store: S, capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool {
+            inner: Mutex::new(Inner {
+                store,
+                frames: Vec::new(),
+                map: HashMap::new(),
+                capacity,
+                tick: 0,
+            }),
+            stats: IoStats::new_shared(),
+        }
+    }
+
+    /// Shared I/O counters (bumped by this pool).
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Page size of the underlying store.
+    pub fn page_size(&self) -> usize {
+        self.inner.lock().store.page_size()
+    }
+
+    /// Changes the frame budget, evicting (and writing back) surplus
+    /// frames immediately. Experiments use this to switch between the
+    /// paper's "one buffer with the size of one data page" (route
+    /// evaluation, §4.3) and larger update buffers.
+    pub fn set_capacity(&self, capacity: usize) -> StorageResult<()> {
+        assert!(capacity >= 1);
+        let mut inner = self.inner.lock();
+        inner.capacity = capacity;
+        while inner.frames.len() > capacity {
+            let victim = inner.lru_victim();
+            inner.evict(victim, &self.stats)?;
+        }
+        Ok(())
+    }
+
+    /// Current frame budget.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Allocates a fresh page in the store (counted in the stats but not
+    /// faulted into the pool — callers typically write it next, which
+    /// faults it in as one access).
+    pub fn allocate(&self) -> StorageResult<PageId> {
+        let mut inner = self.inner.lock();
+        let id = inner.store.allocate()?;
+        self.stats.record_alloc();
+        Ok(id)
+    }
+
+    /// Frees `id`, dropping any buffered copy.
+    pub fn free(&self, id: PageId) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        if let Some(idx) = inner.map.remove(&id) {
+            inner.drop_frame(idx);
+        }
+        inner.store.free(id)?;
+        self.stats.record_free();
+        Ok(())
+    }
+
+    /// Runs `f` over the (read-only) contents of page `id`.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> StorageResult<R> {
+        let mut inner = self.inner.lock();
+        let idx = inner.fault_in(id, &self.stats)?;
+        Ok(f(&inner.frames[idx].data))
+    }
+
+    /// Runs `f` over the mutable contents of page `id`, marking it dirty.
+    pub fn with_page_mut<R>(
+        &self,
+        id: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> StorageResult<R> {
+        let mut inner = self.inner.lock();
+        let idx = inner.fault_in(id, &self.stats)?;
+        inner.frames[idx].dirty = true;
+        Ok(f(&mut inner.frames[idx].data))
+    }
+
+    /// True when `id` is resident (a `Get-A-successor` probe: "the
+    /// buffered data-page should be searched first").
+    pub fn is_resident(&self, id: PageId) -> bool {
+        self.inner.lock().map.contains_key(&id)
+    }
+
+    /// Ids of currently resident pages, most recently used first. Used by
+    /// `Get-successors()` to "check all pages brought into main memory
+    /// buffers ... without additional Find() operations" (§2.3).
+    pub fn resident_pages(&self) -> Vec<PageId> {
+        let inner = self.inner.lock();
+        let mut ids: Vec<(u64, PageId)> = inner
+            .frames
+            .iter()
+            .map(|fr| (fr.last_used, fr.id))
+            .collect();
+        ids.sort_unstable_by_key(|&(tick, _)| std::cmp::Reverse(tick));
+        ids.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Writes back every dirty frame (frames stay resident).
+    pub fn flush_all(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        for i in 0..inner.frames.len() {
+            if inner.frames[i].dirty {
+                let id = inner.frames[i].id;
+                // Split borrow: copy out, then write.
+                let data = inner.frames[i].data.clone();
+                inner.store.write(id, &data)?;
+                inner.frames[i].dirty = false;
+                self.stats.record_write();
+            }
+        }
+        inner.store.sync()?;
+        Ok(())
+    }
+
+    /// Writes back and evicts every frame — the harness calls this before
+    /// each measured operation so the operation starts cold, matching the
+    /// paper's per-operation "average number of data page accesses".
+    pub fn clear(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        while let Some(frame) = inner.frames.last() {
+            let id = frame.id;
+            let idx = inner.map[&id];
+            inner.evict(idx, &self.stats)?;
+        }
+        inner.store.sync()?;
+        Ok(())
+    }
+
+    /// Read-only access to the underlying store (page geometry, live-page
+    /// enumeration for CRR scans).
+    pub fn with_store<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        let inner = self.inner.lock();
+        f(&inner.store)
+    }
+
+    /// Flushes dirty frames and syncs the store (alias of
+    /// [`Self::flush_all`] for API clarity at shutdown).
+    pub fn flush(&self) -> StorageResult<()> {
+        self.flush_all()
+    }
+}
+
+/// Dirty frames are written back when the pool drops, so a file-backed
+/// database closed without an explicit flush still persists its data
+/// (errors at drop time are necessarily swallowed — call
+/// [`BufferPool::flush_all`] to observe them).
+impl<S: PageStore> Drop for BufferPool<S> {
+    fn drop(&mut self) {
+        let mut inner = self.inner.lock();
+        for i in 0..inner.frames.len() {
+            if inner.frames[i].dirty {
+                let id = inner.frames[i].id;
+                let data = inner.frames[i].data.clone();
+                let _ = inner.store.write(id, &data);
+                inner.frames[i].dirty = false;
+            }
+        }
+        let _ = inner.store.sync();
+    }
+}
+
+impl<S: PageStore> Inner<S> {
+    /// Index of the least-recently-used frame.
+    fn lru_victim(&self) -> usize {
+        self.frames
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, fr)| fr.last_used)
+            .map(|(i, _)| i)
+            .expect("lru_victim on empty pool")
+    }
+
+    /// Removes frame `idx` without write-back (caller handles dirtiness),
+    /// fixing up the map for the swapped-in frame.
+    fn drop_frame(&mut self, idx: usize) {
+        let last = self.frames.len() - 1;
+        self.frames.swap(idx, last);
+        let removed = self.frames.pop().expect("frame present");
+        self.map.remove(&removed.id);
+        if idx <= last && idx < self.frames.len() {
+            let moved_id = self.frames[idx].id;
+            self.map.insert(moved_id, idx);
+        }
+    }
+
+    /// Writes back (if dirty) and drops frame `idx`.
+    fn evict(&mut self, idx: usize, stats: &IoStats) -> StorageResult<()> {
+        if self.frames[idx].dirty {
+            let id = self.frames[idx].id;
+            let data = self.frames[idx].data.clone();
+            self.store.write(id, &data)?;
+            stats.record_write();
+        }
+        self.drop_frame(idx);
+        Ok(())
+    }
+
+    /// Ensures page `id` is resident; returns its frame index.
+    fn fault_in(&mut self, id: PageId, stats: &IoStats) -> StorageResult<usize> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(&idx) = self.map.get(&id) {
+            self.frames[idx].last_used = tick;
+            stats.record_hit();
+            return Ok(idx);
+        }
+        if !self.store.is_live(id) {
+            return Err(StorageError::InvalidPage(id));
+        }
+        while self.frames.len() >= self.capacity {
+            let victim = self.lru_victim();
+            self.evict(victim, stats)?;
+        }
+        let mut data = vec![0u8; self.store.page_size()].into_boxed_slice();
+        self.store.read(id, &mut data)?;
+        stats.record_read();
+        let idx = self.frames.len();
+        self.frames.push(Frame {
+            id,
+            data,
+            dirty: false,
+            last_used: tick,
+        });
+        self.map.insert(id, idx);
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemPageStore;
+
+    fn pool(cap: usize) -> BufferPool<MemPageStore> {
+        BufferPool::new(MemPageStore::new(128).unwrap(), cap)
+    }
+
+    #[test]
+    fn read_after_write_through_pool() {
+        let p = pool(4);
+        let a = p.allocate().unwrap();
+        p.with_page_mut(a, |buf| buf.fill(0x5a)).unwrap();
+        let all = p.with_page(a, |buf| buf.iter().all(|&x| x == 0x5a)).unwrap();
+        assert!(all);
+    }
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let p = pool(2);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.with_page(a, |_| ()).unwrap(); // miss
+        p.with_page(a, |_| ()).unwrap(); // hit
+        p.with_page(b, |_| ()).unwrap(); // miss
+        let s = p.stats().snapshot();
+        assert_eq!(s.physical_reads, 2);
+        assert_eq!(s.buffer_hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let p = pool(2);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        let c = p.allocate().unwrap();
+        p.with_page(a, |_| ()).unwrap();
+        p.with_page(b, |_| ()).unwrap();
+        p.with_page(a, |_| ()).unwrap(); // a is now MRU
+        p.with_page(c, |_| ()).unwrap(); // evicts b
+        assert!(p.is_resident(a));
+        assert!(!p.is_resident(b));
+        assert!(p.is_resident(c));
+    }
+
+    #[test]
+    fn dirty_pages_written_back_on_eviction() {
+        let p = pool(1);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.with_page_mut(a, |buf| buf.fill(7)).unwrap();
+        p.with_page(b, |_| ()).unwrap(); // evicts dirty a
+        assert_eq!(p.stats().snapshot().physical_writes, 1);
+        // Re-reading a shows the persisted bytes.
+        let ok = p.with_page(a, |buf| buf.iter().all(|&x| x == 7)).unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn clear_makes_next_access_cold() {
+        let p = pool(4);
+        let a = p.allocate().unwrap();
+        p.with_page_mut(a, |buf| buf.fill(9)).unwrap();
+        p.clear().unwrap();
+        assert!(!p.is_resident(a));
+        let before = p.stats().snapshot();
+        p.with_page(a, |_| ()).unwrap();
+        let delta = p.stats().snapshot().since(&before);
+        assert_eq!(delta.physical_reads, 1);
+    }
+
+    #[test]
+    fn resident_pages_ordered_mru_first() {
+        let p = pool(3);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        let c = p.allocate().unwrap();
+        p.with_page(a, |_| ()).unwrap();
+        p.with_page(b, |_| ()).unwrap();
+        p.with_page(c, |_| ()).unwrap();
+        p.with_page(a, |_| ()).unwrap();
+        assert_eq!(p.resident_pages(), vec![a, c, b]);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let p = pool(3);
+        let ids: Vec<_> = (0..3).map(|_| p.allocate().unwrap()).collect();
+        for &id in &ids {
+            p.with_page_mut(id, |buf| buf.fill(1)).unwrap();
+        }
+        p.set_capacity(1).unwrap();
+        assert_eq!(p.resident_pages().len(), 1);
+        // Dirty evictees must have been written back.
+        assert!(p.stats().snapshot().physical_writes >= 2);
+        for &id in &ids {
+            let ok = p.with_page(id, |buf| buf.iter().all(|&x| x == 1)).unwrap();
+            assert!(ok);
+        }
+    }
+
+    #[test]
+    fn freeing_resident_page_drops_frame() {
+        let p = pool(2);
+        let a = p.allocate().unwrap();
+        p.with_page(a, |_| ()).unwrap();
+        p.free(a).unwrap();
+        assert!(!p.is_resident(a));
+        assert!(p.with_page(a, |_| ()).is_err());
+    }
+
+    #[test]
+    fn drop_flushes_dirty_frames() {
+        // A shared store observed after the pool drops: dirty frames must
+        // have been written back by Drop.
+        use crate::testing::CountingStore;
+        let (store, counters) = CountingStore::new(MemPageStore::new(128).unwrap());
+        let p = BufferPool::new(store, 2);
+        let a = p.allocate().unwrap();
+        p.with_page_mut(a, |buf| buf.fill(3)).unwrap();
+        assert_eq!(counters.writes.load(std::sync::atomic::Ordering::Relaxed), 0);
+        drop(p);
+        assert_eq!(counters.writes.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn access_to_never_allocated_page_errors() {
+        let p = pool(2);
+        assert!(matches!(
+            p.with_page(PageId(42), |_| ()),
+            Err(StorageError::InvalidPage(_))
+        ));
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type shared by all storage-layer operations.
+
+use std::fmt;
+
+use crate::page::PageId;
+
+/// Result alias used throughout the storage layer.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by page stores, slotted pages and the buffer manager.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A page id outside the allocated range (or a freed page) was accessed.
+    InvalidPage(PageId),
+    /// A record is too large to ever fit in a page of the configured size.
+    RecordTooLarge {
+        /// Size of the record the caller tried to store.
+        record: usize,
+        /// Maximum record payload a page of this file can hold.
+        max: usize,
+    },
+    /// The page has no room for the record (caller should split/allocate).
+    PageFull {
+        /// Bytes needed, including slot-directory overhead.
+        needed: usize,
+        /// Bytes available after compaction.
+        available: usize,
+    },
+    /// A slot id that does not refer to a live record.
+    InvalidSlot(u16),
+    /// The on-disk file is not a valid page file (bad magic / geometry).
+    Corrupt(String),
+    /// Requested page size is unsupported (too small or not a power of two).
+    BadPageSize(usize),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::InvalidPage(p) => write!(f, "invalid page id {p:?}"),
+            StorageError::RecordTooLarge { record, max } => {
+                write!(f, "record of {record} bytes exceeds page capacity {max}")
+            }
+            StorageError::PageFull { needed, available } => {
+                write!(f, "page full: need {needed} bytes, {available} available")
+            }
+            StorageError::InvalidSlot(s) => write!(f, "invalid slot {s}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt page file: {msg}"),
+            StorageError::BadPageSize(s) => write!(f, "unsupported page size {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StorageError::PageFull {
+            needed: 128,
+            available: 64,
+        };
+        assert!(e.to_string().contains("128"));
+        assert!(e.to_string().contains("64"));
+        let e = StorageError::RecordTooLarge {
+            record: 9000,
+            max: 1000,
+        };
+        assert!(e.to_string().contains("9000"));
+    }
+
+    #[test]
+    fn io_error_round_trips_through_from() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

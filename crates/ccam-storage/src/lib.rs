@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Paged storage substrate for the CCAM reproduction.
+//!
+//! This crate provides everything below the access-method layer:
+//!
+//! * [`page`] — page identifiers and block-size constants,
+//! * [`slotted`] — slotted pages holding variable-length records (node
+//!   records "do not have fixed formats, since the size of the
+//!   successor-list and predecessor-list varies across nodes", paper §2.1),
+//! * [`store`] — the [`PageStore`] abstraction with an in-memory and a
+//!   file-backed implementation,
+//! * [`buffer`] — an LRU buffer manager that counts data-page accesses,
+//! * [`stats`] — shared I/O counters used by every experiment (the paper
+//!   reports "the number of data pages accessed", §4).
+//!
+//! The access methods in `ccam-core` never touch a [`PageStore`] directly;
+//! all page traffic flows through a [`BufferPool`] so that the experiments
+//! can attribute every physical page fetch to the operation that caused it.
+
+pub mod buffer;
+pub mod error;
+pub mod page;
+pub mod slotted;
+pub mod stats;
+pub mod store;
+pub mod testing;
+
+pub use buffer::BufferPool;
+pub use error::{StorageError, StorageResult};
+pub use page::{PageId, BLOCK_1K, BLOCK_2K, BLOCK_4K, BLOCK_512, MIN_PAGE_SIZE};
+pub use slotted::{SlotId, SlottedPage};
+pub use stats::IoStats;
+pub use store::{FilePageStore, MemPageStore, PageStore};
+pub use testing::{CountingStore, FlakyStore};

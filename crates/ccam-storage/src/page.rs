@@ -1,0 +1,105 @@
+//! Page identifiers and the block sizes used by the paper's experiments.
+
+use std::fmt;
+
+/// The four disk block sizes evaluated in the paper (Figure 5).
+pub const BLOCK_512: usize = 512;
+/// 1 KiB blocks — the size used for Table 5 ("disk block size = 1 k").
+pub const BLOCK_1K: usize = 1024;
+/// 2 KiB blocks — the size used for route evaluation (Figure 6).
+pub const BLOCK_2K: usize = 2048;
+/// 4 KiB blocks — the largest size in Figure 5.
+pub const BLOCK_4K: usize = 4096;
+
+/// Smallest page size the slotted layout supports (header + one slot + a
+/// few bytes of payload). Anything smaller is rejected at store creation.
+pub const MIN_PAGE_SIZE: usize = 64;
+
+/// Identifier of a data page within a page file.
+///
+/// Page ids are dense indexes assigned by [`crate::store::PageStore::allocate`];
+/// freed pages are recycled. `PageId` is deliberately a thin `u32` newtype —
+/// the Minneapolis-scale networks of the paper need only a few hundred pages,
+/// and a compact id keeps index entries small.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Sentinel used in on-disk structures for "no page" (freelist end,
+    /// absent sibling pointers, ...).
+    pub const INVALID: PageId = PageId(u32::MAX);
+
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// True unless this is the [`PageId::INVALID`] sentinel.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != Self::INVALID
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "P{}", self.0)
+        } else {
+            write!(f, "P<invalid>")
+        }
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Validates a page size for use by a page store: at least
+/// [`MIN_PAGE_SIZE`] and a power of two (so block sizes match real devices
+/// and the paper's 512/1k/2k/4k sweep).
+pub fn validate_page_size(size: usize) -> Result<(), crate::StorageError> {
+    if size < MIN_PAGE_SIZE || !size.is_power_of_two() {
+        Err(crate::StorageError::BadPageSize(size))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_debug_and_validity() {
+        assert_eq!(format!("{:?}", PageId(7)), "P7");
+        assert_eq!(format!("{}", PageId(7)), "P7");
+        assert!(PageId(0).is_valid());
+        assert!(!PageId::INVALID.is_valid());
+        assert_eq!(format!("{:?}", PageId::INVALID), "P<invalid>");
+    }
+
+    #[test]
+    fn paper_block_sizes_are_valid() {
+        for s in [BLOCK_512, BLOCK_1K, BLOCK_2K, BLOCK_4K] {
+            assert!(validate_page_size(s).is_ok(), "size {s}");
+        }
+    }
+
+    #[test]
+    fn bad_page_sizes_rejected() {
+        assert!(validate_page_size(0).is_err());
+        assert!(validate_page_size(63).is_err());
+        assert!(validate_page_size(1000).is_err()); // not a power of two
+        assert!(validate_page_size(96).is_err());
+    }
+
+    #[test]
+    fn page_id_ordering_follows_index() {
+        assert!(PageId(1) < PageId(2));
+        assert!(PageId(2) < PageId::INVALID);
+    }
+}

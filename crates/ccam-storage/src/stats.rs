@@ -1,0 +1,149 @@
+//! Shared I/O counters.
+//!
+//! The paper's experiments report "the number of data pages accessed" for
+//! each operation (§4). [`IoStats`] is the single source of truth for that
+//! number: the buffer pool bumps `physical_reads` on every miss and
+//! `buffer_hits` on every hit, and the experiment harness snapshots /
+//! subtracts around each measured operation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic I/O counters, cheap to share between the buffer pool and the
+/// measurement harness.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    buffer_hits: AtomicU64,
+    allocations: AtomicU64,
+    frees: AtomicU64,
+}
+
+/// A point-in-time copy of the counters, used to compute per-operation
+/// deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Pages fetched from the store because they were not buffered.
+    pub physical_reads: u64,
+    /// Dirty pages written back to the store.
+    pub physical_writes: u64,
+    /// Page requests satisfied from the buffer pool.
+    pub buffer_hits: u64,
+    /// Pages allocated.
+    pub allocations: u64,
+    /// Pages freed.
+    pub frees: u64,
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+            buffer_hits: self.buffer_hits - earlier.buffer_hits,
+            allocations: self.allocations - earlier.allocations,
+            frees: self.frees - earlier.frees,
+        }
+    }
+
+    /// Total page accesses in the paper's sense: data pages brought in from
+    /// disk. Buffer hits are free by definition of the cost model (§3.2).
+    pub fn data_page_accesses(&self) -> u64 {
+        self.physical_reads
+    }
+}
+
+impl IoStats {
+    /// Creates a fresh, shareable counter set.
+    pub fn new_shared() -> Arc<IoStats> {
+        Arc::new(IoStats::default())
+    }
+
+    pub(crate) fn record_read(&self) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self) {
+        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_hit(&self) {
+        self.buffer_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_alloc(&self) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_free(&self) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+        self.buffer_hits.store(0, Ordering::Relaxed);
+        self.allocations.store(0, Ordering::Relaxed);
+        self.frees.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = IoStats::new_shared();
+        s.record_read();
+        s.record_read();
+        s.record_write();
+        s.record_hit();
+        s.record_alloc();
+        s.record_free();
+        let snap = s.snapshot();
+        assert_eq!(snap.physical_reads, 2);
+        assert_eq!(snap.physical_writes, 1);
+        assert_eq!(snap.buffer_hits, 1);
+        assert_eq!(snap.allocations, 1);
+        assert_eq!(snap.frees, 1);
+        assert_eq!(snap.data_page_accesses(), 2);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let s = IoStats::new_shared();
+        s.record_read();
+        let before = s.snapshot();
+        s.record_read();
+        s.record_read();
+        s.record_hit();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.physical_reads, 2);
+        assert_eq!(delta.buffer_hits, 1);
+        assert_eq!(delta.physical_writes, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::new_shared();
+        s.record_read();
+        s.record_write();
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+}

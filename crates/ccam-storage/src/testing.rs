@@ -1,0 +1,259 @@
+//! Test-support stores: failure injection and operation tracing.
+//!
+//! A disk-based access method must surface I/O failures as errors, never
+//! panics or silent corruption. [`FlakyStore`] wraps any [`PageStore`]
+//! and starts failing after a configurable number of operations, letting
+//! higher layers' tests walk the entire error path; [`CountingStore`]
+//! records per-operation counts for tests asserting raw store traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::PageId;
+use crate::store::PageStore;
+
+/// Shared switch controlling when a [`FlakyStore`] starts failing.
+#[derive(Debug)]
+pub struct FailureSwitch {
+    /// Operations remaining before failures begin (u64::MAX = never).
+    remaining: AtomicU64,
+}
+
+impl FailureSwitch {
+    /// A switch that never fires.
+    pub fn disarmed() -> Arc<FailureSwitch> {
+        Arc::new(FailureSwitch {
+            remaining: AtomicU64::new(u64::MAX),
+        })
+    }
+
+    /// Arms the switch: the next `ops` operations succeed, everything
+    /// after fails.
+    pub fn arm_after(&self, ops: u64) {
+        self.remaining.store(ops, Ordering::SeqCst);
+    }
+
+    /// Disarms the switch (operations succeed again).
+    pub fn disarm(&self) {
+        self.remaining.store(u64::MAX, Ordering::SeqCst);
+    }
+
+    fn tick(&self) -> StorageResult<()> {
+        let prev = self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                if v == u64::MAX {
+                    None // disarmed: don't decrement
+                } else {
+                    Some(v.saturating_sub(1))
+                }
+            });
+        match prev {
+            Err(_) => Ok(()), // disarmed
+            Ok(0) => Err(StorageError::Io(std::io::Error::other(
+                "injected I/O failure",
+            ))),
+            Ok(_) => Ok(()),
+        }
+    }
+}
+
+/// A [`PageStore`] wrapper that injects I/O errors once its
+/// [`FailureSwitch`] fires.
+pub struct FlakyStore<S: PageStore> {
+    inner: S,
+    switch: Arc<FailureSwitch>,
+}
+
+impl<S: PageStore> FlakyStore<S> {
+    /// Wraps `inner`; returns the store and its failure switch.
+    pub fn new(inner: S) -> (Self, Arc<FailureSwitch>) {
+        let switch = FailureSwitch::disarmed();
+        (
+            FlakyStore {
+                inner,
+                switch: Arc::clone(&switch),
+            },
+            switch,
+        )
+    }
+}
+
+impl<S: PageStore> PageStore for FlakyStore<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        self.switch.tick()?;
+        self.inner.allocate()
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        self.switch.tick()?;
+        self.inner.read(id, buf)
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> StorageResult<()> {
+        self.switch.tick()?;
+        self.inner.write(id, buf)
+    }
+
+    fn free(&mut self, id: PageId) -> StorageResult<()> {
+        self.switch.tick()?;
+        self.inner.free(id)
+    }
+
+    fn is_live(&self, id: PageId) -> bool {
+        self.inner.is_live(id)
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        self.switch.tick()?;
+        self.inner.sync()
+    }
+
+    fn live_pages(&self) -> Vec<PageId> {
+        self.inner.live_pages()
+    }
+}
+
+/// Raw per-operation counters of a [`CountingStore`].
+#[derive(Debug, Default)]
+pub struct StoreCounters {
+    /// Raw page reads.
+    pub reads: AtomicU64,
+    /// Raw page writes.
+    pub writes: AtomicU64,
+    /// Page allocations.
+    pub allocs: AtomicU64,
+    /// Page frees.
+    pub frees: AtomicU64,
+}
+
+/// A [`PageStore`] wrapper that counts raw store operations (below the
+/// buffer pool, unlike [`crate::IoStats`] which counts pool traffic).
+pub struct CountingStore<S: PageStore> {
+    inner: S,
+    counters: Arc<StoreCounters>,
+}
+
+impl<S: PageStore> CountingStore<S> {
+    /// Wraps `inner`; returns the store and its counters.
+    pub fn new(inner: S) -> (Self, Arc<StoreCounters>) {
+        let counters = Arc::new(StoreCounters::default());
+        (
+            CountingStore {
+                inner,
+                counters: Arc::clone(&counters),
+            },
+            counters,
+        )
+    }
+}
+
+impl<S: PageStore> PageStore for CountingStore<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        self.counters.allocs.fetch_add(1, Ordering::Relaxed);
+        self.inner.allocate()
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.read(id, buf)
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> StorageResult<()> {
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        self.inner.write(id, buf)
+    }
+
+    fn free(&mut self, id: PageId) -> StorageResult<()> {
+        self.counters.frees.fetch_add(1, Ordering::Relaxed);
+        self.inner.free(id)
+    }
+
+    fn is_live(&self, id: PageId) -> bool {
+        self.inner.is_live(id)
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        self.inner.sync()
+    }
+
+    fn live_pages(&self) -> Vec<PageId> {
+        self.inner.live_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemPageStore;
+    use crate::BufferPool;
+
+    #[test]
+    fn disarmed_flaky_store_is_transparent() {
+        let (mut s, _switch) = FlakyStore::new(MemPageStore::new(64).unwrap());
+        let p = s.allocate().unwrap();
+        s.write(p, &[1u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        s.read(p, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 64]);
+    }
+
+    #[test]
+    fn armed_switch_fails_after_budget() {
+        let (mut s, switch) = FlakyStore::new(MemPageStore::new(64).unwrap());
+        let p = s.allocate().unwrap();
+        switch.arm_after(2);
+        let mut buf = [0u8; 64];
+        s.read(p, &mut buf).unwrap(); // 1
+        s.read(p, &mut buf).unwrap(); // 2
+        assert!(matches!(s.read(p, &mut buf), Err(StorageError::Io(_))));
+        assert!(matches!(s.write(p, &buf), Err(StorageError::Io(_))));
+        switch.disarm();
+        s.read(p, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn buffer_pool_propagates_injected_errors() {
+        let (s, switch) = FlakyStore::new(MemPageStore::new(64).unwrap());
+        let pool = BufferPool::new(s, 2);
+        let p = pool.allocate().unwrap();
+        pool.with_page_mut(p, |b| b.fill(7)).unwrap();
+        pool.clear().unwrap();
+        switch.arm_after(0);
+        assert!(pool.with_page(p, |_| ()).is_err());
+        switch.disarm();
+        let ok = pool.with_page(p, |b| b[0]).unwrap();
+        assert_eq!(ok, 7);
+    }
+
+    #[test]
+    fn counting_store_counts() {
+        let (s, counters) = CountingStore::new(MemPageStore::new(64).unwrap());
+        let pool = BufferPool::new(s, 1);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        pool.with_page_mut(a, |x| x.fill(1)).unwrap();
+        pool.with_page_mut(b, |x| x.fill(2)).unwrap(); // evicts dirty a
+        pool.flush_all().unwrap();
+        assert_eq!(counters.allocs.load(Ordering::Relaxed), 2);
+        assert_eq!(counters.reads.load(Ordering::Relaxed), 2);
+        assert!(counters.writes.load(Ordering::Relaxed) >= 2);
+    }
+}

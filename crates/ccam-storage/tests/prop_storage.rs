@@ -1,0 +1,145 @@
+//! Property-based tests for the storage substrate.
+//!
+//! The slotted page is model-checked against a `HashMap<SlotId, Vec<u8>>`;
+//! the buffer pool is checked to be transparent (reads through the pool
+//! always observe the latest writes, for any capacity).
+
+use std::collections::HashMap;
+
+use ccam_storage::{BufferPool, MemPageStore, PageId, SlottedPage, StorageError};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum PageOp {
+    Insert(Vec<u8>),
+    Delete(usize),
+    Update(usize, Vec<u8>),
+    Compact,
+}
+
+fn page_op() -> impl Strategy<Value = PageOp> {
+    prop_oneof![
+        3 => prop::collection::vec(any::<u8>(), 0..60).prop_map(PageOp::Insert),
+        2 => any::<usize>().prop_map(PageOp::Delete),
+        2 => (any::<usize>(), prop::collection::vec(any::<u8>(), 0..60))
+            .prop_map(|(i, v)| PageOp::Update(i, v)),
+        1 => Just(PageOp::Compact),
+    ]
+}
+
+proptest! {
+    /// Any sequence of inserts/deletes/updates/compactions leaves the page
+    /// agreeing with an in-memory model, and free-space accounting never
+    /// goes negative.
+    #[test]
+    fn slotted_page_matches_model(ops in prop::collection::vec(page_op(), 1..80)) {
+        let mut buf = vec![0u8; 512];
+        let mut page = SlottedPage::init(&mut buf);
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        let mut live: Vec<u16> = Vec::new();
+
+        for op in ops {
+            match op {
+                PageOp::Insert(data) => match page.insert(&data) {
+                    Ok(slot) => {
+                        prop_assert!(!model.contains_key(&slot),
+                            "insert returned an already-live slot");
+                        model.insert(slot, data);
+                        live.push(slot);
+                    }
+                    Err(StorageError::PageFull { .. }) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                },
+                PageOp::Delete(i) => {
+                    if live.is_empty() { continue; }
+                    let slot = live.remove(i % live.len());
+                    page.delete(slot).unwrap();
+                    model.remove(&slot);
+                }
+                PageOp::Update(i, data) => {
+                    if live.is_empty() { continue; }
+                    let slot = live[i % live.len()];
+                    match page.update(slot, &data) {
+                        Ok(()) => { model.insert(slot, data); }
+                        Err(StorageError::PageFull { .. }) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                PageOp::Compact => page.compact(),
+            }
+
+            // Model agreement after every step.
+            prop_assert_eq!(page.live_count() as usize, model.len());
+            for (&slot, data) in &model {
+                prop_assert_eq!(page.get(slot), Some(&data[..]));
+            }
+            let used: usize = model.values().map(|d| d.len()).sum();
+            prop_assert_eq!(page.used_bytes(), used);
+            prop_assert!(page.free_space() <= 512);
+        }
+    }
+
+    /// The buffer pool is transparent for any capacity: interleaved writes
+    /// and reads across many pages always observe the latest data.
+    #[test]
+    fn buffer_pool_is_transparent(
+        cap in 1usize..6,
+        ops in prop::collection::vec((0u32..12, any::<u8>()), 1..120),
+    ) {
+        let pool = BufferPool::new(MemPageStore::new(64).unwrap(), cap);
+        let mut ids: Vec<PageId> = Vec::new();
+        let mut shadow: Vec<u8> = Vec::new();
+        for (page_sel, value) in ops {
+            // Lazily allocate pages as the op stream references them.
+            while ids.len() <= page_sel as usize {
+                ids.push(pool.allocate().unwrap());
+                shadow.push(0);
+            }
+            let id = ids[page_sel as usize];
+            pool.with_page_mut(id, |buf| buf.fill(value)).unwrap();
+            shadow[page_sel as usize] = value;
+
+            // Every page readable with its latest value.
+            for (i, &id) in ids.iter().enumerate() {
+                let ok = pool
+                    .with_page(id, |buf| buf.iter().all(|&x| x == shadow[i]))
+                    .unwrap();
+                prop_assert!(ok, "page {i} lost its bytes (cap={cap})");
+            }
+            prop_assert!(pool.resident_pages().len() <= cap);
+        }
+        // And the data survives a full flush + clear (i.e. it is durable in
+        // the store, not just in frames).
+        pool.clear().unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            let ok = pool
+                .with_page(id, |buf| buf.iter().all(|&x| x == shadow[i]))
+                .unwrap();
+            prop_assert!(ok);
+        }
+    }
+
+    /// Allocate/free on the memory store never hands out the same live id
+    /// twice and always recycles freed ids before growing.
+    #[test]
+    fn store_allocation_discipline(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        use ccam_storage::PageStore;
+        let mut store = MemPageStore::new(64).unwrap();
+        let mut live: Vec<PageId> = Vec::new();
+        let mut high_water = 0u32;
+        for alloc in ops {
+            if alloc || live.is_empty() {
+                let id = store.allocate().unwrap();
+                prop_assert!(!live.contains(&id));
+                // Either recycled or brand new right above the high water mark.
+                prop_assert!(id.index() <= high_water);
+                high_water = high_water.max(id.index() + 1);
+                live.push(id);
+            } else {
+                let id = live.swap_remove(live.len() / 2);
+                store.free(id).unwrap();
+            }
+            prop_assert_eq!(store.live_pages().len(), live.len());
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Transit-authority decision support — the paper's route-unit
+//! aggregate scenario (§1.1): "managers of public transit may like to
+//! compare ridership on different bus routes to determine [the] number
+//! of buses to be allocated to different routes."
+//!
+//! Bus routes are *route-units* (collections of arcs); the example
+//! aggregates travel time and node attributes over each bus route, runs
+//! a tour evaluation for a circulator line, and finishes with a
+//! location-allocation query siting a new depot.
+//!
+//! ```sh
+//! cargo run --release --example transit_aggregates
+//! ```
+
+use ccam::core::am::{AccessMethod, CcamBuilder};
+use ccam::core::query::aggregate::{evaluate_tour, location_allocation, route_unit_aggregate};
+use ccam::graph::roadmap::minneapolis_like;
+use ccam::graph::walks::{random_walk_routes, Route};
+use ccam::graph::NodeId;
+
+fn main() {
+    let net = minneapolis_like(77);
+    let am = CcamBuilder::new(2048).build_static(&net).unwrap();
+    println!(
+        "transit database: {} stops, {} segments, CRR = {:.3}\n",
+        net.len(),
+        net.num_edges(),
+        am.crr().unwrap()
+    );
+
+    // Three bus lines, modelled as fixed walks over the street network.
+    let lines = random_walk_routes(&net, 3, 25, 4242);
+    println!("bus line aggregates (route-units of 24 arcs each):");
+    for (i, line) in lines.iter().enumerate() {
+        let arcs: Vec<(NodeId, NodeId)> = line.edges().collect();
+        am.file().pool().clear().unwrap();
+        let before = am.stats().snapshot();
+        let agg = route_unit_aggregate(&am, &arcs).unwrap();
+        let io = am.stats().snapshot().since(&before).physical_reads;
+        // Payload bytes stand in for per-stop ridership counters.
+        println!(
+            "  line {}: {} arcs, total travel time {} min, ridership proxy {}, {} stops, {} page accesses",
+            i + 1,
+            agg.arcs_found,
+            agg.total_cost,
+            agg.node_payload_sum,
+            agg.nodes_retrieved,
+            io
+        );
+    }
+
+    // A downtown circulator: a tour that returns to its terminal.
+    let terminal = lines[0].nodes[0];
+    let tour = build_tour(&am, terminal);
+    match tour {
+        Some(tour) => {
+            let eval = evaluate_tour(&am, &tour).unwrap().expect("closed tour");
+            println!(
+                "\ncirculator tour from {terminal}: {} stops, {} min round trip, complete = {}",
+                tour.len(),
+                eval.total_cost,
+                eval.complete
+            );
+        }
+        None => println!("\nno circulator tour found from {terminal}"),
+    }
+
+    // Site a new depot: candidates = 4 spread stops; demands = the
+    // terminals of the three bus lines.
+    let ids = net.node_ids();
+    let candidates: Vec<NodeId> = (0..4).map(|i| ids[i * ids.len() / 4]).collect();
+    let demands: Vec<NodeId> = lines.iter().map(|l| l.nodes[0]).collect();
+    let scores = location_allocation(&am, &candidates, &demands).unwrap();
+    println!("\ndepot siting (total travel time to all line terminals):");
+    for s in &scores {
+        println!(
+            "  candidate {:12} total {} min, {} unreachable",
+            format!("{}", s.candidate),
+            s.total_cost,
+            s.unreachable
+        );
+    }
+    println!("  -> build the depot at {}", scores[0].candidate);
+}
+
+/// A small closed tour: out along successor edges, back via a shortest
+/// path to the start.
+fn build_tour(am: &dyn AccessMethod, start: NodeId) -> Option<Route> {
+    use ccam::core::query::search::dijkstra;
+    // Walk 6 hops out deterministically (first successor each time).
+    let mut nodes = vec![start];
+    let mut cur = start;
+    for _ in 0..6 {
+        let rec = am.find(cur).ok()??;
+        let next = rec.successors.first()?.to;
+        nodes.push(next);
+        cur = next;
+    }
+    let back = dijkstra(am, cur, start).ok()??;
+    nodes.extend(&back.path[1..]);
+    Some(Route { nodes })
+}

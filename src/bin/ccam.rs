@@ -1,0 +1,434 @@
+//! `ccam` — command-line front end for the CCAM network database.
+//!
+//! ```text
+//! ccam generate <out.net> [--seed N] [--grid W] [--minneapolis]
+//! ccam build    <in.net> <out.db> [--block N] [--method ccam-s|ccam-d|dfs|bfs|wdfs|grid]
+//! ccam stats    <db>
+//! ccam find     <db> <node-id>
+//! ccam succ     <db> <node-id>
+//! ccam route    <db> <node-id>...
+//! ccam astar    <db> <from> <to>
+//! ccam window   <db> <x0> <y0> <x1> <y1>
+//! ccam bench    <db> [--routes N] [--len L]
+//! ccam check    <db>
+//! ccam replay   <db> <trace.txt>
+//! ```
+//!
+//! Databases are real page files ([`ccam::storage::FilePageStore`]); the
+//! secondary index rebuilds on open. Node ids print/parse as the raw
+//! `u64` (the Z-order code on generated road maps).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ccam::core::am::{AccessMethod, CcamBuilder, GridAm, TopoAm, TraversalOrder};
+use ccam::core::costmodel::CostParams;
+use ccam::core::query::route::evaluate_path;
+use ccam::core::query::search::a_star;
+use ccam::core::query::spatial::SpatialIndex;
+use ccam::graph::roadmap::{road_map, RoadMapConfig};
+use ccam::graph::walks::random_walk_routes;
+use ccam::graph::{load_network, save_network, Network, NodeId};
+use ccam::storage::{FilePageStore, PageStore};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "generate" => generate(rest),
+        "build" => build(rest),
+        "stats" => stats(rest),
+        "find" => find(rest),
+        "succ" => succ(rest),
+        "route" => route(rest),
+        "astar" => astar(rest),
+        "window" => window(rest),
+        "bench" => bench(rest),
+        "check" => check(rest),
+        "replay" => replay_cmd(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  ccam generate <out.net> [--seed N] [--grid W] [--minneapolis]\n  \
+     ccam build <in.net> <out.db> [--block N] [--method ccam-s|ccam-d|dfs|bfs|wdfs|grid]\n  \
+     ccam stats <db>\n  \
+     ccam find <db> <node-id>\n  \
+     ccam succ <db> <node-id>\n  \
+     ccam route <db> <node-id>...\n  \
+     ccam astar <db> <from> <to>\n  \
+     ccam window <db> <x0> <y0> <x1> <y1>\n  \
+     ccam bench <db> [--routes N] [--len L]\n  \
+     ccam check <db>\n  \
+     ccam replay <db> <trace.txt>"
+        .to_string()
+}
+
+/// Pulls `--flag value` out of `args`, returning remaining positionals.
+fn parse_flags(args: &[String], flags: &[&str]) -> (Vec<String>, HashMap<String, String>) {
+    let mut pos = Vec::new();
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if flags.contains(&name) && i + 1 < args.len() {
+                map.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+                continue;
+            }
+            // Bare switch.
+            map.insert(name.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        pos.push(a.clone());
+        i += 1;
+    }
+    (pos, map)
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("{what}: not a number: {s}"))
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args, &["seed", "grid"]);
+    let [out] = pos.as_slice() else {
+        return Err("generate needs <out.net>".into());
+    };
+    let seed = flags
+        .get("seed")
+        .map(|s| parse_u64(s, "--seed"))
+        .transpose()?
+        .unwrap_or(1995);
+    let net = if flags.contains_key("minneapolis") || !flags.contains_key("grid") {
+        road_map(&RoadMapConfig::minneapolis(seed))
+    } else {
+        let grid = parse_u64(flags.get("grid").expect("checked"), "--grid")? as u32;
+        road_map(&RoadMapConfig::scaled(grid, seed))
+    };
+    save_network(&net, Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}: {} nodes, {} directed edges",
+        out,
+        net.len(),
+        net.num_edges()
+    );
+    Ok(())
+}
+
+fn build(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args, &["block", "method"]);
+    let [input, out] = pos.as_slice() else {
+        return Err("build needs <in.net> <out.db>".into());
+    };
+    let block = flags
+        .get("block")
+        .map(|s| parse_u64(s, "--block"))
+        .transpose()?
+        .unwrap_or(1024) as usize;
+    let method = flags.map_or("ccam-s", "method");
+    let net = load_network(Path::new(input)).map_err(|e| e.to_string())?;
+
+    let out_path = PathBuf::from(out);
+    let w = HashMap::new();
+    // CCAM builds straight onto the page file; the comparators build in
+    // memory and save (their create paths are memory-resident anyway).
+    let (name, crr, pages) = match method {
+        "ccam-s" => {
+            let store = FilePageStore::create(&out_path, block).map_err(|e| e.to_string())?;
+            let am = CcamBuilder::new(block)
+                .build_static_on(store, &net)
+                .map_err(|e| e.to_string())?;
+            am.file().pool().flush_all().map_err(|e| e.to_string())?;
+            ("CCAM-S", am.crr().unwrap(), am.file().num_pages())
+        }
+        "ccam-d" => {
+            let store = FilePageStore::create(&out_path, block).map_err(|e| e.to_string())?;
+            let am = CcamBuilder::new(block)
+                .build_dynamic_on(store, &net)
+                .map_err(|e| e.to_string())?;
+            am.file().pool().flush_all().map_err(|e| e.to_string())?;
+            ("CCAM-D", am.crr().unwrap(), am.file().num_pages())
+        }
+        m @ ("dfs" | "bfs" | "wdfs") => {
+            let order = match m {
+                "dfs" => TraversalOrder::DepthFirst,
+                "bfs" => TraversalOrder::BreadthFirst,
+                _ => TraversalOrder::WeightedDepthFirst,
+            };
+            let am = TopoAm::create(&net, block, order, None, &w).map_err(|e| e.to_string())?;
+            am.file().save_to(&out_path).map_err(|e| e.to_string())?;
+            (order.name(), am.crr().unwrap(), am.file().num_pages())
+        }
+        "grid" => {
+            let am = GridAm::create(&net, block).map_err(|e| e.to_string())?;
+            am.file().save_to(&out_path).map_err(|e| e.to_string())?;
+            ("Grid File", am.crr().unwrap(), am.file().num_pages())
+        }
+        other => return Err(format!("unknown --method {other}")),
+    };
+    println!(
+        "built {out} with {name}: {} nodes on {pages} pages ({block} B), CRR = {crr:.4}",
+        net.len()
+    );
+    Ok(())
+}
+
+trait FlagMap {
+    fn map_or<'a>(&'a self, default: &'a str, key: &str) -> &'a str;
+}
+
+impl FlagMap for HashMap<String, String> {
+    fn map_or<'a>(&'a self, default: &'a str, key: &str) -> &'a str {
+        self.get(key).map(|s| s.as_str()).unwrap_or(default)
+    }
+}
+
+/// Opens a database as a CCAM access method (placement already baked into
+/// the pages; any method's file reopens this way).
+fn open_db(path: &str) -> Result<ccam::core::am::Ccam<FilePageStore>, String> {
+    let store = FilePageStore::open(Path::new(path)).map_err(|e| e.to_string())?;
+    let block = store.page_size();
+    CcamBuilder::new(block)
+        .open_on(store)
+        .map_err(|e| e.to_string())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let [db] = args else {
+        return Err("stats needs <db>".into());
+    };
+    let am = open_db(db)?;
+    let p = CostParams::measure(am.file());
+    println!("database          {db}");
+    println!("page size         {} B", am.file().page_size());
+    println!("records           {}", am.file().len());
+    println!("data pages        {}", am.file().num_pages());
+    println!("blocking factor   {:.2}", p.blocking_factor);
+    println!("CRR (alpha)       {:.4}", p.alpha);
+    println!("avg successors    {:.3}", p.avg_successors);
+    println!("avg neighbors     {:.3}", p.avg_neighbors);
+    println!("predicted get-successors cost   {:.3}", p.get_successors_cost());
+    println!("predicted get-a-successor cost  {:.3}", p.get_a_successor_cost());
+    println!("predicted route cost (L=20)     {:.3}", p.route_evaluation_cost(20));
+    Ok(())
+}
+
+fn find(args: &[String]) -> Result<(), String> {
+    let [db, id] = args else {
+        return Err("find needs <db> <node-id>".into());
+    };
+    let am = open_db(db)?;
+    let id = NodeId(parse_u64(id, "node-id")?);
+    match am.find(id).map_err(|e| e.to_string())? {
+        Some(rec) => {
+            println!("node {} at ({}, {})", rec.id.0, rec.x, rec.y);
+            println!("payload: {} bytes", rec.payload.len());
+            for e in &rec.successors {
+                println!("  -> {} (cost {})", e.to.0, e.cost);
+            }
+            for p in &rec.predecessors {
+                println!("  <- {}", p.0);
+            }
+            Ok(())
+        }
+        None => Err(format!("node {} not found", id.0)),
+    }
+}
+
+fn succ(args: &[String]) -> Result<(), String> {
+    let [db, id] = args else {
+        return Err("succ needs <db> <node-id>".into());
+    };
+    let am = open_db(db)?;
+    let id = NodeId(parse_u64(id, "node-id")?);
+    let before = am.stats().snapshot();
+    let succs = am.get_successors(id).map_err(|e| e.to_string())?;
+    let io = am.stats().snapshot().since(&before).physical_reads;
+    for s in &succs {
+        println!("{} at ({}, {})", s.id.0, s.x, s.y);
+    }
+    println!("({} successors, {} page accesses)", succs.len(), io);
+    Ok(())
+}
+
+fn route(args: &[String]) -> Result<(), String> {
+    if args.len() < 3 {
+        return Err("route needs <db> and at least two node ids".into());
+    }
+    let am = open_db(&args[0])?;
+    let nodes: Vec<NodeId> = args[1..]
+        .iter()
+        .map(|s| parse_u64(s, "node-id").map(NodeId))
+        .collect::<Result<_, _>>()?;
+    am.file().pool().set_capacity(1).map_err(|e| e.to_string())?;
+    let before = am.stats().snapshot();
+    let eval = evaluate_path(&am, &nodes).map_err(|e| e.to_string())?;
+    let io = am.stats().snapshot().since(&before).physical_reads;
+    println!(
+        "route of {} nodes: total cost {}, complete = {}, {} page accesses",
+        eval.nodes_visited, eval.total_cost, eval.complete, io
+    );
+    Ok(())
+}
+
+fn astar(args: &[String]) -> Result<(), String> {
+    let [db, from, to] = args else {
+        return Err("astar needs <db> <from> <to>".into());
+    };
+    let am = open_db(db)?;
+    let from = NodeId(parse_u64(from, "from")?);
+    let to = NodeId(parse_u64(to, "to")?);
+    let before = am.stats().snapshot();
+    match a_star(&am, from, to).map_err(|e| e.to_string())? {
+        Some(r) => {
+            let io = am.stats().snapshot().since(&before).physical_reads;
+            println!(
+                "cost {} over {} nodes ({} expanded, {} page accesses)",
+                r.cost,
+                r.path.len(),
+                r.expanded,
+                io
+            );
+            let ids: Vec<String> = r.path.iter().map(|n| n.0.to_string()).collect();
+            println!("path: {}", ids.join(" "));
+            Ok(())
+        }
+        None => Err(format!("no path from {} to {}", from.0, to.0)),
+    }
+}
+
+fn window(args: &[String]) -> Result<(), String> {
+    let [db, x0, y0, x1, y1] = args else {
+        return Err("window needs <db> <x0> <y0> <x1> <y1>".into());
+    };
+    let am = open_db(db)?;
+    let c = |s: &String, w| parse_u64(s, w).map(|v| v as u32);
+    let (x0, y0, x1, y1) = (c(x0, "x0")?, c(y0, "y0")?, c(x1, "x1")?, c(y1, "y1")?);
+    let idx = SpatialIndex::build_rtree(am.file());
+    let recs = idx
+        .window_records(am.file(), x0.min(x1), y0.min(y1), x0.max(x1), y0.max(y1))
+        .map_err(|e| e.to_string())?;
+    for r in &recs {
+        println!("{} at ({}, {})", r.id.0, r.x, r.y);
+    }
+    println!("({} nodes in window)", recs.len());
+    Ok(())
+}
+
+fn bench(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args, &["routes", "len"]);
+    let [db] = pos.as_slice() else {
+        return Err("bench needs <db>".into());
+    };
+    let am = open_db(db)?;
+    let routes_n = flags
+        .get("routes")
+        .map(|s| parse_u64(s, "--routes"))
+        .transpose()?
+        .unwrap_or(100) as usize;
+    let len = flags
+        .get("len")
+        .map(|s| parse_u64(s, "--len"))
+        .transpose()?
+        .unwrap_or(20) as usize;
+    // Rebuild a Network view from the stored records to generate walks.
+    let mut net = Network::new();
+    let scan = am.file().scan_uncounted();
+    for (_, records) in &scan {
+        for r in records {
+            net.add_node(r.id, r.x, r.y, r.payload.clone());
+        }
+    }
+    for (_, records) in &scan {
+        for r in records {
+            for e in &r.successors {
+                if net.node(e.to).is_some() {
+                    net.add_edge(r.id, e.to, e.cost);
+                }
+            }
+        }
+    }
+    let routes = random_walk_routes(&net, routes_n, len, 1995);
+    am.file().pool().set_capacity(1).map_err(|e| e.to_string())?;
+    let mut total = 0u64;
+    for r in &routes {
+        am.file().pool().clear().map_err(|e| e.to_string())?;
+        let before = am.stats().snapshot();
+        let nodes: Vec<NodeId> = r.nodes.clone();
+        evaluate_path(&am, &nodes).map_err(|e| e.to_string())?;
+        total += am.stats().snapshot().since(&before).physical_reads;
+    }
+    println!(
+        "route evaluation: {} routes of {} nodes, avg {:.2} page accesses/route (CRR = {:.4})",
+        routes_n,
+        len,
+        total as f64 / routes_n as f64,
+        am.crr().unwrap()
+    );
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let [db] = args else {
+        return Err("check needs <db>".into());
+    };
+    let am = open_db(db)?;
+    let report = ccam::core::check::verify(am.file()).map_err(|e| e.to_string())?;
+    println!(
+        "checked {} records on {} pages (CRR {:.4}, {} under-full pages)",
+        report.records, report.pages, report.crr, report.underfull_pages
+    );
+    if report.is_clean() {
+        println!("ok: no integrity issues");
+        Ok(())
+    } else {
+        for issue in &report.issues {
+            eprintln!("ISSUE: {issue}");
+        }
+        Err(format!("{} integrity issue(s) found", report.issues.len()))
+    }
+}
+
+fn replay_cmd(args: &[String]) -> Result<(), String> {
+    let [db, trace] = args else {
+        return Err("replay needs <db> <trace.txt>".into());
+    };
+    let text = std::fs::read_to_string(trace).map_err(|e| e.to_string())?;
+    let ops = ccam::core::workload::parse_trace(&text).map_err(|e| e.to_string())?;
+    let mut am = open_db(db)?;
+    let stats = ccam::core::workload::replay(
+        &mut am as &mut dyn AccessMethod<FilePageStore>,
+        &ops,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "replayed {} ops ({} misses): {} page reads, {} page writes",
+        stats.executed, stats.misses, stats.page_reads, stats.page_writes
+    );
+    for (op, count) in &stats.per_op {
+        println!("  {op:14} x{count}");
+    }
+    Ok(())
+}

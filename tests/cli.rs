@@ -1,0 +1,188 @@
+//! Integration: the `ccam` CLI binary end to end — generate a network,
+//! build databases with several methods, inspect and query them.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ccam(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ccam"))
+        .args(args)
+        .output()
+        .expect("spawn ccam")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ccam-cli-{}-{}", std::process::id(), name));
+    p
+}
+
+#[test]
+fn generate_build_stats_query_pipeline() {
+    let net = tmp("pipe.net");
+    let db = tmp("pipe.db");
+    let net_s = net.to_str().unwrap();
+    let db_s = db.to_str().unwrap();
+
+    // generate
+    let out = ccam(&["generate", net_s, "--grid", "8", "--seed", "7"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("nodes"));
+
+    // build (CCAM-S)
+    let out = ccam(&["build", net_s, db_s, "--block", "1024"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("CCAM-S"), "{text}");
+    assert!(text.contains("CRR"), "{text}");
+
+    // stats
+    let out = ccam(&["stats", db_s]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("CRR"), "{text}");
+    assert!(text.contains("records"), "{text}");
+
+    // find: grab a node id from the window query over everything.
+    let out = ccam(&["window", db_s, "0", "0", "99999", "99999"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let first_id = text
+        .lines()
+        .find(|l| l.contains(" at ("))
+        .and_then(|l| l.split_whitespace().next())
+        .expect("at least one node")
+        .to_string();
+    assert!(text.contains("nodes in window"));
+
+    let out = ccam(&["find", db_s, &first_id]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains(&format!("node {first_id}")));
+
+    let out = ccam(&["succ", db_s, &first_id]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("successors"));
+
+    // bench (small).
+    let out = ccam(&["bench", db_s, "--routes", "5", "--len", "6"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("page accesses/route"));
+
+    std::fs::remove_file(&net).ok();
+    std::fs::remove_file(&db).ok();
+}
+
+#[test]
+fn build_every_method_and_astar() {
+    let net = tmp("methods.net");
+    let net_s = net.to_str().unwrap();
+    assert!(ccam(&["generate", net_s, "--grid", "7", "--seed", "3"])
+        .status
+        .success());
+
+    for method in ["ccam-s", "ccam-d", "dfs", "bfs", "wdfs", "grid"] {
+        let db = tmp(&format!("m-{method}.db"));
+        let db_s = db.to_str().unwrap();
+        let out = ccam(&["build", net_s, db_s, "--method", method, "--block", "512"]);
+        assert!(out.status.success(), "{method}: {out:?}");
+
+        // A* between two window-discovered nodes.
+        let w = ccam(&["window", db_s, "0", "0", "99999", "99999"]);
+        let text = stdout(&w);
+        let ids: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains(" at ("))
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        assert!(ids.len() > 10, "{method}");
+        let out = ccam(&["astar", db_s, ids[0], ids[ids.len() - 1]]);
+        assert!(out.status.success(), "{method}: {out:?}");
+        assert!(stdout(&out).contains("cost"), "{method}");
+        std::fs::remove_file(&db).ok();
+    }
+    std::fs::remove_file(&net).ok();
+}
+
+#[test]
+fn check_and_replay() {
+    let net = tmp("cr.net");
+    let db = tmp("cr.db");
+    let trace = tmp("cr.trace");
+    assert!(ccam(&["generate", net.to_str().unwrap(), "--grid", "6"])
+        .status
+        .success());
+    assert!(ccam(&["build", net.to_str().unwrap(), db.to_str().unwrap()])
+        .status
+        .success());
+
+    // check: clean database.
+    let out = ccam(&["check", db.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("no integrity issues"));
+
+    // replay: trace built from real node ids.
+    let w = ccam(&["window", db.to_str().unwrap(), "0", "0", "99999", "99999"]);
+    let ids: Vec<String> = stdout(&w)
+        .lines()
+        .filter(|l| l.contains(" at ("))
+        .filter_map(|l| l.split_whitespace().next())
+        .map(String::from)
+        .collect();
+    let text = format!(
+        "find {}\nsucc {}\nastar {} {}\ndelete-node {}\nreinsert-node {}\n",
+        ids[0], ids[1], ids[0], ids[ids.len() - 1], ids[2], ids[2]
+    );
+    std::fs::write(&trace, text).unwrap();
+    let out = ccam(&["replay", db.to_str().unwrap(), trace.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("replayed 5 ops"), "{text}");
+    assert!(text.contains("0 misses"), "{text}");
+
+    // The database is still clean after the mutating replay.
+    let out = ccam(&["check", db.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+
+    // Malformed traces are rejected with a line number.
+    std::fs::write(&trace, "find 1\nbogus 2\n").unwrap();
+    let out = ccam(&["replay", db.to_str().unwrap(), trace.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+
+    std::fs::remove_file(&net).ok();
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn errors_are_clean() {
+    // Unknown command.
+    let out = ccam(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing database.
+    let out = ccam(&["stats", "/nonexistent/definitely-not-here.db"]);
+    assert!(!out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).is_empty());
+
+    // Bad node id.
+    let net = tmp("err.net");
+    let db = tmp("err.db");
+    assert!(ccam(&["generate", net.to_str().unwrap(), "--grid", "5"])
+        .status
+        .success());
+    assert!(ccam(&["build", net.to_str().unwrap(), db.to_str().unwrap()])
+        .status
+        .success());
+    let out = ccam(&["find", db.to_str().unwrap(), "18446744073709551615"]);
+    assert!(!out.status.success(), "missing node must exit nonzero");
+    let out = ccam(&["find", db.to_str().unwrap(), "not-a-number"]);
+    assert!(!out.status.success());
+    std::fs::remove_file(&net).ok();
+    std::fs::remove_file(&db).ok();
+}

@@ -1,0 +1,166 @@
+//! Integration: the whole stack runs on a genuinely persistent page
+//! file — build CCAM on disk, reopen it cold, and keep querying and
+//! updating it.
+
+use ccam::core::am::{AccessMethod, CcamBuilder};
+use ccam::core::query::route::evaluate_route;
+use ccam::core::query::search::a_star;
+use ccam::graph::roadmap::{road_map, RoadMapConfig};
+use ccam::graph::walks::random_walk_routes;
+use ccam::graph::Network;
+use ccam::storage::FilePageStore;
+
+fn net() -> Network {
+    road_map(&RoadMapConfig {
+        grid_w: 10,
+        grid_h: 10,
+        removed_nodes: 2,
+        target_segments: 150,
+        target_directed: 265,
+        cell: 64,
+        jitter: 24,
+        seed: 11,
+    })
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ccam-it-{}-{}", std::process::id(), name));
+    p
+}
+
+#[test]
+fn build_directly_on_a_page_file() {
+    let net = net();
+    let path = temp_path("direct");
+    {
+        let store = FilePageStore::create(&path, 1024).unwrap();
+        let am = CcamBuilder::new(1024).build_static_on(store, &net).unwrap();
+        assert_eq!(am.file().len(), net.len());
+        for id in net.node_ids().into_iter().step_by(7) {
+            assert_eq!(&am.find(id).unwrap().unwrap(), net.node(id).unwrap());
+        }
+        am.file().pool().flush_all().unwrap();
+    }
+    // Reopen cold: the index rebuilds from the data pages alone.
+    {
+        let store = FilePageStore::open(&path).unwrap();
+        let am = CcamBuilder::new(1024).open_on(store).unwrap();
+        assert_eq!(am.file().len(), net.len());
+        for id in net.node_ids() {
+            assert_eq!(
+                &am.find(id).unwrap().unwrap(),
+                net.node(id).unwrap(),
+                "{id:?} after reopen"
+            );
+        }
+        // CRR survives the round trip (placement is byte-identical).
+        assert!(am.crr().unwrap() > 0.4);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn save_mem_file_then_reopen_and_query() {
+    let net = net();
+    let path = temp_path("saved");
+    let mem_am = CcamBuilder::new(512).build_static(&net).unwrap();
+    let crr_before = mem_am.crr().unwrap();
+    mem_am.file().save_to(&path).unwrap();
+
+    let store = FilePageStore::open(&path).unwrap();
+    let am = CcamBuilder::new(512).open_on(store).unwrap();
+    assert_eq!(am.file().len(), net.len());
+    assert!((am.crr().unwrap() - crr_before).abs() < 1e-12);
+
+    // Queries over the disk file.
+    let routes = random_walk_routes(&net, 10, 12, 3);
+    for r in &routes {
+        let eval = evaluate_route(&am, r).unwrap();
+        assert!(eval.complete);
+    }
+    let ids = net.node_ids();
+    let sp = a_star(&am, ids[0], ids[ids.len() - 1]).unwrap();
+    assert!(sp.is_some());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn updates_on_disk_survive_reopen() {
+    let net = net();
+    let path = temp_path("updates");
+    let victim = net.node_ids()[17];
+    {
+        let store = FilePageStore::create(&path, 1024).unwrap();
+        let mut am = CcamBuilder::new(1024).build_static_on(store, &net).unwrap();
+        let del = am.delete_node(victim).unwrap().unwrap();
+        am.insert_node(&del.data, &del.incoming).unwrap();
+        // And one permanent deletion.
+        let gone = net.node_ids()[3];
+        am.delete_node(gone).unwrap().unwrap();
+        am.file().pool().flush_all().unwrap();
+    }
+    {
+        let store = FilePageStore::open(&path).unwrap();
+        let am = CcamBuilder::new(1024).open_on(store).unwrap();
+        assert_eq!(am.file().len(), net.len() - 1);
+        assert!(am.find(victim).unwrap().is_some());
+        assert!(am.find(net.node_ids()[3]).unwrap().is_none());
+        // Cross-references still consistent on the reopened file.
+        for id in net.node_ids().into_iter().step_by(5) {
+            if let Some(rec) = am.find(id).unwrap() {
+                for e in &rec.successors {
+                    if let Some(t) = am.find(e.to).unwrap() {
+                        assert!(t.predecessors.contains(&id));
+                    }
+                }
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn save_preserves_page_ids_across_gaps() {
+    // Delete enough nodes to free whole pages, save, reopen: the index
+    // rebuilt from the surviving pages must agree with the original
+    // placement (page ids preserved, gaps skipped).
+    let net = net();
+    let path = temp_path("gaps");
+    let mut am = CcamBuilder::new(512).build_static(&net).unwrap();
+    let ids = net.node_ids();
+    // First-order deletes (with merging) free pages.
+    for &id in ids.iter().take(ids.len() / 2) {
+        am.delete_node(id).unwrap().unwrap();
+    }
+    let survivors: Vec<_> = ids.iter().skip(ids.len() / 2).copied().collect();
+    let placement_before: Vec<_> = survivors
+        .iter()
+        .map(|&id| am.file().page_of(id).unwrap().unwrap())
+        .collect();
+    am.file().save_to(&path).unwrap();
+
+    let store = FilePageStore::open(&path).unwrap();
+    let reopened = CcamBuilder::new(512).open_on(store).unwrap();
+    assert_eq!(reopened.file().len(), survivors.len());
+    for (&id, &page) in survivors.iter().zip(&placement_before) {
+        assert_eq!(
+            reopened.file().page_of(id).unwrap(),
+            Some(page),
+            "{id:?} moved across save/reopen"
+        );
+        assert!(reopened.find(id).unwrap().is_some());
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dynamic_create_on_disk() {
+    let net = net();
+    let path = temp_path("dynamic");
+    let store = FilePageStore::create(&path, 1024).unwrap();
+    let am = CcamBuilder::new(1024).build_dynamic_on(store, &net).unwrap();
+    assert_eq!(am.file().len(), net.len());
+    assert!(am.crr().unwrap() > 0.3);
+    std::fs::remove_file(&path).ok();
+}
