@@ -24,11 +24,8 @@ fn part_graph() -> PartGraph {
         seed: 7,
     });
     let nodes: Vec<_> = net.nodes().collect();
-    let idx: std::collections::HashMap<_, _> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.id, i))
-        .collect();
+    let idx: std::collections::HashMap<_, _> =
+        nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
     let sizes: Vec<usize> = nodes
         .iter()
         .map(|n| ccam_core::file::clustering_weight(n))

@@ -23,16 +23,12 @@ fn main() {
     let net = benchmark_network();
     let block = 2048;
     let routes = random_walk_routes(&net, 100, 20, EXPERIMENT_SEED + 60);
-    println!(
-        "Ablation: secondary-index access cost  (block = {block} B, routes of 20 nodes)\n"
-    );
+    println!("Ablation: secondary-index access cost  (block = {block} B, routes of 20 nodes)\n");
 
     let w = HashMap::new();
     let methods: Vec<Box<dyn AccessMethod>> = vec![
         Box::new(CcamBuilder::new(block).build_static(&net).expect("ccam")),
-        Box::new(
-            TopoAm::create(&net, block, TraversalOrder::BreadthFirst, None, &w).expect("bfs"),
-        ),
+        Box::new(TopoAm::create(&net, block, TraversalOrder::BreadthFirst, None, &w).expect("bfs")),
     ];
     let index_buffers = [1usize, 2, 4, 16, 64];
 
@@ -71,7 +67,10 @@ fn main() {
         rows.push(
             std::iter::once(am.name().to_string())
                 .chain(idx_io.iter().map(|v| format!("{v:.2}")))
-                .chain([format!("{data_io:.2}"), format!("{}", am.file().index_pages())])
+                .chain([
+                    format!("{data_io:.2}"),
+                    format!("{}", am.file().index_pages()),
+                ])
                 .collect(),
         );
         series.push(idx_io);
@@ -104,6 +103,10 @@ fn main() {
     }
     println!(
         "  [{}] CCAM pays less index I/O than BFS-AM at 1 frame (high CRR avoids Find())",
-        if series[0][0] < series[1][0] { "ok" } else { "MISS" }
+        if series[0][0] < series[1][0] {
+            "ok"
+        } else {
+            "MISS"
+        }
     );
 }

@@ -64,8 +64,16 @@ fn main() {
     }
     println!("{}", render_table(&header, &rows));
 
-    let base = crrs.iter().find(|(n, _)| n.starts_with("ratio-cut (")).expect("base").1;
-    let mway = crrs.iter().find(|(n, _)| n.contains("m-way")).expect("mway").1;
+    let base = crrs
+        .iter()
+        .find(|(n, _)| n.starts_with("ratio-cut ("))
+        .expect("base")
+        .1;
+    let mway = crrs
+        .iter()
+        .find(|(n, _)| n.contains("m-way"))
+        .expect("mway")
+        .1;
     println!("shape checks:");
     println!(
         "  [{}] every heuristic lands within 15% of ratio-cut CRR",

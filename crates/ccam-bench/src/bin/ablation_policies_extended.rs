@@ -80,7 +80,9 @@ fn edge_update_costs(net: &ccam_graph::Network, block: usize) {
 /// Part 2 — lazy-policy threshold sweep on the Figure 7 insertion
 /// workload: amortized I/O vs final CRR.
 fn lazy_thresholds(net: &ccam_graph::Network, block: usize) {
-    println!("Ablation B: lazy-policy thresholds on the 20%-insertion workload  (block = {block} B)\n");
+    println!(
+        "Ablation B: lazy-policy thresholds on the 20%-insertion workload  (block = {block} B)\n"
+    );
     let held: Vec<NodeId> = sample_nodes(net, 0.2, EXPERIMENT_SEED + 2);
     let mut base = net.clone();
     for &id in &held {

@@ -21,8 +21,7 @@ fn main() {
 
     let walks = random_walk_routes(&net, 100, 20, EXPERIMENT_SEED + 70);
     let commutes = commuter_routes(&net, 100, EXPERIMENT_SEED + 71);
-    let avg_len =
-        |rs: &[Route]| rs.iter().map(|r| r.len()).sum::<usize>() as f64 / rs.len() as f64;
+    let avg_len = |rs: &[Route]| rs.iter().map(|r| r.len()).sum::<usize>() as f64 / rs.len() as f64;
     println!(
         "workloads: 100 walks of L=20; 100 commutes of avg L={:.1}\n",
         avg_len(&commutes)
@@ -62,14 +61,21 @@ fn main() {
     println!("{}", render_table(&header, &rows));
 
     println!("shape checks:");
-    let ccam = per_hop.iter().find(|(n, _, _)| n == "CCAM-S").expect("ccam");
+    let ccam = per_hop
+        .iter()
+        .find(|(n, _, _)| n == "CCAM-S")
+        .expect("ccam");
     for (name, w, c) in &per_hop {
         if name == "CCAM-S" {
             continue;
         }
         println!(
             "  [{}] CCAM-S beats {name} under BOTH workload models",
-            if ccam.1 < *w && ccam.2 < *c { "ok" } else { "MISS" }
+            if ccam.1 < *w && ccam.2 < *c {
+                "ok"
+            } else {
+                "MISS"
+            }
         );
     }
 }

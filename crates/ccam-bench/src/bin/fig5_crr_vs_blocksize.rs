@@ -62,8 +62,14 @@ fn main() {
             format!("CCAM-S best at {bs}"),
             (0..names.len()).all(|m| m == s || crr[s][bi] >= crr[m][bi]),
         ));
-        checks.push((format!("CCAM-D > DFS-AM at {bs}"), crr[d][bi] > crr[dfs][bi]));
-        checks.push((format!("DFS-AM > BFS-AM at {bs}"), crr[dfs][bi] > crr[bfs][bi]));
+        checks.push((
+            format!("CCAM-D > DFS-AM at {bs}"),
+            crr[d][bi] > crr[dfs][bi],
+        ));
+        checks.push((
+            format!("DFS-AM > BFS-AM at {bs}"),
+            crr[dfs][bi] > crr[bfs][bi],
+        ));
     }
     checks.push((
         "CRR grows with block size (CCAM-S)".into(),

@@ -10,7 +10,9 @@
 //! Expected shape (paper): page accesses grow linearly with route
 //! length; CCAM-S and CCAM-D below every other method at every length.
 
-use ccam_bench::{avg_route_io, benchmark_network, build_all_methods, render_table, EXPERIMENT_SEED};
+use ccam_bench::{
+    avg_route_io, benchmark_network, build_all_methods, render_table, EXPERIMENT_SEED,
+};
 use ccam_graph::walks::{edge_weights_from_routes, random_walk_routes};
 
 fn main() {

@@ -31,9 +31,9 @@ fn main() {
         // Experiment binaries live next to this one in the target dir.
         let exe = std::env::current_exe().expect("own path");
         let exe = exe.parent().expect("bin dir").join(bin);
-        let output = Command::new(&exe)
-            .output()
-            .unwrap_or_else(|e| panic!("spawn {bin}: {e} (run `cargo build --release -p ccam-bench` first)"));
+        let output = Command::new(&exe).output().unwrap_or_else(|e| {
+            panic!("spawn {bin}: {e} (run `cargo build --release -p ccam-bench` first)")
+        });
         let text = String::from_utf8_lossy(&output.stdout);
         combined.push_str(&format!("{:=^78}\n", format!(" {bin} ")));
         combined.push_str(&text);
@@ -58,7 +58,10 @@ fn main() {
     }
 
     if failures.is_empty() {
-        eprintln!("all {} experiments completed; every shape check passed", BINARIES.len());
+        eprintln!(
+            "all {} experiments completed; every shape check passed",
+            BINARIES.len()
+        );
     } else {
         eprintln!("FAILURES: {failures:?}");
         std::process::exit(1);

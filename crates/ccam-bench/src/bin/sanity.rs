@@ -4,13 +4,25 @@ use std::time::Instant;
 fn main() {
     let t0 = Instant::now();
     let net = benchmark_network();
-    println!("network: {} nodes {} edges ({:?})", net.len(), net.num_edges(), t0.elapsed());
+    println!(
+        "network: {} nodes {} edges ({:?})",
+        net.len(),
+        net.num_edges(),
+        t0.elapsed()
+    );
     for bs in [1024usize] {
         let t = Instant::now();
         let methods = build_all_methods(&net, bs, None, false);
         println!("built in {:?}", t.elapsed());
         for m in &methods {
-            println!("{:10} bs={} crr={:.4} pages={} gamma={:.2}", m.name(), bs, m.crr().unwrap(), m.file().num_pages(), m.file().blocking_factor());
+            println!(
+                "{:10} bs={} crr={:.4} pages={} gamma={:.2}",
+                m.name(),
+                bs,
+                m.crr().unwrap(),
+                m.file().num_pages(),
+                m.file().blocking_factor()
+            );
         }
     }
 }

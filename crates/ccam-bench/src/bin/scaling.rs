@@ -23,7 +23,13 @@ fn config(grid: u32, seed: u64) -> RoadMapConfig {
 fn main() {
     println!("Scaling: CRR and route I/O vs network size  (block = 1024 B)\n");
     let header: Vec<String> = [
-        "nodes", "edges", "CCAM CRR", "DFS CRR", "BFS CRR", "CCAM rt-I/O", "DFS rt-I/O",
+        "nodes",
+        "edges",
+        "CCAM CRR",
+        "DFS CRR",
+        "BFS CRR",
+        "CCAM rt-I/O",
+        "DFS rt-I/O",
         "create",
     ]
     .iter()
@@ -37,10 +43,8 @@ fn main() {
         let t0 = Instant::now();
         let ccam = CcamBuilder::new(1024).build_static(&net).expect("ccam");
         let dt = t0.elapsed();
-        let dfs =
-            TopoAm::create(&net, 1024, TraversalOrder::DepthFirst, None, &w).expect("dfs");
-        let bfs =
-            TopoAm::create(&net, 1024, TraversalOrder::BreadthFirst, None, &w).expect("bfs");
+        let dfs = TopoAm::create(&net, 1024, TraversalOrder::DepthFirst, None, &w).expect("dfs");
+        let bfs = TopoAm::create(&net, 1024, TraversalOrder::BreadthFirst, None, &w).expect("bfs");
         let routes = random_walk_routes(&net, 60, 20, 7);
         let ccam_io = avg_route_io(&ccam, &routes);
         let dfs_io = avg_route_io(&dfs, &routes);

@@ -21,9 +21,7 @@ use std::collections::HashMap;
 fn main() {
     let net = benchmark_network();
     let block = 1024;
-    println!(
-        "Table 5: I/O cost for network operations  (block = {block} B, 50% node sample)\n"
-    );
+    println!("Table 5: I/O cost for network operations  (block = {block} B, 50% node sample)\n");
 
     let w = HashMap::new();
     // First-order policy: reorganization filtered out, as in the paper.
@@ -34,13 +32,9 @@ fn main() {
                 .build_static(&net)
                 .expect("CCAM"),
         ),
-        Box::new(
-            TopoAm::create(&net, block, TraversalOrder::DepthFirst, None, &w).expect("DFS"),
-        ),
+        Box::new(TopoAm::create(&net, block, TraversalOrder::DepthFirst, None, &w).expect("DFS")),
         Box::new(GridAm::create(&net, block).expect("Grid")),
-        Box::new(
-            TopoAm::create(&net, block, TraversalOrder::BreadthFirst, None, &w).expect("BFS"),
-        ),
+        Box::new(TopoAm::create(&net, block, TraversalOrder::BreadthFirst, None, &w).expect("BFS")),
     ];
 
     let sample = sample_nodes(&net, 0.5, EXPERIMENT_SEED + 1);

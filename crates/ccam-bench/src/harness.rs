@@ -37,12 +37,8 @@ pub fn build_all_methods(
         builder = builder.weights(weights.clone());
     }
     let mut methods: Vec<Box<dyn AccessMethod>> = Vec::new();
-    methods.push(Box::new(
-        builder.build_static(net).expect("CCAM-S create"),
-    ));
-    methods.push(Box::new(
-        builder.build_dynamic(net).expect("CCAM-D create"),
-    ));
+    methods.push(Box::new(builder.build_static(net).expect("CCAM-S create")));
+    methods.push(Box::new(builder.build_dynamic(net).expect("CCAM-D create")));
     methods.push(Box::new(
         TopoAm::create(net, block_size, TraversalOrder::DepthFirst, None, w)
             .expect("DFS-AM create"),
@@ -53,7 +49,9 @@ pub fn build_all_methods(
                 .expect("WDFS-AM create"),
         ));
     }
-    methods.push(Box::new(GridAm::create(net, block_size).expect("Grid create")));
+    methods.push(Box::new(
+        GridAm::create(net, block_size).expect("Grid create"),
+    ));
     methods.push(Box::new(
         TopoAm::create(net, block_size, TraversalOrder::BreadthFirst, None, w)
             .expect("BFS-AM create"),
@@ -74,7 +72,10 @@ pub fn sample_nodes(net: &Network, fraction: f64, seed: u64) -> Vec<NodeId> {
 /// Measures the data-page I/O (reads + writes, the paper's §3.2
 /// convention for update operations) of `op`, starting from a cold
 /// buffer and flushing dirty pages afterwards.
-pub fn measure_io<R>(am: &mut dyn AccessMethod, op: impl FnOnce(&mut dyn AccessMethod) -> R) -> (R, u64) {
+pub fn measure_io<R>(
+    am: &mut dyn AccessMethod,
+    op: impl FnOnce(&mut dyn AccessMethod) -> R,
+) -> (R, u64) {
     am.file().pool().clear().expect("clear buffer");
     let before = am.stats().snapshot();
     let r = op(am);
@@ -85,7 +86,10 @@ pub fn measure_io<R>(am: &mut dyn AccessMethod, op: impl FnOnce(&mut dyn AccessM
 
 /// Measures read-only data-page accesses of `op` (search operations:
 /// reads only, no flush needed).
-pub fn measure_reads<R>(am: &dyn AccessMethod, op: impl FnOnce(&dyn AccessMethod) -> R) -> (R, u64) {
+pub fn measure_reads<R>(
+    am: &dyn AccessMethod,
+    op: impl FnOnce(&dyn AccessMethod) -> R,
+) -> (R, u64) {
     let before = am.stats().snapshot();
     let r = op(am);
     let d = am.stats().snapshot().since(&before);
@@ -189,7 +193,14 @@ mod tests {
         let names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            vec!["CCAM-S", "CCAM-D", "DFS-AM", "WDFS-AM", "Grid File", "BFS-AM"]
+            vec![
+                "CCAM-S",
+                "CCAM-D",
+                "DFS-AM",
+                "WDFS-AM",
+                "Grid File",
+                "BFS-AM"
+            ]
         );
     }
 }

@@ -103,7 +103,11 @@ impl CcamBuilder {
     /// An empty CCAM file over an arbitrary (empty) page store — e.g. a
     /// [`ccam_storage::FilePageStore`] for a persistent database.
     pub fn build_empty_on<S: ccam_storage::PageStore>(&self, store: S) -> StorageResult<Ccam<S>> {
-        assert_eq!(store.page_size(), self.page_size, "store page size mismatch");
+        assert_eq!(
+            store.page_size(),
+            self.page_size,
+            "store page size mismatch"
+        );
         Ok(self.wrap(NetworkFile::create(store)?))
     }
 
@@ -140,11 +144,8 @@ impl CcamBuilder {
     ) -> StorageResult<Ccam<S>> {
         am.name = "CCAM-S".to_string();
         let nodes: Vec<&NodeData> = net.nodes().collect();
-        let idx_of: HashMap<NodeId, usize> = nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.id, i))
-            .collect();
+        let idx_of: HashMap<NodeId, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
         let sizes: Vec<usize> = nodes
             .iter()
             .map(|n| crate::file::clustering_weight(n))
@@ -161,7 +162,12 @@ impl CcamBuilder {
         let mut groups =
             cluster_nodes_into_pages(&graph, am.file.clustering_budget(), self.partitioner);
         if self.mway_passes > 0 {
-            groups = refine_m_way(&graph, groups, am.file.clustering_budget(), self.mway_passes);
+            groups = refine_m_way(
+                &graph,
+                groups,
+                am.file.clustering_budget(),
+                self.mway_passes,
+            );
         }
         am.file.bulk_load(
             groups
@@ -261,11 +267,9 @@ impl<S: ccam_storage::PageStore> Ccam<S> {
         let r = insert_with_overflow_split(&mut self.file, page, node, &weight, self.partitioner);
         self.weights = weights;
         r?;
-        let page = self
-            .file
-            .page_of(node.id)?
-            .expect("record just inserted");
-        self.maintain_node(page, &node.neighbors())
+        let page = self.file.page_of(node.id)?.expect("record just inserted");
+        self.maintain_node(page, &node.neighbors())?;
+        self.file.maybe_commit()
     }
 
     /// Replaces the route-derived edge weights and reclusters the whole
@@ -295,6 +299,7 @@ impl<S: ccam_storage::PageStore> Ccam<S> {
             self.file.page_map()?.into_values().collect();
         self.reorganize_set(&pages)?;
         self.update_counts.clear();
+        self.file.maybe_commit()?;
         Ok(crate::crr::crr(&self.file))
     }
 
@@ -327,8 +332,7 @@ impl<S: ccam_storage::PageStore> Ccam<S> {
         match self.policy {
             ReorgPolicy::FirstOrder => Ok(()),
             ReorgPolicy::SecondOrder | ReorgPolicy::HigherOrder => {
-                let pages =
-                    reorg::pages_for_node_update(&self.file, page, neighbors, self.policy)?;
+                let pages = reorg::pages_for_node_update(&self.file, page, neighbors, self.policy)?;
                 self.reorganize_set(&pages)
             }
             ReorgPolicy::Lazy { every } => {
@@ -375,8 +379,7 @@ impl<S: ccam_storage::PageStore> Ccam<S> {
         match self.policy {
             ReorgPolicy::FirstOrder => Ok(()),
             ReorgPolicy::SecondOrder | ReorgPolicy::HigherOrder => {
-                let pages =
-                    reorg::pages_for_edge_update(&self.file, page_u, page_v, self.policy)?;
+                let pages = reorg::pages_for_edge_update(&self.file, page_u, page_v, self.policy)?;
                 self.reorganize_set(&pages)
             }
             ReorgPolicy::Lazy { every } => {
@@ -419,11 +422,9 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
         self.weights = weights;
         r?;
         patch_neighbors_on_insert(&mut self.file, node, incoming)?;
-        let page = self
-            .file
-            .page_of(node.id)?
-            .expect("record just inserted");
-        self.maintain_node(page, &node.neighbors())
+        let page = self.file.page_of(node.id)?.expect("record just inserted");
+        self.maintain_node(page, &node.neighbors())?;
+        self.file.maybe_commit()
     }
 
     /// Figure 4: retrieve `Page(x)` and `PagesOfNbrs(x)`, patch the
@@ -449,6 +450,7 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
                 self.maintain_node(page, &data.neighbors())?;
             }
         }
+        self.file.maybe_commit()?;
         Ok(Some(DeletedNode { data, incoming }))
     }
 
@@ -469,6 +471,7 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
         let pu = self.file.page_of(from)?.expect("from exists");
         let pv = self.file.page_of(to)?.expect("to exists");
         self.maintain_edge(pu, pv)?;
+        self.file.maybe_commit()?;
         Ok(true)
     }
 
@@ -492,6 +495,7 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
         if let Some(pv) = self.file.page_of(to)? {
             self.maintain_edge(pu, pv)?;
         }
+        self.file.maybe_commit()?;
         Ok(Some(cost))
     }
 }
@@ -631,10 +635,7 @@ mod tests {
         let net = grid_network(8, 8, 1.0);
         let mut crr_by_policy = Vec::new();
         for policy in [ReorgPolicy::FirstOrder, ReorgPolicy::SecondOrder] {
-            let mut am = CcamBuilder::new(512)
-                .policy(policy)
-                .build_empty()
-                .unwrap();
+            let mut am = CcamBuilder::new(512).policy(policy).build_empty().unwrap();
             am.name = policy.name().to_string();
             // Incremental build = pure churn workload.
             for node in net.nodes() {
@@ -770,7 +771,10 @@ mod tests {
             after > before_reweight,
             "reorganizing for evening traffic must raise its WCRR: {before_reweight:.3} -> {after:.3}"
         );
-        assert!(wcrr_morning > 0.5, "morning placement served morning traffic");
+        assert!(
+            wcrr_morning > 0.5,
+            "morning placement served morning traffic"
+        );
         // Contents intact.
         for id in net.node_ids() {
             assert!(am.find(id).unwrap().is_some());

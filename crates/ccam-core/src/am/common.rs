@@ -50,10 +50,7 @@ pub fn select_page_by_neighbors<S: PageStore>(
     let mut best: Option<(usize, usize, PageId)> = None; // (count, free, page)
     for page in pages {
         let records = file.read_page_records(page)?;
-        let count = records
-            .iter()
-            .filter(|r| neighbors.contains(&r.id))
-            .count();
+        let count = records.iter().filter(|r| neighbors.contains(&r.id)).count();
         let free = file.page_free_space(page)?;
         if free < needed + ccam_storage::slotted::SLOT_LEN {
             continue;
@@ -150,7 +147,11 @@ pub fn patch_neighbors_on_delete<S: PageStore>(
 
 /// Rewrites a (possibly grown) record, relocating it when its page can
 /// no longer hold it. Shrinking always succeeds in place.
-pub fn write_back<S: PageStore>(file: &mut NetworkFile<S>, page: PageId, rec: &NodeData) -> StorageResult<()> {
+pub fn write_back<S: PageStore>(
+    file: &mut NetworkFile<S>,
+    page: PageId,
+    rec: &NodeData,
+) -> StorageResult<()> {
     if file.update_in(page, rec)? {
         return Ok(());
     }
@@ -190,15 +191,9 @@ pub fn insert_with_overflow_split<S: PageStore>(
         file.remove_from(page, rec.id)?;
     }
     records.push(node.clone());
-    let sizes: Vec<usize> = records
-        .iter()
-        .map(crate::file::clustering_weight)
-        .collect();
-    let idx_of: std::collections::HashMap<NodeId, usize> = records
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (r.id, i))
-        .collect();
+    let sizes: Vec<usize> = records.iter().map(crate::file::clustering_weight).collect();
+    let idx_of: std::collections::HashMap<NodeId, usize> =
+        records.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
     let mut edges = Vec::new();
     for (i, rec) in records.iter().enumerate() {
         for e in &rec.successors {
@@ -296,9 +291,7 @@ mod tests {
         let n1 = node(1, &[], &[]);
         let n2 = node(2, &[], &[]);
         let n3 = node(3, &[], &[]);
-        let pages = f
-            .bulk_load(vec![vec![&n1, &n2], vec![&n3]])
-            .unwrap();
+        let pages = f.bulk_load(vec![vec![&n1, &n2], vec![&n3]]).unwrap();
         // New node with neighbors {1, 2, 3}: page 0 holds two of them.
         let sel = select_page_by_neighbors(&f, &[NodeId(1), NodeId(2), NodeId(3)], 50)
             .unwrap()
@@ -314,7 +307,9 @@ mod tests {
             payload: vec![0; 60],
             ..node(2, &[], &[])
         };
-        let pages = f.bulk_load(vec![vec![&n1, &big], vec![&node(3, &[], &[])]]).unwrap();
+        let pages = f
+            .bulk_load(vec![vec![&n1, &big], vec![&node(3, &[], &[])]])
+            .unwrap();
         // Page 0 has both neighbors but no room for 60 more bytes.
         let sel = select_page_by_neighbors(&f, &[NodeId(1), NodeId(2), NodeId(3)], 60)
             .unwrap()
@@ -386,8 +381,7 @@ mod tests {
             payload: vec![0; 30],
             ..node(3, &[], &[])
         };
-        insert_with_overflow_split(&mut f, pages[0], &c, &|_, _| 1, Partitioner::RatioCut)
-            .unwrap();
+        insert_with_overflow_split(&mut f, pages[0], &c, &|_, _| 1, Partitioner::RatioCut).unwrap();
         for i in 1..=3 {
             assert!(f.find(NodeId(i)).unwrap().is_some(), "node {i}");
         }

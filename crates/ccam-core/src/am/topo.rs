@@ -311,8 +311,8 @@ mod tests {
     fn dfs_beats_bfs_on_grids() {
         // The paper's Figure 5 ordering: DFS-AM above BFS-AM.
         let net = grid_network(12, 12, 1.0);
-        let dfs = TopoAm::create(&net, 1024, TraversalOrder::DepthFirst, None, &no_weights())
-            .unwrap();
+        let dfs =
+            TopoAm::create(&net, 1024, TraversalOrder::DepthFirst, None, &no_weights()).unwrap();
         let bfs = TopoAm::create(
             &net,
             1024,

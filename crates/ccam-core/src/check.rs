@@ -69,12 +69,19 @@ impl fmt::Display for Issue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Issue::IndexPointsAway { node, claimed } => {
-                write!(f, "index maps {node} to {claimed} but the record is not there")
+                write!(
+                    f,
+                    "index maps {node} to {claimed} but the record is not there"
+                )
             }
             Issue::OrphanRecord { node, page } => {
                 write!(f, "record {node} on {page} is not indexed")
             }
-            Issue::DuplicateRecord { node, first, second } => {
+            Issue::DuplicateRecord {
+                node,
+                first,
+                second,
+            } => {
                 write!(f, "record {node} stored twice: {first} and {second}")
             }
             Issue::MissingBackLink { from, to } => {
@@ -173,7 +180,9 @@ pub fn verify<S: PageStore>(file: &NetworkFile<S>) -> StorageResult<Report> {
         for &pred in ps {
             if let Some(succs) = edges.get(&pred) {
                 if !succs.contains(&node) {
-                    report.issues.push(Issue::DanglingPredecessor { node, pred });
+                    report
+                        .issues
+                        .push(Issue::DanglingPredecessor { node, pred });
                 }
             }
         }

@@ -93,8 +93,7 @@ impl CostParams {
                 self.avg_neighbors
             }
             ReorgPolicy::HigherOrder => {
-                self.avg_neighbors
-                    + self.blocking_factor * self.avg_neighbors * (1.0 - self.alpha)
+                self.avg_neighbors + self.blocking_factor * self.avg_neighbors * (1.0 - self.alpha)
             }
         }
     }

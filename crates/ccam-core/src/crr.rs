@@ -32,7 +32,10 @@ pub fn wcrr<S: PageStore>(file: &NetworkFile<S>, weights: &HashMap<(NodeId, Node
 }
 
 /// WCRR under an arbitrary weight function.
-pub fn wcrr_with<S: PageStore>(file: &NetworkFile<S>, weight: impl Fn(NodeId, NodeId) -> u64) -> f64 {
+pub fn wcrr_with<S: PageStore>(
+    file: &NetworkFile<S>,
+    weight: impl Fn(NodeId, NodeId) -> u64,
+) -> f64 {
     let page_map = file.page_map().expect("page map");
     let mut total = 0u64;
     let mut unsplit = 0u64;
@@ -83,11 +86,8 @@ mod tests {
     fn setup() -> NetworkFile {
         let mut f = NetworkFile::new(512).unwrap();
         let nodes = [node(1, &[2]), node(2, &[3]), node(3, &[4]), node(4, &[])];
-        f.bulk_load(vec![
-            vec![&nodes[0], &nodes[1]],
-            vec![&nodes[2], &nodes[3]],
-        ])
-        .unwrap();
+        f.bulk_load(vec![vec![&nodes[0], &nodes[1]], vec![&nodes[2], &nodes[3]]])
+            .unwrap();
         f
     }
 
@@ -103,7 +103,7 @@ mod tests {
         let mut w = HashMap::new();
         w.insert((NodeId(1), NodeId(2)), 10u64); // unsplit
         w.insert((NodeId(2), NodeId(3)), 30u64); // split
-        // Edge 3->4 untraversed: weight 0.
+                                                 // Edge 3->4 untraversed: weight 0.
         assert!((wcrr(&f, &w) - 10.0 / 40.0).abs() < 1e-12);
     }
 

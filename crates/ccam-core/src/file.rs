@@ -20,8 +20,7 @@ use ccam_graph::record::{decode_record, encode_record, encoded_len, peek_id};
 use ccam_graph::{NodeData, NodeId};
 use ccam_index::BPlusTree;
 use ccam_storage::{
-    BufferPool, IoStats, MemPageStore, PageId, PageStore, SlottedPage, StorageError,
-    StorageResult,
+    BufferPool, IoStats, MemPageStore, PageId, PageStore, SlottedPage, StorageError, StorageResult,
 };
 
 /// Default buffer capacity for update operations — the paper "assume\[s\]
@@ -41,6 +40,7 @@ pub struct NetworkFile<S: PageStore = MemPageStore> {
     pool: BufferPool<S>,
     index: BPlusTree<MemPageStore>,
     page_size: usize,
+    auto_commit: bool,
 }
 
 impl NetworkFile<MemPageStore> {
@@ -61,6 +61,7 @@ impl<S: PageStore> NetworkFile<S> {
             // its I/O is not part of the reported metric.
             index: BPlusTree::new_mem(1024)?,
             page_size,
+            auto_commit: false,
         })
     }
 
@@ -85,7 +86,12 @@ impl<S: PageStore> NetworkFile<S> {
         let mut out = ccam_storage::FilePageStore::create(path, self.page_size)?;
         self.pool.with_store(|store| {
             let live = store.live_pages();
-            let max = live.iter().map(|p| p.index()).max().map(|m| m + 1).unwrap_or(0);
+            let max = live
+                .iter()
+                .map(|p| p.index())
+                .max()
+                .map(|m| m + 1)
+                .unwrap_or(0);
             let mut buf = vec![0u8; self.page_size];
             for i in 0..max {
                 let id = out.allocate()?;
@@ -123,6 +129,39 @@ impl<S: PageStore> NetworkFile<S> {
     /// measured operations).
     pub fn pool(&self) -> &BufferPool<S> {
         &self.pool
+    }
+
+    // -- durability ---------------------------------------------------------
+
+    /// Flushes every dirty data page and syncs the store. Over a
+    /// [`ccam_storage::WalStore`] this is the *commit point*: the whole
+    /// flush becomes one atomic, durable log batch.
+    pub fn commit(&self) -> StorageResult<()> {
+        self.pool.flush_all()
+    }
+
+    /// When enabled, the access-method layer commits after every logical
+    /// operation (insert / delete / reorganize), making each one an
+    /// atomic transaction on a WAL-backed store. Off by default: the
+    /// paper's experiments count page accesses and must not pay a flush
+    /// per operation.
+    pub fn set_auto_commit(&mut self, on: bool) {
+        self.auto_commit = on;
+    }
+
+    /// True when per-operation commits are enabled.
+    pub fn auto_commit(&self) -> bool {
+        self.auto_commit
+    }
+
+    /// Commits iff auto-commit is enabled — called by the access methods
+    /// at the end of each logical operation.
+    pub fn maybe_commit(&self) -> StorageResult<()> {
+        if self.auto_commit {
+            self.commit()
+        } else {
+            Ok(())
+        }
     }
 
     /// Number of live data pages.
@@ -256,10 +295,9 @@ impl<S: PageStore> NetworkFile<S> {
     /// Allocates a fresh, slot-formatted data page.
     pub fn allocate_page(&mut self) -> StorageResult<PageId> {
         let page = self.pool.allocate()?;
-        self.pool
-            .with_page_mut(page, |buf| {
-                SlottedPage::init(buf);
-            })?;
+        self.pool.with_page_mut(page, |buf| {
+            SlottedPage::init(buf);
+        })?;
         Ok(page)
     }
 
@@ -407,8 +445,7 @@ impl<S: PageStore> NetworkFile<S> {
                 store.read(page, &mut buf).expect("live page readable");
                 let mut scratch = buf.clone();
                 let sp = SlottedPage::attach(&mut scratch);
-                let records: Vec<NodeData> =
-                    sp.iter().map(|(_, rec)| decode_record(rec)).collect();
+                let records: Vec<NodeData> = sp.iter().map(|(_, rec)| decode_record(rec)).collect();
                 out.push((page, records));
             }
             out
@@ -425,7 +462,6 @@ impl<S: PageStore> NetworkFile<S> {
         }
     }
 
-
     /// Page byte budget the clustering layer must respect so that any
     /// group it produces is guaranteed to fit one slotted page (header
     /// subtracted; per-record slot overhead is included in
@@ -433,7 +469,6 @@ impl<S: PageStore> NetworkFile<S> {
     pub fn clustering_budget(&self) -> usize {
         self.page_size - ccam_storage::slotted::HEADER_LEN
     }
-
 }
 
 /// Byte size `node`'s record will occupy.

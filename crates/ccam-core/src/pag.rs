@@ -26,7 +26,10 @@ use crate::file::NetworkFile;
 /// `PagesOfNbrs(x)` for a node whose record (hence neighbor lists) is
 /// already in hand: the set of pages holding `x`'s neighbors. Index
 /// probes only; no data-page I/O.
-pub fn pages_of_nbrs<S: PageStore>(file: &NetworkFile<S>, node: &NodeData) -> StorageResult<BTreeSet<PageId>> {
+pub fn pages_of_nbrs<S: PageStore>(
+    file: &NetworkFile<S>,
+    node: &NodeData,
+) -> StorageResult<BTreeSet<PageId>> {
     let mut pages = BTreeSet::new();
     for nbr in node.neighbors() {
         if let Some(p) = file.page_of(nbr)? {
@@ -38,7 +41,10 @@ pub fn pages_of_nbrs<S: PageStore>(file: &NetworkFile<S>, node: &NodeData) -> St
 
 /// `PagesOfNbrs` for an explicit neighbor list (used on `Insert(x)` when
 /// `x`'s record is not stored yet).
-pub fn pages_of<S: PageStore>(file: &NetworkFile<S>, neighbors: &[NodeId]) -> StorageResult<BTreeSet<PageId>> {
+pub fn pages_of<S: PageStore>(
+    file: &NetworkFile<S>,
+    neighbors: &[NodeId],
+) -> StorageResult<BTreeSet<PageId>> {
     let mut pages = BTreeSet::new();
     for &nbr in neighbors {
         if let Some(p) = file.page_of(nbr)? {
@@ -53,7 +59,10 @@ pub fn pages_of<S: PageStore>(file: &NetworkFile<S>, neighbors: &[NodeId]) -> St
 ///
 /// Reading `P`'s records is a counted data-page access (the page must be
 /// fetched); mapping neighbor ids to pages costs only index probes.
-pub fn nbr_pages<S: PageStore>(file: &NetworkFile<S>, page: PageId) -> StorageResult<BTreeSet<PageId>> {
+pub fn nbr_pages<S: PageStore>(
+    file: &NetworkFile<S>,
+    page: PageId,
+) -> StorageResult<BTreeSet<PageId>> {
     let mut pages = BTreeSet::new();
     for rec in file.read_page_records(page)? {
         for nbr in rec.neighbors() {
@@ -118,11 +127,7 @@ mod tests {
             n(3, &[4], &[1]),
             n(4, &[], &[3]),
         ];
-        let groups = vec![
-            vec![&nodes[0], &nodes[1]],
-            vec![&nodes[2]],
-            vec![&nodes[3]],
-        ];
+        let groups = vec![vec![&nodes[0], &nodes[1]], vec![&nodes[2]], vec![&nodes[3]]];
         let pages = f.bulk_load(groups).unwrap();
         (f, pages)
     }

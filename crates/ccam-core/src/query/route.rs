@@ -34,7 +34,9 @@ pub struct RouteEvaluation {
 /// false` with the partial aggregate (real road databases hit this when
 /// a segment is closed; queries must not fail outright).
 pub fn evaluate_route<S: PageStore>(
-    am: &dyn AccessMethod<S>, route: &Route) -> StorageResult<RouteEvaluation> {
+    am: &dyn AccessMethod<S>,
+    route: &Route,
+) -> StorageResult<RouteEvaluation> {
     let mut eval = RouteEvaluation {
         total_cost: 0,
         nodes_visited: 0,
@@ -67,7 +69,9 @@ pub fn evaluate_route<S: PageStore>(
 
 /// Convenience: evaluates a node-id sequence.
 pub fn evaluate_path<S: PageStore>(
-    am: &dyn AccessMethod<S>, nodes: &[NodeId]) -> StorageResult<RouteEvaluation> {
+    am: &dyn AccessMethod<S>,
+    nodes: &[NodeId],
+) -> StorageResult<RouteEvaluation> {
     evaluate_route(
         am,
         &Route {
@@ -141,8 +145,7 @@ mod tests {
             assert!(eval.complete);
             let _ = snap;
         }
-        let total = am.stats().snapshot().since(&before).physical_reads as f64
-            - 0.0;
+        let total = am.stats().snapshot().since(&before).physical_reads as f64 - 0.0;
         let measured = total / routes.len() as f64;
         let predicted = 1.0 + 19.0 * (1.0 - alpha);
         // Generous envelope: the model is approximate (revisits help).

@@ -143,8 +143,12 @@ mod tests {
         let net = path_network(3);
         let am = CcamBuilder::new(512).build_static(&net).unwrap();
         use ccam_graph::NodeId;
-        assert!(dijkstra(&am, NodeId(12345), zorder_id(0, 0)).unwrap().is_none());
-        assert!(a_star(&am, zorder_id(0, 0), NodeId(12345)).unwrap().is_none());
+        assert!(dijkstra(&am, NodeId(12345), zorder_id(0, 0))
+            .unwrap()
+            .is_none());
+        assert!(a_star(&am, zorder_id(0, 0), NodeId(12345))
+            .unwrap()
+            .is_none());
     }
 
     #[test]

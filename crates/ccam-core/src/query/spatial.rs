@@ -135,13 +135,7 @@ mod tests {
     use crate::am::{AccessMethod, CcamBuilder};
     use ccam_graph::generators::grid_network;
 
-    fn window_brute(
-        net: &ccam_graph::Network,
-        x0: u32,
-        y0: u32,
-        x1: u32,
-        y1: u32,
-    ) -> Vec<NodeId> {
+    fn window_brute(net: &ccam_graph::Network, x0: u32, y0: u32, x1: u32, y1: u32) -> Vec<NodeId> {
         let mut v: Vec<NodeId> = net
             .nodes()
             .filter(|n| n.x >= x0 && n.x <= x1 && n.y >= y0 && n.y <= y1)
@@ -156,11 +150,19 @@ mod tests {
         let net = grid_network(15, 15, 1.0);
         let am = CcamBuilder::new(1024).build_static(&net).unwrap();
         let idx = SpatialIndex::build_rtree(am.file());
-        for (x0, y0, x1, y1) in [(0, 0, 14, 14), (3, 4, 7, 9), (10, 10, 10, 10), (20, 20, 30, 30)]
-        {
+        for (x0, y0, x1, y1) in [
+            (0, 0, 14, 14),
+            (3, 4, 7, 9),
+            (10, 10, 10, 10),
+            (20, 20, 30, 30),
+        ] {
             let mut got = idx.window_ids(am.file(), x0, y0, x1, y1).unwrap();
             got.sort_unstable();
-            assert_eq!(got, window_brute(&net, x0, y0, x1, y1), "{x0},{y0},{x1},{y1}");
+            assert_eq!(
+                got,
+                window_brute(&net, x0, y0, x1, y1),
+                "{x0},{y0},{x1},{y1}"
+            );
         }
     }
 
@@ -172,7 +174,11 @@ mod tests {
         for (x0, y0, x1, y1) in [(0, 0, 14, 14), (3, 4, 7, 9), (5, 5, 5, 5)] {
             let mut got = idx.window_ids(am.file(), x0, y0, x1, y1).unwrap();
             got.sort_unstable();
-            assert_eq!(got, window_brute(&net, x0, y0, x1, y1), "{x0},{y0},{x1},{y1}");
+            assert_eq!(
+                got,
+                window_brute(&net, x0, y0, x1, y1),
+                "{x0},{y0},{x1},{y1}"
+            );
         }
     }
 
@@ -198,13 +204,25 @@ mod tests {
         let del = am.delete_node(victim).unwrap().unwrap();
         idx.remove(&victim_rec);
         let ids = idx
-            .window_ids(am.file(), victim_rec.x, victim_rec.y, victim_rec.x, victim_rec.y)
+            .window_ids(
+                am.file(),
+                victim_rec.x,
+                victim_rec.y,
+                victim_rec.x,
+                victim_rec.y,
+            )
             .unwrap();
         assert!(!ids.contains(&victim));
         am.insert_node(&del.data, &del.incoming).unwrap();
         idx.insert(&del.data);
         let ids = idx
-            .window_ids(am.file(), victim_rec.x, victim_rec.y, victim_rec.x, victim_rec.y)
+            .window_ids(
+                am.file(),
+                victim_rec.x,
+                victim_rec.y,
+                victim_rec.x,
+                victim_rec.y,
+            )
             .unwrap();
         assert!(ids.contains(&victim));
     }

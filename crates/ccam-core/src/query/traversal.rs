@@ -168,8 +168,7 @@ mod tests {
         // Hop counts are exact BFS depths.
         for (id, h) in h1 {
             let n = net.node(id).unwrap();
-            let manhattan =
-                (n.x as i64 - 3).unsigned_abs() + (n.y as i64 - 3).unsigned_abs();
+            let manhattan = (n.x as i64 - 3).unsigned_abs() + (n.y as i64 - 3).unsigned_abs();
             assert_eq!(h as u64, manhattan);
         }
     }

@@ -148,15 +148,9 @@ pub fn reorganize_pages<S: PageStore>(
     }
 
     // 2. Build the sub-network graph: edges with both endpoints inside.
-    let idx_of: HashMap<NodeId, usize> = records
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (r.id, i))
-        .collect();
-    let sizes: Vec<usize> = records
-        .iter()
-        .map(crate::file::clustering_weight)
-        .collect();
+    let idx_of: HashMap<NodeId, usize> =
+        records.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+    let sizes: Vec<usize> = records.iter().map(crate::file::clustering_weight).collect();
     let mut edges: Vec<(usize, usize, u64)> = Vec::new();
     for (i, rec) in records.iter().enumerate() {
         for e in &rec.successors {
@@ -239,12 +233,9 @@ mod tests {
     fn policy_page_sets_grow_with_order() {
         let (f, pages, nodes) = badly_clustered();
         let nbrs = nodes[1].neighbors(); // node 2: neighbors 1 and 3
-        let first =
-            pages_for_node_update(&f, pages[1], &nbrs, ReorgPolicy::FirstOrder).unwrap();
-        let second =
-            pages_for_node_update(&f, pages[1], &nbrs, ReorgPolicy::SecondOrder).unwrap();
-        let higher =
-            pages_for_node_update(&f, pages[1], &nbrs, ReorgPolicy::HigherOrder).unwrap();
+        let first = pages_for_node_update(&f, pages[1], &nbrs, ReorgPolicy::FirstOrder).unwrap();
+        let second = pages_for_node_update(&f, pages[1], &nbrs, ReorgPolicy::SecondOrder).unwrap();
+        let higher = pages_for_node_update(&f, pages[1], &nbrs, ReorgPolicy::HigherOrder).unwrap();
         assert!(first.is_empty());
         assert!(second.contains(&pages[1]));
         assert!(second.len() >= 2);
@@ -272,15 +263,14 @@ mod tests {
         let set = pages_for_lazy_trigger(&f, pages[1]).unwrap();
         assert!(set.contains(&pages[1]), "P itself");
         // The 1-4 / 2-5 / 3-6 placement connects every page to both others.
-        assert!(set.contains(&pages[0]) && set.contains(&pages[2]), "NbrPages(P)");
+        assert!(
+            set.contains(&pages[0]) && set.contains(&pages[2]),
+            "NbrPages(P)"
+        );
         // Lazy produces no immediate page set through the per-update path.
-        let nothing = pages_for_node_update(
-            &f,
-            pages[1],
-            &[NodeId(1)],
-            ReorgPolicy::Lazy { every: 4 },
-        )
-        .unwrap();
+        let nothing =
+            pages_for_node_update(&f, pages[1], &[NodeId(1)], ReorgPolicy::Lazy { every: 4 })
+                .unwrap();
         assert!(nothing.is_empty());
     }
 

@@ -116,7 +116,10 @@ pub fn parse_trace(text: &str) -> Result<Vec<Op>, ParseError> {
             if args.len() == n {
                 Ok(())
             } else {
-                Err(err(format!("`{cmd}` needs {n} argument(s), got {}", args.len())))
+                Err(err(format!(
+                    "`{cmd}` needs {n} argument(s), got {}",
+                    args.len()
+                )))
             }
         };
         let op = match cmd {
@@ -273,8 +276,10 @@ pub fn replay<S: PageStore>(
     let delta = am.stats().snapshot().since(&before);
     stats.page_reads = delta.physical_reads;
     stats.page_writes = delta.physical_writes;
-    let mut per: Vec<(String, usize)> =
-        per_op.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    let mut per: Vec<(String, usize)> = per_op
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
     per.sort();
     stats.per_op = per;
     Ok(stats)

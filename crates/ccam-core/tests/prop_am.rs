@@ -117,7 +117,10 @@ fn apply(
 fn check_equiv(am: &dyn AccessMethod, model: &Network) {
     assert_eq!(am.file().len(), model.len(), "record count");
     for id in model.node_ids() {
-        let rec = am.find(id).unwrap().unwrap_or_else(|| panic!("{id:?} lost"));
+        let rec = am
+            .find(id)
+            .unwrap()
+            .unwrap_or_else(|| panic!("{id:?} lost"));
         let want = model.node(id).unwrap();
         assert_eq!(rec.id, want.id);
         assert_eq!((rec.x, rec.y), (want.x, want.y));
@@ -188,8 +191,8 @@ proptest! {
 /// sequences (fuzzed constructor side), and replay never panics on
 /// arbitrary traces over a small network.
 mod workload_props {
-    use ccam_core::workload::{format_trace, parse_trace, replay, Op};
     use ccam_core::am::{AccessMethod, CcamBuilder};
+    use ccam_core::workload::{format_trace, parse_trace, replay, Op};
     use ccam_graph::generators::grid_network;
     use ccam_graph::NodeId;
     use proptest::prelude::*;

@@ -162,10 +162,7 @@ mod tests {
         let s = star_network(6);
         assert_eq!(s.len(), 7);
         assert_eq!(s.num_edges(), 12);
-        assert_eq!(
-            s.node(zorder_id(1000, 1000)).unwrap().successors.len(),
-            6
-        );
+        assert_eq!(s.node(zorder_id(1000, 1000)).unwrap().successors.len(), 6);
         s.validate();
     }
 

@@ -317,11 +317,7 @@ mod tests {
         let mut n = diamond();
         assert_eq!(n.remove_edge(NodeId(1), NodeId(2)), Some(10));
         assert_eq!(n.remove_edge(NodeId(1), NodeId(2)), None);
-        assert!(n
-            .node(NodeId(2))
-            .unwrap()
-            .predecessors
-            .is_empty());
+        assert!(n.node(NodeId(2)).unwrap().predecessors.is_empty());
         n.validate();
     }
 

@@ -24,7 +24,9 @@ const PRED_ENTRY: usize = 8;
 /// Exact encoded size of `node`, in bytes. The clustering algorithms use
 /// this as the node's weight against the page byte budget.
 pub fn encoded_len(node: &NodeData) -> usize {
-    FIXED + node.payload.len() + SUCC_ENTRY * node.successors.len()
+    FIXED
+        + node.payload.len()
+        + SUCC_ENTRY * node.successors.len()
         + PRED_ENTRY * node.predecessors.len()
 }
 

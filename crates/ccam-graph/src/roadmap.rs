@@ -124,7 +124,9 @@ pub fn road_map(cfg: &RoadMapConfig) -> Network {
             coord[v] = (cx, cy);
             // Variable-size application payload (street attributes).
             let payload_len = 4 + rng.random_range(0..9);
-            let payload: Vec<u8> = (0..payload_len).map(|_| rng.random_range(0..=255)).collect();
+            let payload: Vec<u8> = (0..payload_len)
+                .map(|_| rng.random_range(0..=255))
+                .collect();
             net.add_node(zorder_id(cx, cy), cx, cy, payload);
         }
     }
@@ -164,7 +166,10 @@ pub fn road_map(cfg: &RoadMapConfig) -> Network {
     }
 
     // 5. One-way / two-way assignment hitting the directed-edge target.
-    let two_way = cfg.target_directed.saturating_sub(kept.len()).min(kept.len());
+    let two_way = cfg
+        .target_directed
+        .saturating_sub(kept.len())
+        .min(kept.len());
     for (si, &(a, b)) in kept.iter().enumerate() {
         let (ida, idb) = (id_of(coord[a]), id_of(coord[b]));
         let cost = travel_time(coord[a], coord[b], &mut rng);

@@ -210,9 +210,7 @@ mod tests {
             Route {
                 nodes: vec![a, b, c],
             },
-            Route {
-                nodes: vec![a, b],
-            },
+            Route { nodes: vec![a, b] },
         ];
         let w = edge_weights_from_routes(&routes);
         assert_eq!(w[&(a, b)], 2);
@@ -247,8 +245,8 @@ mod tests {
             // distance + 1 (shortest-path property).
             let s = net.node(r.nodes[0]).unwrap();
             let t = net.node(*r.nodes.last().unwrap()).unwrap();
-            let manhattan = (s.x as i64 - t.x as i64).unsigned_abs()
-                + (s.y as i64 - t.y as i64).unsigned_abs();
+            let manhattan =
+                (s.x as i64 - t.x as i64).unsigned_abs() + (s.y as i64 - t.y as i64).unsigned_abs();
             assert_eq!(r.len() as u64, manhattan + 1, "not a shortest path");
         }
     }

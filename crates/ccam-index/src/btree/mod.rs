@@ -168,12 +168,7 @@ impl<S: PageStore> BPlusTree<S> {
         Ok(old)
     }
 
-    fn insert_rec(
-        &mut self,
-        page: PageId,
-        key: u64,
-        val: u64,
-    ) -> StorageResult<InsertOutcome> {
+    fn insert_rec(&mut self, page: PageId, key: u64, val: u64) -> StorageResult<InsertOutcome> {
         match read_node(&self.pool, page)? {
             Node::Leaf { next, mut entries } => {
                 match entries.binary_search_by_key(&key, |e| e.0) {
@@ -214,7 +209,10 @@ impl<S: PageStore> BPlusTree<S> {
                     }
                 }
             }
-            Node::Internal { mut keys, mut children } => {
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
                 let idx = child_index(&keys, key);
                 let (old, split) = self.insert_rec(children[idx], key, val)?;
                 if let Some((sep, right)) = split {
@@ -271,16 +269,14 @@ impl<S: PageStore> BPlusTree<S> {
 
     fn remove_rec(&mut self, page: PageId, key: u64) -> StorageResult<Option<u64>> {
         match read_node(&self.pool, page)? {
-            Node::Leaf { next, mut entries } => {
-                match entries.binary_search_by_key(&key, |e| e.0) {
-                    Ok(i) => {
-                        let (_, v) = entries.remove(i);
-                        write_node(&self.pool, page, &Node::Leaf { next, entries })?;
-                        Ok(Some(v))
-                    }
-                    Err(_) => Ok(None),
+            Node::Leaf { next, mut entries } => match entries.binary_search_by_key(&key, |e| e.0) {
+                Ok(i) => {
+                    let (_, v) = entries.remove(i);
+                    write_node(&self.pool, page, &Node::Leaf { next, entries })?;
+                    Ok(Some(v))
                 }
-            }
+                Err(_) => Ok(None),
+            },
             Node::Internal { keys, children } => {
                 let idx = child_index(&keys, key);
                 let removed = self.remove_rec(children[idx], key)?;
@@ -466,7 +462,11 @@ impl<S: PageStore> BPlusTree<S> {
         } else {
             // Merge with a sibling (prefer left so the leaf chain stays
             // easy to fix: survivor is always the left node).
-            let (li, ri) = if left.is_some() { (idx - 1, idx) } else { (idx, idx + 1) };
+            let (li, ri) = if left.is_some() {
+                (idx - 1, idx)
+            } else {
+                (idx, idx + 1)
+            };
             let lp = children[li];
             let rp = children[ri];
             let lnode = read_node(&self.pool, lp)?;
@@ -638,10 +638,7 @@ impl<S: PageStore> BPlusTree<S> {
                     in_bounds(k);
                 }
                 if page != self.root {
-                    assert!(
-                        keys.len() >= self.internal_cap / 2,
-                        "internal underflow"
-                    );
+                    assert!(keys.len() >= self.internal_cap / 2, "internal underflow");
                 }
                 assert!(keys.len() <= self.internal_cap, "internal overflow");
                 for (i, &child) in children.iter().enumerate() {

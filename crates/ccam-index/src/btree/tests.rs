@@ -82,7 +82,15 @@ fn range_queries() {
     }
     assert_eq!(
         t.range(10, 30).unwrap(),
-        vec![(12, 12), (15, 15), (18, 18), (21, 21), (24, 24), (27, 27), (30, 30)]
+        vec![
+            (12, 12),
+            (15, 15),
+            (18, 18),
+            (21, 21),
+            (24, 24),
+            (27, 27),
+            (30, 30)
+        ]
     );
     assert_eq!(t.range(598, u64::MAX).unwrap(), vec![]); // above max key 597
     assert_eq!(t.range(50, 40).unwrap(), vec![]); // inverted
@@ -152,7 +160,9 @@ fn mixed_workload_stays_consistent() {
     // Deterministic pseudo-random mix without pulling in rand here.
     let mut x = 0x12345678u64;
     for _ in 0..3000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let key = (x >> 33) % 512;
         if (x >> 3).is_multiple_of(3) {
             assert_eq!(t.remove(key).unwrap(), model.remove(&key));

@@ -138,11 +138,7 @@ impl<V: Copy + PartialEq> GridFile<V> {
 
     /// Total number of entries.
     pub fn len(&self) -> usize {
-        self.buckets
-            .iter()
-            .flatten()
-            .map(|b| b.entries.len())
-            .sum()
+        self.buckets.iter().flatten().map(|b| b.entries.len()).sum()
     }
 
     /// True when no entries are stored.
@@ -273,10 +269,7 @@ impl<V: Copy + PartialEq> GridFile<V> {
         // Entry cell indices along both axes.
         let (cells_x, cells_y): (Vec<usize>, Vec<usize>) = {
             let b = self.bucket(id);
-            b.entries
-                .iter()
-                .map(|e| self.cell_of(e.x, e.y))
-                .unzip()
+            b.entries.iter().map(|e| self.cell_of(e.x, e.y)).unzip()
         };
         let span = |cells: &[usize]| -> (usize, usize) {
             let min = cells.iter().min().copied().unwrap_or(0);
@@ -460,7 +453,8 @@ impl<V: Copy + PartialEq> GridFile<V> {
 /// span at least two distinct values.
 fn weight_median_cut(cells: &[usize], weights: &[usize]) -> usize {
     debug_assert_eq!(cells.len(), weights.len());
-    let mut pairs: Vec<(usize, usize)> = cells.iter().copied().zip(weights.iter().copied()).collect();
+    let mut pairs: Vec<(usize, usize)> =
+        cells.iter().copied().zip(weights.iter().copied()).collect();
     pairs.sort_unstable();
     let total: usize = weights.iter().sum();
     let mut acc = 0usize;
@@ -624,7 +618,11 @@ mod tests {
         g.check_invariants();
         assert_eq!(g.len(), 500);
         for (_, entries) in g.buckets() {
-            assert!(entries.len() <= 8, "bucket over capacity: {}", entries.len());
+            assert!(
+                entries.len() <= 8,
+                "bucket over capacity: {}",
+                entries.len()
+            );
         }
     }
 

@@ -216,7 +216,14 @@ impl<V: Clone + PartialEq> RTree<V> {
     /// Verifies R-tree invariants (test-support API): entry counts,
     /// bounding-rectangle containment, uniform leaf depth.
     pub fn check_invariants(&self) {
-        fn rec<V>(node: &Node<V>, depth: usize, leaf_depth: &mut Option<usize>, min: usize, max: usize, is_root: bool) {
+        fn rec<V>(
+            node: &Node<V>,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+            min: usize,
+            max: usize,
+            is_root: bool,
+        ) {
             match node {
                 Node::Leaf(entries) => {
                     match leaf_depth {

@@ -160,7 +160,13 @@ fn one_pass(g: &PartGraph, side: &mut [bool], bounds: Bounds, objective: Objecti
         .map(|v| {
             g.neighbors(v)
                 .iter()
-                .map(|&(u, w)| if side[u] != side[v] { w as i64 } else { -(w as i64) })
+                .map(|&(u, w)| {
+                    if side[u] != side[v] {
+                        w as i64
+                    } else {
+                        -(w as i64)
+                    }
+                })
                 .sum()
         })
         .collect();
@@ -323,7 +329,14 @@ mod tests {
         // One 60-byte node and six 10-byte nodes; min side 40 bytes.
         let g = PartGraph::new(
             vec![60, 10, 10, 10, 10, 10, 10],
-            &[(0, 1, 1), (1, 2, 5), (2, 3, 5), (3, 4, 5), (4, 5, 5), (5, 6, 5)],
+            &[
+                (0, 1, 1),
+                (1, 2, 5),
+                (2, 3, 5),
+                (3, 4, 5),
+                (4, 5, 5),
+                (5, 6, 5),
+            ],
         );
         let bp = fiduccia_mattheyses(&g, 40);
         let (a, b) = side_sizes(&g, &bp.side);

@@ -173,7 +173,7 @@ mod tests {
         assert_eq!(sub.len(), 3);
         assert_eq!(back, vec![1, 2, 3]);
         assert_eq!(sub.size(0), 2); // node 1's size
-        // Edges (1,2) and (2,3) survive; (0,1) and (0,3) are cut away.
+                                    // Edges (1,2) and (2,3) survive; (0,1) and (0,3) are cut away.
         assert_eq!(sub.total_edge_weight(), 5);
     }
 

@@ -43,7 +43,13 @@ pub fn refine_kl(
 fn d_value(g: &PartGraph, side: &[bool], v: usize) -> i64 {
     g.neighbors(v)
         .iter()
-        .map(|&(u, w)| if side[u] != side[v] { w as i64 } else { -(w as i64) })
+        .map(|&(u, w)| {
+            if side[u] != side[v] {
+                w as i64
+            } else {
+                -(w as i64)
+            }
+        })
         .sum()
 }
 

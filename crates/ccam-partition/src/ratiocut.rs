@@ -44,11 +44,7 @@ pub fn two_way_ratio_cut(g: &PartGraph, min_side: usize) -> Bipartition {
         let side = seed_from(g, root.min(n - 1));
         let bp = refine(g, side, bounds, Objective::Ratio, 24);
         let value = ratio_cut_cost(g, &bp.side);
-        if best
-            .as_ref()
-            .map(|(bv, _)| value < *bv)
-            .unwrap_or(true)
-        {
+        if best.as_ref().map(|(bv, _)| value < *bv).unwrap_or(true) {
             best = Some((value, bp));
         }
     }
@@ -103,8 +99,7 @@ mod tests {
     #[test]
     fn respects_min_side_on_weighted_path() {
         // Path with a featherweight end edge tempting an unbalanced cut.
-        let mut edges: Vec<(usize, usize, u64)> =
-            (0..9).map(|i| (i, i + 1, 10)).collect();
+        let mut edges: Vec<(usize, usize, u64)> = (0..9).map(|i| (i, i + 1, 10)).collect();
         edges[0].2 = 1; // cheap edge at one end
         let g = PartGraph::new(vec![10; 10], &edges);
         let bp = two_way_ratio_cut(&g, 30);
@@ -148,10 +143,7 @@ mod tests {
 
     #[test]
     fn disconnected_components_split_for_free() {
-        let g = PartGraph::new(
-            vec![1; 6],
-            &[(0, 1, 5), (1, 2, 5), (3, 4, 5), (4, 5, 5)],
-        );
+        let g = PartGraph::new(vec![1; 6], &[(0, 1, 5), (1, 2, 5), (3, 4, 5), (4, 5, 5)]);
         let bp = two_way_ratio_cut(&g, 3);
         assert_eq!(bp.cut, 0, "components should not be cut");
     }

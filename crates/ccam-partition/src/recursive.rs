@@ -122,7 +122,11 @@ pub fn cluster_nodes_into_pages(
 /// it can only *unsplit* inter-group edges — so CRR is monotonically
 /// non-decreasing while the blocking factor rises towards the paper's
 /// well-packed files.
-pub fn pack_groups(g: &PartGraph, mut groups: Vec<Vec<usize>>, page_size: usize) -> Vec<Vec<usize>> {
+pub fn pack_groups(
+    g: &PartGraph,
+    mut groups: Vec<Vec<usize>>,
+    page_size: usize,
+) -> Vec<Vec<usize>> {
     loop {
         let k = groups.len();
         if k < 2 {
@@ -178,7 +182,10 @@ pub fn check_clustering(g: &PartGraph, pages: &[Vec<usize>], page_size: usize) {
     let mut seen = vec![false; g.len()];
     for page in pages {
         let size: usize = page.iter().map(|&v| g.size(v)).sum();
-        assert!(size <= page_size, "page of {size} bytes exceeds {page_size}");
+        assert!(
+            size <= page_size,
+            "page of {size} bytes exceeds {page_size}"
+        );
         for &v in page {
             assert!(!seen[v], "node {v} assigned twice");
             seen[v] = true;
@@ -270,9 +277,8 @@ mod tests {
     #[test]
     fn oversized_record_panics() {
         let g = PartGraph::new(vec![100], &[]);
-        let r = std::panic::catch_unwind(|| {
-            cluster_nodes_into_pages(&g, 64, Partitioner::RatioCut)
-        });
+        let r =
+            std::panic::catch_unwind(|| cluster_nodes_into_pages(&g, 64, Partitioner::RatioCut));
         assert!(r.is_err());
     }
 

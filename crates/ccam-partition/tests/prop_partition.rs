@@ -15,8 +15,7 @@ fn arb_graph() -> impl Strategy<Value = PartGraph> {
         let extra = prop::collection::vec((0..n, 0..n, 1u64..5), 0..n * 2);
         let sizes = prop::collection::vec(8usize..40, n);
         (Just(n), sizes, extra).prop_map(|(n, sizes, extra)| {
-            let mut edges: Vec<(usize, usize, u64)> =
-                (0..n - 1).map(|i| (i, i + 1, 1)).collect();
+            let mut edges: Vec<(usize, usize, u64)> = (0..n - 1).map(|i| (i, i + 1, 1)).collect();
             edges.extend(extra);
             PartGraph::new(sizes, &edges)
         })

@@ -120,11 +120,7 @@ impl<S: PageStore> BufferPool<S> {
     }
 
     /// Runs `f` over the mutable contents of page `id`, marking it dirty.
-    pub fn with_page_mut<R>(
-        &self,
-        id: PageId,
-        f: impl FnOnce(&mut [u8]) -> R,
-    ) -> StorageResult<R> {
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> StorageResult<R> {
         let mut inner = self.inner.lock();
         let idx = inner.fault_in(id, &self.stats)?;
         inner.frames[idx].dirty = true;
@@ -151,20 +147,18 @@ impl<S: PageStore> BufferPool<S> {
         ids.into_iter().map(|(_, id)| id).collect()
     }
 
-    /// Writes back every dirty frame (frames stay resident).
+    /// Writes back every dirty frame (frames stay resident), then syncs
+    /// the store — the commit point when the store is a `WalStore`.
+    ///
+    /// Dirty frames are written in ascending page order, not frame
+    /// order, so the write-back sequence (and hence any write-ahead log
+    /// batch built from it) is deterministic regardless of eviction
+    /// history.
     pub fn flush_all(&self) -> StorageResult<()> {
         let mut inner = self.inner.lock();
-        for i in 0..inner.frames.len() {
-            if inner.frames[i].dirty {
-                let id = inner.frames[i].id;
-                // Split borrow: copy out, then write.
-                let data = inner.frames[i].data.clone();
-                inner.store.write(id, &data)?;
-                inner.frames[i].dirty = false;
-                self.stats.record_write();
-            }
-        }
+        inner.write_back_dirty(&self.stats)?;
         inner.store.sync()?;
+        self.stats.record_sync();
         Ok(())
     }
 
@@ -173,12 +167,16 @@ impl<S: PageStore> BufferPool<S> {
     /// paper's per-operation "average number of data page accesses".
     pub fn clear(&self) -> StorageResult<()> {
         let mut inner = self.inner.lock();
+        // Write-back first (ascending page order, for deterministic WAL
+        // batches), then drop every frame.
+        inner.write_back_dirty(&self.stats)?;
         while let Some(frame) = inner.frames.last() {
             let id = frame.id;
             let idx = inner.map[&id];
             inner.evict(idx, &self.stats)?;
         }
         inner.store.sync()?;
+        self.stats.record_sync();
         Ok(())
     }
 
@@ -203,19 +201,32 @@ impl<S: PageStore> BufferPool<S> {
 impl<S: PageStore> Drop for BufferPool<S> {
     fn drop(&mut self) {
         let mut inner = self.inner.lock();
-        for i in 0..inner.frames.len() {
-            if inner.frames[i].dirty {
-                let id = inner.frames[i].id;
-                let data = inner.frames[i].data.clone();
-                let _ = inner.store.write(id, &data);
-                inner.frames[i].dirty = false;
-            }
-        }
+        let _ = inner.write_back_dirty(&self.stats);
         let _ = inner.store.sync();
     }
 }
 
 impl<S: PageStore> Inner<S> {
+    /// Writes back every dirty frame in ascending page-id order (frames
+    /// stay resident and are marked clean). Stops at the first error —
+    /// a `WalStore` beneath only commits on `sync()`, so a partial
+    /// write-back is never made durable.
+    fn write_back_dirty(&mut self, stats: &IoStats) -> StorageResult<()> {
+        let mut dirty: Vec<usize> = (0..self.frames.len())
+            .filter(|&i| self.frames[i].dirty)
+            .collect();
+        dirty.sort_unstable_by_key(|&i| self.frames[i].id);
+        for i in dirty {
+            let id = self.frames[i].id;
+            // Split borrow: copy out, then write.
+            let data = self.frames[i].data.clone();
+            self.store.write(id, &data)?;
+            self.frames[i].dirty = false;
+            stats.record_write();
+        }
+        Ok(())
+    }
+
     /// Index of the least-recently-used frame.
     fn lru_victim(&self) -> usize {
         self.frames
@@ -296,7 +307,9 @@ mod tests {
         let p = pool(4);
         let a = p.allocate().unwrap();
         p.with_page_mut(a, |buf| buf.fill(0x5a)).unwrap();
-        let all = p.with_page(a, |buf| buf.iter().all(|&x| x == 0x5a)).unwrap();
+        let all = p
+            .with_page(a, |buf| buf.iter().all(|&x| x == 0x5a))
+            .unwrap();
         assert!(all);
     }
 
@@ -403,9 +416,15 @@ mod tests {
         let p = BufferPool::new(store, 2);
         let a = p.allocate().unwrap();
         p.with_page_mut(a, |buf| buf.fill(3)).unwrap();
-        assert_eq!(counters.writes.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(
+            counters.writes.load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
         drop(p);
-        assert_eq!(counters.writes.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(
+            counters.writes.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
     }
 
     #[test]

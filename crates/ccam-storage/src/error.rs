@@ -34,6 +34,9 @@ pub enum StorageError {
     Corrupt(String),
     /// Requested page size is unsupported (too small or not a power of two).
     BadPageSize(usize),
+    /// A durable store hit an I/O failure mid-batch and refuses further
+    /// mutations until rolled back or recovered (see `WalStore`).
+    Poisoned,
 }
 
 impl fmt::Display for StorageError {
@@ -50,6 +53,12 @@ impl fmt::Display for StorageError {
             StorageError::InvalidSlot(s) => write!(f, "invalid slot {s}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page file: {msg}"),
             StorageError::BadPageSize(s) => write!(f, "unsupported page size {s}"),
+            StorageError::Poisoned => {
+                write!(
+                    f,
+                    "store poisoned by an earlier I/O failure; roll back or recover"
+                )
+            }
         }
     }
 }

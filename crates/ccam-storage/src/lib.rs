@@ -12,24 +12,34 @@
 //!   file-backed implementation,
 //! * [`buffer`] — an LRU buffer manager that counts data-page accesses,
 //! * [`stats`] — shared I/O counters used by every experiment (the paper
-//!   reports "the number of data pages accessed", §4).
+//!   reports "the number of data pages accessed", §4),
+//! * [`wal`], [`durable`], [`recovery`] — an opt-in write-ahead log:
+//!   [`WalStore`] wraps any [`PageStore`], turns `sync()` into an atomic
+//!   commit point, and replays the log on reopen so a crash at an
+//!   arbitrary instant never tears a multi-page update.
 //!
 //! The access methods in `ccam-core` never touch a [`PageStore`] directly;
 //! all page traffic flows through a [`BufferPool`] so that the experiments
 //! can attribute every physical page fetch to the operation that caused it.
 
 pub mod buffer;
+pub mod durable;
 pub mod error;
 pub mod page;
+pub mod recovery;
 pub mod slotted;
 pub mod stats;
 pub mod store;
 pub mod testing;
+pub mod wal;
 
 pub use buffer::BufferPool;
+pub use durable::WalStore;
 pub use error::{StorageError, StorageResult};
 pub use page::{PageId, BLOCK_1K, BLOCK_2K, BLOCK_4K, BLOCK_512, MIN_PAGE_SIZE};
+pub use recovery::RecoveryReport;
 pub use slotted::{SlotId, SlottedPage};
 pub use stats::IoStats;
 pub use store::{FilePageStore, MemPageStore, PageStore};
-pub use testing::{CountingStore, FlakyStore};
+pub use testing::{CountingStore, CrashController, CrashStore, FlakyStore, TornWrite};
+pub use wal::{wal_sidecar, LogRecord, Wal};

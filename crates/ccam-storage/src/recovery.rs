@@ -1,0 +1,224 @@
+//! Crash recovery: redo replay of the write-ahead log onto a page store.
+//!
+//! Recovery runs when a [`crate::WalStore`] opens an existing database
+//! (see [`crate::WalStore::open`]); [`replay`] is also public so tests
+//! and tools can drive it directly. The algorithm is classic redo-only
+//! replay over physical after-images:
+//!
+//! 1. [`crate::wal::Wal::open`] has already scanned the log and truncated
+//!    any torn tail (bad CRC / short frame ⇒ cut, never panic).
+//! 2. Records are grouped into batches delimited by
+//!    [`LogRecord::Commit`] markers. Every *committed* batch is redone in
+//!    log order: allocations are materialized (zero-filled), page images
+//!    rewritten, frees re-applied. Redo is idempotent — replaying a batch
+//!    the data file already contains rewrites identical state, so
+//!    crashing *during recovery* and recovering again is safe.
+//! 3. An unterminated trailing batch (crash before its commit marker
+//!    made it to disk) is discarded; as a hygiene pass, pages such a
+//!    batch allocated are returned to the freelist (an uncommitted
+//!    allocation passes straight through to the store at runtime, so the
+//!    data file may hold a zero-filled page nothing refers to).
+//! 4. The store is synced and the log checkpointed (truncated), so a
+//!    second replay sees an empty log and is a no-op.
+
+use crate::error::StorageResult;
+use crate::page::PageId;
+use crate::store::PageStore;
+use crate::wal::{LogRecord, Wal, WalScan};
+
+/// Summary of one recovery pass, surfaced by [`crate::WalStore::open`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed batches redone onto the store.
+    pub replayed_batches: u64,
+    /// Page images rewritten during redo.
+    pub replayed_pages: u64,
+    /// Records discarded because their batch never committed.
+    pub discarded_records: u64,
+    /// Uncommitted allocations returned to the freelist.
+    pub reclaimed_pages: u64,
+    /// Bytes of torn log tail truncated by the scan.
+    pub torn_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// True when the log held nothing to redo, discard, or truncate —
+    /// the previous session shut down cleanly.
+    pub fn was_clean(&self) -> bool {
+        self.replayed_batches == 0
+            && self.discarded_records == 0
+            && self.reclaimed_pages == 0
+            && self.torn_bytes == 0
+    }
+}
+
+/// Replays `scan` (the result of [`Wal::open`]) onto `store`, then syncs
+/// the store and checkpoints `wal`. Returns what was done.
+pub fn replay<S: PageStore>(
+    store: &mut S,
+    wal: &mut Wal,
+    scan: &WalScan,
+) -> StorageResult<RecoveryReport> {
+    let mut report = RecoveryReport {
+        torn_bytes: scan.truncated_bytes,
+        ..RecoveryReport::default()
+    };
+
+    let mut batch: Vec<&LogRecord> = Vec::new();
+    for stamped in &scan.records {
+        match &stamped.record {
+            LogRecord::Checkpoint => {}
+            LogRecord::Commit => {
+                for record in batch.drain(..) {
+                    redo(store, record, &mut report)?;
+                }
+                report.replayed_batches += 1;
+            }
+            other => batch.push(other),
+        }
+    }
+
+    // Unterminated tail: the batch never committed. Discard it, freeing
+    // any page it allocated (runtime allocations pass through to the
+    // store before commit).
+    report.discarded_records = batch.len() as u64;
+    for record in batch {
+        if let LogRecord::Alloc { page } = record {
+            if store.is_live(*page) {
+                store.free(*page)?;
+                report.reclaimed_pages += 1;
+            }
+        }
+    }
+
+    store.sync()?;
+    wal.checkpoint()?;
+    Ok(report)
+}
+
+fn redo<S: PageStore>(
+    store: &mut S,
+    record: &LogRecord,
+    report: &mut RecoveryReport,
+) -> StorageResult<()> {
+    match record {
+        LogRecord::PageImage { page, data } => {
+            store.ensure_allocated(*page)?;
+            store.write(*page, data)?;
+            report.replayed_pages += 1;
+        }
+        LogRecord::Alloc { page } => {
+            store.ensure_allocated(*page)?;
+        }
+        LogRecord::Free { page } => {
+            if store.is_live(*page) {
+                store.free(*page)?;
+            }
+        }
+        LogRecord::Commit | LogRecord::Checkpoint => {}
+    }
+    Ok(())
+}
+
+/// Convenience used by tests: ids and contents of every live page,
+/// ascending — two stores with equal snapshots are observably identical.
+pub fn live_snapshot<S: PageStore>(store: &S) -> StorageResult<Vec<(PageId, Vec<u8>)>> {
+    let mut out = Vec::new();
+    let mut buf = vec![0u8; store.page_size()];
+    for id in store.live_pages() {
+        store.read(id, &mut buf)?;
+        out.push((id, buf.clone()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemPageStore;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "ccam-recovery-test-{}-{}",
+            std::process::id(),
+            name
+        ));
+        p
+    }
+
+    #[test]
+    fn committed_batches_redo_and_uncommitted_tail_is_discarded() {
+        let path = temp_path("redo");
+        {
+            let mut wal = Wal::create(&path, 64).unwrap();
+            wal.append_batch(&[
+                LogRecord::Alloc { page: PageId(0) },
+                LogRecord::PageImage {
+                    page: PageId(0),
+                    data: vec![0xaa; 64].into_boxed_slice(),
+                },
+            ])
+            .unwrap();
+        }
+        // Append an uncommitted record by hand: a second Wal generation
+        // whose batch we cut before the commit frame.
+        {
+            let (mut wal, _) = Wal::open(&path, 64).unwrap();
+            let keep = wal.len();
+            wal.append_batch(&[LogRecord::PageImage {
+                page: PageId(0),
+                data: vec![0xbb; 64].into_boxed_slice(),
+            }])
+            .unwrap();
+            // Chop off the trailing commit frame (8 + 9 bytes).
+            let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(wal.len() - 17).unwrap();
+            drop(f);
+            assert!(wal.len() - 17 > keep);
+        }
+
+        let mut store = MemPageStore::new(64).unwrap();
+        let (mut wal, scan) = Wal::open(&path, 64).unwrap();
+        let report = replay(&mut store, &mut wal, &scan).unwrap();
+        assert_eq!(report.replayed_batches, 1);
+        assert_eq!(report.replayed_pages, 1);
+        assert_eq!(report.discarded_records, 1);
+
+        // The committed image (0xaa) is live; the uncommitted one never
+        // landed.
+        let snap = live_snapshot(&store).unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, PageId(0));
+        assert!(snap[0].1.iter().all(|&b| b == 0xaa));
+
+        // Second recovery: the checkpointed log is a no-op, state is
+        // byte-identical.
+        let (mut wal2, scan2) = Wal::open(&path, 64).unwrap();
+        let report2 = replay(&mut store, &mut wal2, &scan2).unwrap();
+        assert!(report2.was_clean());
+        assert_eq!(live_snapshot(&store).unwrap(), snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn uncommitted_allocations_are_reclaimed() {
+        let path = temp_path("reclaim");
+        let mut store = MemPageStore::new(64).unwrap();
+        // Runtime behaviour: the allocation passed through to the store…
+        use crate::store::PageStore as _;
+        let p = store.allocate().unwrap();
+        {
+            let mut wal = Wal::create(&path, 64).unwrap();
+            // …and its log record exists but the commit frame does not.
+            wal.append_batch(&[LogRecord::Alloc { page: p }]).unwrap();
+            let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(wal.len() - 17).unwrap();
+        }
+        let (mut wal, scan) = Wal::open(&path, 64).unwrap();
+        let report = replay(&mut store, &mut wal, &scan).unwrap();
+        assert_eq!(report.reclaimed_pages, 1);
+        assert!(!store.is_live(p));
+        std::fs::remove_file(&path).ok();
+    }
+}

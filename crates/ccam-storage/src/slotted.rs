@@ -63,7 +63,10 @@ impl<'a> SlottedPage<'a> {
             buf.len() >= HEADER_LEN + SLOT_LEN,
             "page too small for slotted layout"
         );
-        assert!(buf.len() <= u16::MAX as usize, "page too large for u16 offsets");
+        assert!(
+            buf.len() <= u16::MAX as usize,
+            "page too large for u16 offsets"
+        );
         let len = buf.len() as u16;
         put_u16(buf, SLOT_COUNT_OFF, 0);
         put_u16(buf, CELL_START_OFF, len);
@@ -289,10 +292,7 @@ impl<'a> SlottedPage<'a> {
     /// Rewrites all live records contiguously at the end of the page,
     /// eliminating fragmentation. Slot ids are unchanged.
     pub fn compact(&mut self) {
-        let mut live: Vec<(SlotId, Vec<u8>)> = self
-            .iter()
-            .map(|(s, r)| (s, r.to_vec()))
-            .collect();
+        let mut live: Vec<(SlotId, Vec<u8>)> = self.iter().map(|(s, r)| (s, r.to_vec())).collect();
         // Rewrite from the page end; iterate in any order, offsets are
         // recomputed per record.
         let mut cell_start = self.buf.len();

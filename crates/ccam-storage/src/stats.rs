@@ -18,6 +18,7 @@ pub struct IoStats {
     buffer_hits: AtomicU64,
     allocations: AtomicU64,
     frees: AtomicU64,
+    syncs: AtomicU64,
 }
 
 /// A point-in-time copy of the counters, used to compute per-operation
@@ -34,6 +35,10 @@ pub struct IoSnapshot {
     pub allocations: u64,
     /// Pages freed.
     pub frees: u64,
+    /// Store syncs — commit points when the store is a
+    /// write-ahead-logged `WalStore`, so benches can attribute WAL
+    /// overhead per operation.
+    pub syncs: u64,
 }
 
 impl IoSnapshot {
@@ -45,6 +50,7 @@ impl IoSnapshot {
             buffer_hits: self.buffer_hits - earlier.buffer_hits,
             allocations: self.allocations - earlier.allocations,
             frees: self.frees - earlier.frees,
+            syncs: self.syncs - earlier.syncs,
         }
     }
 
@@ -81,6 +87,10 @@ impl IoStats {
         self.frees.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_sync(&self) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -89,7 +99,21 @@ impl IoStats {
             buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
             allocations: self.allocations.load(Ordering::Relaxed),
             frees: self.frees.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot-and-subtract in one step: the counter deltas accumulated
+    /// since `before` (itself a [`IoStats::snapshot`]). The standard
+    /// around-one-operation measurement idiom:
+    ///
+    /// ```ignore
+    /// let before = pool.stats().snapshot();
+    /// am.insert_node(&rec)?;
+    /// let cost = pool.stats().delta_since(&before);
+    /// ```
+    pub fn delta_since(&self, before: &IoSnapshot) -> IoSnapshot {
+        self.snapshot().since(before)
     }
 
     /// Resets every counter to zero (between experiment phases).
@@ -99,6 +123,7 @@ impl IoStats {
         self.buffer_hits.store(0, Ordering::Relaxed);
         self.allocations.store(0, Ordering::Relaxed);
         self.frees.store(0, Ordering::Relaxed);
+        self.syncs.store(0, Ordering::Relaxed);
     }
 }
 
@@ -143,7 +168,20 @@ mod tests {
         let s = IoStats::new_shared();
         s.record_read();
         s.record_write();
+        s.record_sync();
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn syncs_counted_and_delta_since_matches_manual_subtraction() {
+        let s = IoStats::new_shared();
+        s.record_sync();
+        let before = s.snapshot();
+        s.record_sync();
+        s.record_read();
+        assert_eq!(s.delta_since(&before), s.snapshot().since(&before));
+        assert_eq!(s.delta_since(&before).syncs, 1);
+        assert_eq!(s.snapshot().syncs, 2);
     }
 }

@@ -49,6 +49,62 @@ pub trait PageStore {
     /// Ids of all live pages, ascending. Used by full-file scans
     /// (e.g. measuring CRR over an access method's placement).
     fn live_pages(&self) -> Vec<PageId>;
+
+    /// Forces page `id` live, zero-filled, regardless of the freelist's
+    /// current order — already-live pages are left untouched.
+    ///
+    /// [`PageStore::allocate`] hands out ids in whatever order the
+    /// freelist dictates, which after a crash is not necessarily the
+    /// order the write-ahead log recorded; redo replay
+    /// ([`crate::recovery`]) therefore needs to materialize *specific*
+    /// page ids. Slots between the current end of the store and `id` are
+    /// created free.
+    fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()>;
+}
+
+/// Boxed stores delegate, so `Box<dyn PageStore>` is itself a
+/// [`PageStore`] (the CLI opens databases with and without a WAL behind
+/// one type).
+impl<P: PageStore + ?Sized> PageStore for Box<P> {
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+
+    fn num_pages(&self) -> u32 {
+        (**self).num_pages()
+    }
+
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        (**self).allocate()
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        (**self).read(id, buf)
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> StorageResult<()> {
+        (**self).write(id, buf)
+    }
+
+    fn free(&mut self, id: PageId) -> StorageResult<()> {
+        (**self).free(id)
+    }
+
+    fn is_live(&self, id: PageId) -> bool {
+        (**self).is_live(id)
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        (**self).sync()
+    }
+
+    fn live_pages(&self) -> Vec<PageId> {
+        (**self).live_pages()
+    }
+
+    fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
+        (**self).ensure_allocated(id)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -145,6 +201,22 @@ impl PageStore for MemPageStore {
             .map(PageId)
             .filter(|&id| self.is_live(id))
             .collect()
+    }
+
+    fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
+        if self.is_live(id) {
+            return Ok(());
+        }
+        while self.pages.len() <= id.0 as usize {
+            let n = self.pages.len() as u32;
+            if n != id.0 {
+                self.free.push(n);
+            }
+            self.pages.push(None);
+        }
+        self.free.retain(|&f| f != id.0);
+        self.pages[id.0 as usize] = Some(vec![0u8; self.page_size].into_boxed_slice());
+        Ok(())
     }
 }
 
@@ -317,6 +389,57 @@ impl PageStore for FilePageStore {
             .filter(|&id| self.is_live(id))
             .collect()
     }
+
+    fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
+        if self.is_live(id) {
+            return Ok(());
+        }
+        if id.0 < self.num_pages {
+            // Unlink `id` from wherever it sits in the freelist chain.
+            let mut prev = u32::MAX;
+            let mut cur = self.free_head;
+            let mut steps = 0u32;
+            while cur != u32::MAX && cur != id.0 {
+                if cur >= self.num_pages || steps > self.num_pages {
+                    return Err(StorageError::Corrupt("freelist cycle or range".into()));
+                }
+                let mut link = [0u8; 4];
+                self.file.read_exact_at(&mut link, self.offset(cur))?;
+                prev = cur;
+                cur = u32::from_le_bytes(link);
+                steps += 1;
+            }
+            if cur != id.0 {
+                // Neither live nor on the freelist: the id is bogus.
+                return Err(StorageError::InvalidPage(id));
+            }
+            let mut link = [0u8; 4];
+            self.file.read_exact_at(&mut link, self.offset(id.0))?;
+            if prev == u32::MAX {
+                self.free_head = u32::from_le_bytes(link);
+            } else {
+                self.file.write_all_at(&link, self.offset(prev))?;
+            }
+            self.live[id.0 as usize] = true;
+        } else {
+            // Extend the store up to `id`, leaving intermediate slots free.
+            while self.num_pages <= id.0 {
+                let nid = self.num_pages;
+                self.num_pages += 1;
+                self.live.push(true);
+                if nid != id.0 {
+                    let link = self.free_head.to_le_bytes();
+                    self.file.write_all_at(&link, self.offset(nid))?;
+                    self.free_head = nid;
+                    self.live[nid as usize] = false;
+                }
+            }
+        }
+        let zeroes = vec![0u8; self.page_size];
+        self.file.write_all_at(&zeroes, self.offset(id.0))?;
+        self.write_meta()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -325,11 +448,7 @@ mod tests {
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!(
-            "ccam-storage-test-{}-{}",
-            std::process::id(),
-            name
-        ));
+        p.push(format!("ccam-storage-test-{}-{}", std::process::id(), name));
         p
     }
 
@@ -425,6 +544,69 @@ mod tests {
         assert!(MemPageStore::new(100).is_err());
         let path = temp_path("badsize");
         assert!(FilePageStore::create(&path, 33).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn exercise_ensure_allocated(store: &mut dyn PageStore) {
+        let ps = store.page_size();
+        let a = store.allocate().unwrap();
+        store.write(a, &vec![9u8; ps]).unwrap();
+
+        // Already-live page: untouched.
+        store.ensure_allocated(a).unwrap();
+        let mut buf = vec![0u8; ps];
+        store.read(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 9));
+
+        // Beyond the end: materialized zeroed, gaps left free.
+        store.ensure_allocated(PageId(5)).unwrap();
+        assert!(store.is_live(PageId(5)));
+        assert_eq!(store.num_pages(), 6);
+        assert!(!store.is_live(PageId(3)));
+        store.read(PageId(5), &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0));
+
+        // A freed page mid-freelist: unlinked and re-materialized; the
+        // rest of the freelist keeps working.
+        store.ensure_allocated(PageId(2)).unwrap();
+        store.free(PageId(2)).unwrap();
+        store.ensure_allocated(PageId(3)).unwrap();
+        assert!(store.is_live(PageId(3)));
+        assert!(!store.is_live(PageId(2)));
+        let b = store.allocate().unwrap();
+        assert!(store.is_live(b));
+        assert_eq!(
+            store.live_pages(),
+            vec![a, b, PageId(3), PageId(5)]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mem_store_ensure_allocated() {
+        let mut s = MemPageStore::new(64).unwrap();
+        exercise_ensure_allocated(&mut s);
+    }
+
+    #[test]
+    fn file_store_ensure_allocated_and_reopen() {
+        let path = temp_path("ensure");
+        {
+            let mut s = FilePageStore::create(&path, 64).unwrap();
+            exercise_ensure_allocated(&mut s);
+            s.sync().unwrap();
+        }
+        {
+            let s = FilePageStore::open(&path).unwrap();
+            assert!(s.is_live(PageId(3)));
+            assert!(s.is_live(PageId(5)));
+            let mut buf = vec![0u8; 64];
+            s.read(PageId(0), &mut buf).unwrap();
+            assert!(buf.iter().all(|&x| x == 9));
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,12 +1,16 @@
-//! Test-support stores: failure injection and operation tracing.
+//! Test-support stores: failure injection, crash simulation, and
+//! operation tracing.
 //!
 //! A disk-based access method must surface I/O failures as errors, never
 //! panics or silent corruption. [`FlakyStore`] wraps any [`PageStore`]
 //! and starts failing after a configurable number of operations, letting
-//! higher layers' tests walk the entire error path; [`CountingStore`]
-//! records per-operation counts for tests asserting raw store traffic.
+//! higher layers' tests walk the entire error path; [`CrashStore`]
+//! simulates a power cut — optionally with a torn page write — at a
+//! scheduled mutation index, after which every operation fails, for
+//! crash-recovery tests; [`CountingStore`] records per-operation counts
+//! for tests asserting raw store traffic.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use crate::error::{StorageError, StorageResult};
@@ -121,6 +125,222 @@ impl<S: PageStore> PageStore for FlakyStore<S> {
     fn live_pages(&self) -> Vec<PageId> {
         self.inner.live_pages()
     }
+
+    fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
+        self.switch.tick()?;
+        self.inner.ensure_allocated(id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash simulation
+// ---------------------------------------------------------------------------
+
+/// How the final page write behaves when a [`CrashStore`] dies on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornWrite {
+    /// The write never reaches the page (clean power cut between writes).
+    None,
+    /// Only the first half of the buffer lands; the rest of the page
+    /// keeps its old contents (torn sector write).
+    Partial,
+    /// The page is zero-filled (drive wrote garbage/zeros on power loss).
+    Zeroed,
+}
+
+const TORN_NONE: u8 = 0;
+const TORN_PARTIAL: u8 = 1;
+const TORN_ZEROED: u8 = 2;
+
+/// Shared controller scheduling when a [`CrashStore`] "loses power".
+///
+/// Arm it with [`CrashController::crash_after`]: the next `ops`
+/// *mutations* (allocate / write / free / sync / ensure) succeed, then
+/// the store dies — optionally tearing the page write it dies on — and
+/// every subsequent operation fails until [`CrashController::revive`].
+#[derive(Debug)]
+pub struct CrashController {
+    /// Mutations remaining before the crash (u64::MAX = disarmed).
+    remaining: AtomicU64,
+    dead: AtomicBool,
+    torn: AtomicU8,
+}
+
+impl CrashController {
+    /// A controller that never fires.
+    pub fn disarmed() -> Arc<CrashController> {
+        Arc::new(CrashController {
+            remaining: AtomicU64::new(u64::MAX),
+            dead: AtomicBool::new(false),
+            torn: AtomicU8::new(TORN_NONE),
+        })
+    }
+
+    /// Schedules the crash: `ops` more mutations succeed, then the store
+    /// dies. `torn` picks what happens if the dying operation is a page
+    /// write.
+    pub fn crash_after(&self, ops: u64, torn: TornWrite) {
+        self.torn.store(
+            match torn {
+                TornWrite::None => TORN_NONE,
+                TornWrite::Partial => TORN_PARTIAL,
+                TornWrite::Zeroed => TORN_ZEROED,
+            },
+            Ordering::SeqCst,
+        );
+        self.dead.store(false, Ordering::SeqCst);
+        self.remaining.store(ops, Ordering::SeqCst);
+    }
+
+    /// Cancels any scheduled crash and clears the dead state ("plugs the
+    /// machine back in") — used between crash rounds in sweeps.
+    pub fn revive(&self) {
+        self.remaining.store(u64::MAX, Ordering::SeqCst);
+        self.dead.store(false, Ordering::SeqCst);
+    }
+
+    /// True once the scheduled crash has fired.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    fn power_failure() -> StorageError {
+        StorageError::Io(std::io::Error::other("simulated power failure"))
+    }
+
+    /// Ticks one mutation. `Ok(false)` = proceed normally, `Ok(true)` =
+    /// this is the dying operation (caller applies torn behaviour, then
+    /// fails), `Err` = already dead.
+    fn tick(&self) -> StorageResult<bool> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(Self::power_failure());
+        }
+        let prev = self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                if v == u64::MAX {
+                    None
+                } else {
+                    Some(v.saturating_sub(1))
+                }
+            });
+        match prev {
+            Err(_) => Ok(false), // disarmed
+            Ok(0) => {
+                self.dead.store(true, Ordering::SeqCst);
+                Ok(true)
+            }
+            Ok(_) => Ok(false),
+        }
+    }
+}
+
+/// A [`PageStore`] wrapper simulating a power cut at a scheduled
+/// mutation index (see [`CrashController`]).
+///
+/// Unlike [`FlakyStore`] — which models a transient fault the caller may
+/// retry through — a `CrashStore` stays dead, and the write it dies on
+/// can be *torn*: half-applied or zero-filled, the way a real disk page
+/// ends up when power fails mid-sector. Crash-recovery tests wrap a
+/// `FilePageStore` in one, kill it mid-operation, then reopen the file
+/// and assert the WAL replay restores every invariant.
+pub struct CrashStore<S: PageStore> {
+    inner: S,
+    controller: Arc<CrashController>,
+}
+
+impl<S: PageStore> CrashStore<S> {
+    /// Wraps `inner`; returns the store and its crash controller.
+    pub fn new(inner: S) -> (Self, Arc<CrashController>) {
+        let controller = CrashController::disarmed();
+        (
+            CrashStore {
+                inner,
+                controller: Arc::clone(&controller),
+            },
+            controller,
+        )
+    }
+
+    /// Consumes the wrapper, returning the inner store (reopening after
+    /// the "reboot").
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PageStore> PageStore for CrashStore<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        if self.controller.tick()? {
+            return Err(CrashController::power_failure());
+        }
+        self.inner.allocate()
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        if self.controller.is_dead() {
+            return Err(CrashController::power_failure());
+        }
+        self.inner.read(id, buf)
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> StorageResult<()> {
+        if self.controller.tick()? {
+            // The dying write: tear it according to the schedule.
+            match self.controller.torn.load(Ordering::SeqCst) {
+                TORN_PARTIAL => {
+                    let mut torn = vec![0u8; buf.len()];
+                    if self.inner.read(id, &mut torn).is_ok() {
+                        torn[..buf.len() / 2].copy_from_slice(&buf[..buf.len() / 2]);
+                        let _ = self.inner.write(id, &torn);
+                    }
+                }
+                TORN_ZEROED => {
+                    let _ = self.inner.write(id, &vec![0u8; buf.len()]);
+                }
+                _ => {}
+            }
+            return Err(CrashController::power_failure());
+        }
+        self.inner.write(id, buf)
+    }
+
+    fn free(&mut self, id: PageId) -> StorageResult<()> {
+        if self.controller.tick()? {
+            return Err(CrashController::power_failure());
+        }
+        self.inner.free(id)
+    }
+
+    fn is_live(&self, id: PageId) -> bool {
+        self.inner.is_live(id)
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        if self.controller.tick()? {
+            return Err(CrashController::power_failure());
+        }
+        self.inner.sync()
+    }
+
+    fn live_pages(&self) -> Vec<PageId> {
+        self.inner.live_pages()
+    }
+
+    fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
+        if self.controller.tick()? {
+            return Err(CrashController::power_failure());
+        }
+        self.inner.ensure_allocated(id)
+    }
 }
 
 /// Raw per-operation counters of a [`CountingStore`].
@@ -134,6 +354,9 @@ pub struct StoreCounters {
     pub allocs: AtomicU64,
     /// Page frees.
     pub frees: AtomicU64,
+    /// Sync (commit-point) calls — makes commit frequency observable in
+    /// experiments comparing WAL and non-WAL configurations.
+    pub syncs: AtomicU64,
 }
 
 /// A [`PageStore`] wrapper that counts raw store operations (below the
@@ -191,11 +414,17 @@ impl<S: PageStore> PageStore for CountingStore<S> {
     }
 
     fn sync(&mut self) -> StorageResult<()> {
+        self.counters.syncs.fetch_add(1, Ordering::Relaxed);
         self.inner.sync()
     }
 
     fn live_pages(&self) -> Vec<PageId> {
         self.inner.live_pages()
+    }
+
+    fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
+        self.counters.allocs.fetch_add(1, Ordering::Relaxed);
+        self.inner.ensure_allocated(id)
     }
 }
 
@@ -255,5 +484,68 @@ mod tests {
         assert_eq!(counters.allocs.load(Ordering::Relaxed), 2);
         assert_eq!(counters.reads.load(Ordering::Relaxed), 2);
         assert!(counters.writes.load(Ordering::Relaxed) >= 2);
+        assert_eq!(counters.syncs.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn counting_store_counts_syncs_directly() {
+        let (mut s, counters) = CountingStore::new(MemPageStore::new(64).unwrap());
+        s.sync().unwrap();
+        s.sync().unwrap();
+        assert_eq!(counters.syncs.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn flaky_store_injects_failures_on_sync() {
+        let (mut s, switch) = FlakyStore::new(MemPageStore::new(64).unwrap());
+        s.sync().unwrap();
+        switch.arm_after(0);
+        assert!(matches!(s.sync(), Err(StorageError::Io(_))));
+        switch.disarm();
+        s.sync().unwrap();
+    }
+
+    #[test]
+    fn crash_store_dies_at_scheduled_op_and_stays_dead() {
+        let (mut s, ctl) = CrashStore::new(MemPageStore::new(64).unwrap());
+        let a = s.allocate().unwrap();
+        s.write(a, &[1u8; 64]).unwrap();
+        ctl.crash_after(1, TornWrite::None);
+        s.write(a, &[2u8; 64]).unwrap(); // last surviving mutation
+        assert!(s.write(a, &[3u8; 64]).is_err()); // the crash
+        assert!(ctl.is_dead());
+        // Everything fails until revived — including reads and syncs.
+        let mut buf = [0u8; 64];
+        assert!(s.read(a, &mut buf).is_err());
+        assert!(s.sync().is_err());
+        assert!(s.allocate().is_err());
+        ctl.revive();
+        s.read(a, &mut buf).unwrap();
+        assert_eq!(buf, [2u8; 64]); // the dying write never landed
+    }
+
+    #[test]
+    fn crash_store_tears_the_dying_write() {
+        // Partial: first half new, second half old.
+        let (mut s, ctl) = CrashStore::new(MemPageStore::new(64).unwrap());
+        let a = s.allocate().unwrap();
+        s.write(a, &[0xaa; 64]).unwrap();
+        ctl.crash_after(0, TornWrite::Partial);
+        assert!(s.write(a, &[0xbb; 64]).is_err());
+        ctl.revive();
+        let mut buf = [0u8; 64];
+        s.read(a, &mut buf).unwrap();
+        assert!(buf[..32].iter().all(|&x| x == 0xbb));
+        assert!(buf[32..].iter().all(|&x| x == 0xaa));
+
+        // Zeroed: the page comes back blank.
+        let (mut s, ctl) = CrashStore::new(MemPageStore::new(64).unwrap());
+        let a = s.allocate().unwrap();
+        s.write(a, &[0xaa; 64]).unwrap();
+        ctl.crash_after(0, TornWrite::Zeroed);
+        assert!(s.write(a, &[0xbb; 64]).is_err());
+        ctl.revive();
+        s.read(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0));
     }
 }

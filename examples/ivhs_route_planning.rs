@@ -75,7 +75,12 @@ fn main() {
     println!("\nevaluating familiar routes (1-page buffer, counting page I/O):");
     am.file().pool().set_capacity(1).unwrap();
     for (name, route) in [
-        ("optimal-as-of-yesterday", &Route { nodes: optimal.path.clone() }),
+        (
+            "optimal-as-of-yesterday",
+            &Route {
+                nodes: optimal.path.clone(),
+            },
+        ),
         ("southern arterial", &alt1),
         ("western parkway", &alt2),
     ] {

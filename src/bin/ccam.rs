@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ccam generate <out.net> [--seed N] [--grid W] [--minneapolis]
-//! ccam build    <in.net> <out.db> [--block N] [--method ccam-s|ccam-d|dfs|bfs|wdfs|grid]
+//! ccam build    <in.net> <out.db> [--block N] [--method ccam-s|ccam-d|dfs|bfs|wdfs|grid] [--wal]
 //! ccam stats    <db>
 //! ccam find     <db> <node-id>
 //! ccam succ     <db> <node-id>
@@ -17,6 +17,11 @@
 //! Databases are real page files ([`ccam::storage::FilePageStore`]); the
 //! secondary index rebuilds on open. Node ids print/parse as the raw
 //! `u64` (the Z-order code on generated road maps).
+//!
+//! `--wal` builds the database with a write-ahead log sidecar
+//! (`<db>.wal`). A WAL-backed database recovers automatically on every
+//! open — committed updates are replayed, torn tails truncated — and
+//! mutating commands (`replay`) commit after each logical operation.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -30,7 +35,7 @@ use ccam::core::query::spatial::SpatialIndex;
 use ccam::graph::roadmap::{road_map, RoadMapConfig};
 use ccam::graph::walks::random_walk_routes;
 use ccam::graph::{load_network, save_network, Network, NodeId};
-use ccam::storage::{FilePageStore, PageStore};
+use ccam::storage::{wal_sidecar, FilePageStore, PageStore, Wal, WalStore};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,7 +75,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  ccam generate <out.net> [--seed N] [--grid W] [--minneapolis]\n  \
-     ccam build <in.net> <out.db> [--block N] [--method ccam-s|ccam-d|dfs|bfs|wdfs|grid]\n  \
+     ccam build <in.net> <out.db> [--block N] [--method ccam-s|ccam-d|dfs|bfs|wdfs|grid] [--wal]\n  \
      ccam stats <db>\n  \
      ccam find <db> <node-id>\n  \
      ccam succ <db> <node-id>\n  \
@@ -148,27 +153,41 @@ fn build(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(1024) as usize;
     let method = flags.map_or("ccam-s", "method");
+    let wal = flags.contains_key("wal");
     let net = load_network(Path::new(input)).map_err(|e| e.to_string())?;
 
     let out_path = PathBuf::from(out);
+    if !wal {
+        // A stale sidecar from an earlier --wal build must not shadow
+        // the fresh database.
+        let _ = std::fs::remove_file(wal_sidecar(&out_path));
+    }
     let w = HashMap::new();
-    // CCAM builds straight onto the page file; the comparators build in
-    // memory and save (their create paths are memory-resident anyway).
+    // CCAM builds straight onto the page file (write-ahead logged when
+    // --wal is given); the comparators build in memory and save (their
+    // create paths are memory-resident anyway).
+    let make_store = |path: &Path| -> Result<Box<dyn PageStore>, String> {
+        let store = FilePageStore::create(path, block).map_err(|e| e.to_string())?;
+        if wal {
+            let ws = WalStore::create(store, &wal_sidecar(path)).map_err(|e| e.to_string())?;
+            Ok(Box::new(ws))
+        } else {
+            Ok(Box::new(store))
+        }
+    };
     let (name, crr, pages) = match method {
         "ccam-s" => {
-            let store = FilePageStore::create(&out_path, block).map_err(|e| e.to_string())?;
             let am = CcamBuilder::new(block)
-                .build_static_on(store, &net)
+                .build_static_on(make_store(&out_path)?, &net)
                 .map_err(|e| e.to_string())?;
-            am.file().pool().flush_all().map_err(|e| e.to_string())?;
+            am.file().commit().map_err(|e| e.to_string())?;
             ("CCAM-S", am.crr().unwrap(), am.file().num_pages())
         }
         "ccam-d" => {
-            let store = FilePageStore::create(&out_path, block).map_err(|e| e.to_string())?;
             let am = CcamBuilder::new(block)
-                .build_dynamic_on(store, &net)
+                .build_dynamic_on(make_store(&out_path)?, &net)
                 .map_err(|e| e.to_string())?;
-            am.file().pool().flush_all().map_err(|e| e.to_string())?;
+            am.file().commit().map_err(|e| e.to_string())?;
             ("CCAM-D", am.crr().unwrap(), am.file().num_pages())
         }
         m @ ("dfs" | "bfs" | "wdfs") => {
@@ -179,18 +198,27 @@ fn build(args: &[String]) -> Result<(), String> {
             };
             let am = TopoAm::create(&net, block, order, None, &w).map_err(|e| e.to_string())?;
             am.file().save_to(&out_path).map_err(|e| e.to_string())?;
+            if wal {
+                // The file itself was written directly; attach an empty
+                // log so future opens run in WAL mode.
+                Wal::create(&wal_sidecar(&out_path), block).map_err(|e| e.to_string())?;
+            }
             (order.name(), am.crr().unwrap(), am.file().num_pages())
         }
         "grid" => {
             let am = GridAm::create(&net, block).map_err(|e| e.to_string())?;
             am.file().save_to(&out_path).map_err(|e| e.to_string())?;
+            if wal {
+                Wal::create(&wal_sidecar(&out_path), block).map_err(|e| e.to_string())?;
+            }
             ("Grid File", am.crr().unwrap(), am.file().num_pages())
         }
         other => return Err(format!("unknown --method {other}")),
     };
     println!(
-        "built {out} with {name}: {} nodes on {pages} pages ({block} B), CRR = {crr:.4}",
-        net.len()
+        "built {out} with {name}: {} nodes on {pages} pages ({block} B), CRR = {crr:.4}{}",
+        net.len(),
+        if wal { ", WAL enabled" } else { "" }
     );
     Ok(())
 }
@@ -207,12 +235,39 @@ impl FlagMap for HashMap<String, String> {
 
 /// Opens a database as a CCAM access method (placement already baked into
 /// the pages; any method's file reopens this way).
-fn open_db(path: &str) -> Result<ccam::core::am::Ccam<FilePageStore>, String> {
-    let store = FilePageStore::open(Path::new(path)).map_err(|e| e.to_string())?;
+///
+/// A `<db>.wal` sidecar switches the store into WAL mode: crash recovery
+/// replays the log before the index is rebuilt, and every mutating
+/// operation auto-commits.
+fn open_db(path: &str) -> Result<ccam::core::am::Ccam<Box<dyn PageStore>>, String> {
+    let db = Path::new(path);
+    let store = FilePageStore::open(db).map_err(|e| e.to_string())?;
     let block = store.page_size();
-    CcamBuilder::new(block)
-        .open_on(store)
-        .map_err(|e| e.to_string())
+    let wal_path = wal_sidecar(db);
+    let wal_mode = wal_path.exists();
+    let boxed: Box<dyn PageStore> = if wal_mode {
+        let (ws, report) = WalStore::open(store, &wal_path).map_err(|e| e.to_string())?;
+        if !report.was_clean() {
+            eprintln!(
+                "recovered {path}: {} batch(es) redone ({} page images), \
+                 {} uncommitted record(s) discarded, {} torn byte(s) truncated",
+                report.replayed_batches,
+                report.replayed_pages,
+                report.discarded_records,
+                report.torn_bytes
+            );
+        }
+        Box::new(ws)
+    } else {
+        Box::new(store)
+    };
+    let mut am = CcamBuilder::new(block)
+        .open_on(boxed)
+        .map_err(|e| e.to_string())?;
+    if wal_mode {
+        am.file_mut().set_auto_commit(true);
+    }
+    Ok(am)
 }
 
 fn stats(args: &[String]) -> Result<(), String> {
@@ -229,9 +284,18 @@ fn stats(args: &[String]) -> Result<(), String> {
     println!("CRR (alpha)       {:.4}", p.alpha);
     println!("avg successors    {:.3}", p.avg_successors);
     println!("avg neighbors     {:.3}", p.avg_neighbors);
-    println!("predicted get-successors cost   {:.3}", p.get_successors_cost());
-    println!("predicted get-a-successor cost  {:.3}", p.get_a_successor_cost());
-    println!("predicted route cost (L=20)     {:.3}", p.route_evaluation_cost(20));
+    println!(
+        "predicted get-successors cost   {:.3}",
+        p.get_successors_cost()
+    );
+    println!(
+        "predicted get-a-successor cost  {:.3}",
+        p.get_a_successor_cost()
+    );
+    println!(
+        "predicted route cost (L=20)     {:.3}",
+        p.route_evaluation_cost(20)
+    );
     Ok(())
 }
 
@@ -282,7 +346,10 @@ fn route(args: &[String]) -> Result<(), String> {
         .iter()
         .map(|s| parse_u64(s, "node-id").map(NodeId))
         .collect::<Result<_, _>>()?;
-    am.file().pool().set_capacity(1).map_err(|e| e.to_string())?;
+    am.file()
+        .pool()
+        .set_capacity(1)
+        .map_err(|e| e.to_string())?;
     let before = am.stats().snapshot();
     let eval = evaluate_path(&am, &nodes).map_err(|e| e.to_string())?;
     let io = am.stats().snapshot().since(&before).physical_reads;
@@ -371,7 +438,10 @@ fn bench(args: &[String]) -> Result<(), String> {
         }
     }
     let routes = random_walk_routes(&net, routes_n, len, 1995);
-    am.file().pool().set_capacity(1).map_err(|e| e.to_string())?;
+    am.file()
+        .pool()
+        .set_capacity(1)
+        .map_err(|e| e.to_string())?;
     let mut total = 0u64;
     for r in &routes {
         am.file().pool().clear().map_err(|e| e.to_string())?;
@@ -418,11 +488,9 @@ fn replay_cmd(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(trace).map_err(|e| e.to_string())?;
     let ops = ccam::core::workload::parse_trace(&text).map_err(|e| e.to_string())?;
     let mut am = open_db(db)?;
-    let stats = ccam::core::workload::replay(
-        &mut am as &mut dyn AccessMethod<FilePageStore>,
-        &ops,
-    )
-    .map_err(|e| e.to_string())?;
+    let stats =
+        ccam::core::workload::replay(&mut am as &mut dyn AccessMethod<Box<dyn PageStore>>, &ops)
+            .map_err(|e| e.to_string())?;
     println!(
         "replayed {} ops ({} misses): {} page reads, {} page writes",
         stats.executed, stats.misses, stats.page_reads, stats.page_writes

@@ -115,9 +115,11 @@ fn check_and_replay() {
     assert!(ccam(&["generate", net.to_str().unwrap(), "--grid", "6"])
         .status
         .success());
-    assert!(ccam(&["build", net.to_str().unwrap(), db.to_str().unwrap()])
-        .status
-        .success());
+    assert!(
+        ccam(&["build", net.to_str().unwrap(), db.to_str().unwrap()])
+            .status
+            .success()
+    );
 
     // check: clean database.
     let out = ccam(&["check", db.to_str().unwrap()]);
@@ -134,7 +136,12 @@ fn check_and_replay() {
         .collect();
     let text = format!(
         "find {}\nsucc {}\nastar {} {}\ndelete-node {}\nreinsert-node {}\n",
-        ids[0], ids[1], ids[0], ids[ids.len() - 1], ids[2], ids[2]
+        ids[0],
+        ids[1],
+        ids[0],
+        ids[ids.len() - 1],
+        ids[2],
+        ids[2]
     );
     std::fs::write(&trace, text).unwrap();
     let out = ccam(&["replay", db.to_str().unwrap(), trace.to_str().unwrap()]);
@@ -176,9 +183,11 @@ fn errors_are_clean() {
     assert!(ccam(&["generate", net.to_str().unwrap(), "--grid", "5"])
         .status
         .success());
-    assert!(ccam(&["build", net.to_str().unwrap(), db.to_str().unwrap()])
-        .status
-        .success());
+    assert!(
+        ccam(&["build", net.to_str().unwrap(), db.to_str().unwrap()])
+            .status
+            .success()
+    );
     let out = ccam(&["find", db.to_str().unwrap(), "18446744073709551615"]);
     assert!(!out.status.success(), "missing node must exit nonzero");
     let out = ccam(&["find", db.to_str().unwrap(), "not-a-number"]);

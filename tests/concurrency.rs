@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use ccam::core::am::{AccessMethod, CcamBuilder, Ccam};
+use ccam::core::am::{AccessMethod, Ccam, CcamBuilder};
 use ccam::core::query::route::evaluate_route;
 use ccam::core::query::search::dijkstra;
 use ccam::graph::roadmap::{road_map, RoadMapConfig};

@@ -172,8 +172,7 @@ fn reorg_policy_tradeoff() {
             .policy(policy)
             .build_static(&base)
             .unwrap();
-        let mut present: std::collections::HashSet<_> =
-            base.node_ids().into_iter().collect();
+        let mut present: std::collections::HashSet<_> = base.node_ids().into_iter().collect();
         let mut io = 0u64;
         for &id in &held {
             let full = net.node(id).unwrap();

@@ -29,9 +29,7 @@ fn all_methods(net: &Network, block: usize) -> Vec<Box<dyn AccessMethod>> {
         Box::new(CcamBuilder::new(block).build_dynamic(net).unwrap()),
         Box::new(TopoAm::create(net, block, TraversalOrder::DepthFirst, None, &w).unwrap()),
         Box::new(TopoAm::create(net, block, TraversalOrder::BreadthFirst, None, &w).unwrap()),
-        Box::new(
-            TopoAm::create(net, block, TraversalOrder::WeightedDepthFirst, None, &w).unwrap(),
-        ),
+        Box::new(TopoAm::create(net, block, TraversalOrder::WeightedDepthFirst, None, &w).unwrap()),
         Box::new(GridAm::create(net, block).unwrap()),
     ]
 }

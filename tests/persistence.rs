@@ -155,11 +155,46 @@ fn save_preserves_page_ids_across_gaps() {
 }
 
 #[test]
+fn dirty_evictions_write_back_under_tiny_pool() {
+    // With a single buffer frame every page the churn dirties is evicted
+    // — and must be written back — before the next page faults in. If
+    // eviction dropped dirty frames, the final flush (which only sees
+    // the one resident frame) could not save the rest and the reopened
+    // file would have lost most of the updates.
+    let net = net();
+    let path = temp_path("evict");
+    let ids = net.node_ids();
+    let gone = ids[1];
+    {
+        let store = FilePageStore::create(&path, 512).unwrap();
+        let mut am = CcamBuilder::new(512).build_static_on(store, &net).unwrap();
+        am.file().pool().set_capacity(1).unwrap();
+        for &id in ids.iter().step_by(6) {
+            let del = am.delete_node(id).unwrap().unwrap();
+            am.insert_node(&del.data, &del.incoming).unwrap();
+        }
+        am.delete_node(gone).unwrap().unwrap();
+        am.file().pool().flush_all().unwrap();
+    }
+    let store = FilePageStore::open(&path).unwrap();
+    let am = CcamBuilder::new(512).open_on(store).unwrap();
+    assert_eq!(am.file().len(), net.len() - 1);
+    assert!(am.find(gone).unwrap().is_none());
+    for &id in ids.iter().filter(|&&id| id != gone) {
+        assert!(am.find(id).unwrap().is_some(), "{id} lost across eviction");
+    }
+    assert!(ccam::core::check::verify(am.file()).unwrap().is_clean());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn dynamic_create_on_disk() {
     let net = net();
     let path = temp_path("dynamic");
     let store = FilePageStore::create(&path, 1024).unwrap();
-    let am = CcamBuilder::new(1024).build_dynamic_on(store, &net).unwrap();
+    let am = CcamBuilder::new(1024)
+        .build_dynamic_on(store, &net)
+        .unwrap();
     assert_eq!(am.file().len(), net.len());
     assert!(am.crr().unwrap() > 0.3);
     std::fs::remove_file(&path).ok();
