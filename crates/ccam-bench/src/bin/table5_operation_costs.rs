@@ -56,7 +56,7 @@ fn main() {
     let mut params_line = String::new();
 
     for mut am in methods {
-        let params = CostParams::measure(am.file());
+        let params = CostParams::measure(am.file()).expect("measure");
         // -- Get-successors / Get-A-successor: prime with Find, measure the op.
         let (mut gs_total, mut gs_n) = (0u64, 0u64);
         let (mut ga_total, mut ga_n) = (0u64, 0u64);

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 use ccam_graph::{Network, NodeData, NodeId};
 use ccam_partition::{cluster_nodes_into_pages, refine_m_way, PartGraph, Partitioner};
-use ccam_storage::StorageResult;
+use ccam_storage::{StorageError, StorageResult};
 
 use crate::am::common::{
     self, insert_with_overflow_split, merge_on_underflow, patch_neighbors_on_delete,
@@ -246,7 +246,7 @@ impl<S: ccam_storage::PageStore> Ccam<S> {
         if let Some(p) = select_page_by_neighbors(&self.file, &node.neighbors(), needed)? {
             return Ok(p);
         }
-        if let Some(p) = common::any_page_with_space(&self.file, needed) {
+        if let Some(p) = common::any_page_with_space(&self.file, needed)? {
             return Ok(p);
         }
         self.file.allocate_page()
@@ -267,7 +267,10 @@ impl<S: ccam_storage::PageStore> Ccam<S> {
         let r = insert_with_overflow_split(&mut self.file, page, node, &weight, self.partitioner);
         self.weights = weights;
         r?;
-        let page = self.file.page_of(node.id)?.expect("record just inserted");
+        let page = self
+            .file
+            .page_of(node.id)?
+            .ok_or_else(|| StorageError::Corrupt("record vanished after insert".into()))?;
         self.maintain_node(page, &node.neighbors())?;
         self.file.maybe_commit()
     }
@@ -286,7 +289,7 @@ impl<S: ccam_storage::PageStore> Ccam<S> {
     ) -> StorageResult<f64> {
         self.weights = weights;
         self.reorganize_full()?;
-        Ok(crate::crr::wcrr(&self.file, &self.weights))
+        crate::crr::wcrr(&self.file, &self.weights)
     }
 
     /// Reclusters the **entire data file** — Table 1's "3. all pages in
@@ -300,7 +303,7 @@ impl<S: ccam_storage::PageStore> Ccam<S> {
         self.reorganize_set(&pages)?;
         self.update_counts.clear();
         self.file.maybe_commit()?;
-        Ok(crate::crr::crr(&self.file))
+        crate::crr::crr(&self.file)
     }
 
     /// Reclusters an explicit page set under the configured weights.
@@ -422,7 +425,10 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
         self.weights = weights;
         r?;
         patch_neighbors_on_insert(&mut self.file, node, incoming)?;
-        let page = self.file.page_of(node.id)?.expect("record just inserted");
+        let page = self
+            .file
+            .page_of(node.id)?
+            .ok_or_else(|| StorageError::Corrupt("record vanished after insert".into()))?;
         self.maintain_node(page, &node.neighbors())?;
         self.file.maybe_commit()
     }
@@ -468,8 +474,14 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
         common::write_back(&mut self.file, pf, &f_rec)?;
         t_rec.predecessors.push(from);
         common::write_back(&mut self.file, pt, &t_rec)?;
-        let pu = self.file.page_of(from)?.expect("from exists");
-        let pv = self.file.page_of(to)?.expect("to exists");
+        let pu = self
+            .file
+            .page_of(from)?
+            .ok_or_else(|| StorageError::Corrupt("edge source lost its index entry".into()))?;
+        let pv = self
+            .file
+            .page_of(to)?
+            .ok_or_else(|| StorageError::Corrupt("edge target lost its index entry".into()))?;
         self.maintain_edge(pu, pv)?;
         self.file.maybe_commit()?;
         Ok(true)
@@ -491,7 +503,10 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
                 common::write_back(&mut self.file, pt, &t_rec)?;
             }
         }
-        let pu = self.file.page_of(from)?.expect("from exists");
+        let pu = self
+            .file
+            .page_of(from)?
+            .ok_or_else(|| StorageError::Corrupt("edge source lost its index entry".into()))?;
         if let Some(pv) = self.file.page_of(to)? {
             self.maintain_edge(pu, pv)?;
         }

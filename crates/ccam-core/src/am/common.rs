@@ -49,6 +49,9 @@ pub fn select_page_by_neighbors<S: PageStore>(
     let pages = crate::pag::pages_of(file, neighbors)?;
     let mut best: Option<(usize, usize, PageId)> = None; // (count, free, page)
     for page in pages {
+        if file.is_quarantined(page) {
+            continue; // never place records on an unreadable page
+        }
         let records = file.read_page_records(page)?;
         let count = records.iter().filter(|r| neighbors.contains(&r.id)).count();
         let free = file.page_free_space(page)?;
@@ -69,9 +72,12 @@ pub fn select_page_by_neighbors<S: PageStore>(
 /// A page with room for `needed` bytes, preferring the fullest such page
 /// (best packing), or `None`. Uses the in-memory free-space map (a real
 /// system keeps one; no counted I/O).
-pub fn any_page_with_space<S: PageStore>(file: &NetworkFile<S>, needed: usize) -> Option<PageId> {
+pub fn any_page_with_space<S: PageStore>(
+    file: &NetworkFile<S>,
+    needed: usize,
+) -> StorageResult<Option<PageId>> {
     let mut best: Option<(usize, PageId)> = None;
-    for (page, free) in file.free_space_map_uncounted() {
+    for (page, free) in file.free_space_map_uncounted()? {
         if free >= needed + ccam_storage::slotted::SLOT_LEN {
             // Fullest page = least free space.
             let better = match best {
@@ -83,7 +89,7 @@ pub fn any_page_with_space<S: PageStore>(file: &NetworkFile<S>, needed: usize) -
             }
         }
     }
-    best.map(|(_, p)| p)
+    Ok(best.map(|(_, p)| p))
 }
 
 /// Patches neighbor records after inserting node `x`:
@@ -157,8 +163,11 @@ pub fn write_back<S: PageStore>(
     }
     // Grew past the page: move the record (index entry follows).
     file.remove_from(page, rec.id)?;
-    let target = select_page_by_neighbors(file, &rec.neighbors(), crate::file::record_len(rec))?
-        .or_else(|| any_page_with_space(file, crate::file::record_len(rec)));
+    let target =
+        match select_page_by_neighbors(file, &rec.neighbors(), crate::file::record_len(rec))? {
+            Some(p) => Some(p),
+            None => any_page_with_space(file, crate::file::record_len(rec))?,
+        };
     if let Some(t) = target {
         if file.insert_into(t, rec)? {
             return Ok(());
@@ -325,7 +334,9 @@ mod tests {
         f.bulk_load(vec![vec![&a, &b]]).unwrap();
         // Insert x with edge x->1 and incoming 2->x (cost 9).
         let x = node(10, &[(1, 5)], &[2]);
-        let p = any_page_with_space(&f, crate::file::record_len(&x)).unwrap();
+        let p = any_page_with_space(&f, crate::file::record_len(&x))
+            .unwrap()
+            .unwrap();
         f.insert_into(p, &x).unwrap();
         patch_neighbors_on_insert(&mut f, &x, &[(NodeId(2), 9)]).unwrap();
         let (_, rec1) = f.find(NodeId(1)).unwrap().unwrap();

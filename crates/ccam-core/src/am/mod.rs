@@ -27,7 +27,7 @@ use std::sync::Arc;
 use ccam_graph::{NodeData, NodeId};
 use ccam_storage::{IoStats, MemPageStore, PageStore, StorageResult};
 
-use crate::file::NetworkFile;
+use crate::file::{Degraded, NetworkFile};
 
 pub use ccam::{Ccam, CcamBuilder};
 pub use common::DeletedNode;
@@ -90,6 +90,38 @@ pub trait AccessMethod<S: PageStore = MemPageStore> {
         Ok(out)
     }
 
+    /// `Get-successors()` that degrades instead of aborting: successors
+    /// on quarantined (checksum-failed) pages are skipped and the pages
+    /// reported in [`Degraded::skipped`], so a partially corrupted file
+    /// still answers with everything readable. See
+    /// [`NetworkFile::find_degraded`] for the skip semantics.
+    fn get_successors_degraded(&self, id: NodeId) -> StorageResult<Degraded<Vec<NodeData>>> {
+        let src = self.file().find_degraded(id)?;
+        let mut skipped = src.skipped;
+        let Some(rec) = src.value else {
+            return Ok(Degraded {
+                value: Vec::new(),
+                skipped,
+            });
+        };
+        let mut out = Vec::with_capacity(rec.successors.len());
+        for e in &rec.successors {
+            let d = self.file().find_degraded(e.to)?;
+            for p in d.skipped {
+                if !skipped.contains(&p) {
+                    skipped.push(p);
+                }
+            }
+            if let Some(s) = d.value {
+                out.push(s);
+            }
+        }
+        Ok(Degraded {
+            value: out,
+            skipped,
+        })
+    }
+
     // -- maintenance operations -----------------------------------------------
 
     /// `Insert()` with a node argument: store `node`'s record and patch
@@ -113,12 +145,12 @@ pub trait AccessMethod<S: PageStore = MemPageStore> {
 
     /// The Connectivity Residue Ratio of the current placement.
     fn crr(&self) -> StorageResult<f64> {
-        Ok(crate::crr::crr(self.file()))
+        crate::crr::crr(self.file())
     }
 
     /// Weighted CRR under route-derived edge weights.
     fn wcrr(&self, weights: &HashMap<(NodeId, NodeId), u64>) -> StorageResult<f64> {
-        Ok(crate::crr::wcrr(self.file(), weights))
+        crate::crr::wcrr(self.file(), weights)
     }
 
     /// Counted I/O statistics of the data file.

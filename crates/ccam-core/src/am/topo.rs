@@ -210,7 +210,7 @@ impl<S: PageStore> AccessMethod<S> for TopoAm<S> {
         let needed = crate::file::record_len(node);
         let page = match select_page_by_neighbors(&self.file, &node.neighbors(), needed)? {
             Some(p) => p,
-            None => match common::any_page_with_space(&self.file, needed) {
+            None => match common::any_page_with_space(&self.file, needed)? {
                 Some(p) => p,
                 None => self.file.allocate_page()?,
             },

@@ -120,11 +120,11 @@ impl Report {
 /// Audits the file (uncounted full scan).
 pub fn verify<S: PageStore>(file: &NetworkFile<S>) -> StorageResult<Report> {
     let mut report = Report {
-        crr: crate::crr::crr(file),
+        crr: crate::crr::crr(file)?,
         ..Report::default()
     };
     let index_map = file.page_map()?;
-    let scan = file.scan_uncounted();
+    let scan = file.scan_uncounted()?;
     report.pages = scan.len();
 
     // Where each record actually lives, detecting duplicates.

@@ -21,7 +21,7 @@
 //! *measured* update numbers (reads + writes) are compared against
 //! `2 ×` the Table 4 retrieval predictions where appropriate.
 
-use ccam_storage::PageStore;
+use ccam_storage::{PageStore, StorageResult};
 
 use crate::file::NetworkFile;
 use crate::reorg::ReorgPolicy;
@@ -41,8 +41,8 @@ pub struct CostParams {
 
 impl CostParams {
     /// Measures all four parameters from a live data file.
-    pub fn measure<S: PageStore>(file: &NetworkFile<S>) -> CostParams {
-        let scan = file.scan_uncounted();
+    pub fn measure<S: PageStore>(file: &NetworkFile<S>) -> StorageResult<CostParams> {
+        let scan = file.scan_uncounted()?;
         let mut nodes = 0usize;
         let mut succ = 0usize;
         let mut nbrs = 0usize;
@@ -54,12 +54,12 @@ impl CostParams {
             }
         }
         let n = nodes.max(1) as f64;
-        CostParams {
-            alpha: crate::crr::crr(file),
+        Ok(CostParams {
+            alpha: crate::crr::crr(file)?,
             avg_successors: succ as f64 / n,
             avg_neighbors: nbrs as f64 / n,
             blocking_factor: file.blocking_factor(),
-        }
+        })
     }
 
     /// Table 3: expected page accesses of `Get-successors()` (the page of
@@ -221,7 +221,7 @@ mod tests {
             predecessors: vec![NodeId(1)],
         };
         f.bulk_load(vec![vec![&n1, &n2]]).unwrap();
-        let p = CostParams::measure(&f);
+        let p = CostParams::measure(&f).unwrap();
         assert_eq!(p.alpha, 1.0);
         assert!((p.avg_successors - 0.5).abs() < 1e-12);
         assert!((p.avg_neighbors - 1.0).abs() < 1e-12);

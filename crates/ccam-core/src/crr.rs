@@ -14,20 +14,23 @@
 use std::collections::HashMap;
 
 use ccam_graph::NodeId;
-use ccam_storage::PageStore;
+use ccam_storage::{PageStore, StorageResult};
 
 use crate::file::NetworkFile;
 
 /// Connectivity Residue Ratio of the file's placement. Returns 1.0 for a
 /// file with no edges (nothing can be split).
-pub fn crr<S: PageStore>(file: &NetworkFile<S>) -> f64 {
+pub fn crr<S: PageStore>(file: &NetworkFile<S>) -> StorageResult<f64> {
     wcrr_with(file, |_, _| 1)
 }
 
 /// Weighted CRR with explicit per-edge weights (edges absent from the map
 /// carry weight 0 — the paper derives weights from route traversal
 /// counts, so untraversed edges do not contribute).
-pub fn wcrr<S: PageStore>(file: &NetworkFile<S>, weights: &HashMap<(NodeId, NodeId), u64>) -> f64 {
+pub fn wcrr<S: PageStore>(
+    file: &NetworkFile<S>,
+    weights: &HashMap<(NodeId, NodeId), u64>,
+) -> StorageResult<f64> {
     wcrr_with(file, |u, v| weights.get(&(u, v)).copied().unwrap_or(0))
 }
 
@@ -35,11 +38,11 @@ pub fn wcrr<S: PageStore>(file: &NetworkFile<S>, weights: &HashMap<(NodeId, Node
 pub fn wcrr_with<S: PageStore>(
     file: &NetworkFile<S>,
     weight: impl Fn(NodeId, NodeId) -> u64,
-) -> f64 {
-    let page_map = file.page_map().expect("page map");
+) -> StorageResult<f64> {
+    let page_map = file.page_map()?;
     let mut total = 0u64;
     let mut unsplit = 0u64;
-    for (page, records) in file.scan_uncounted() {
+    for (page, records) in file.scan_uncounted()? {
         for rec in &records {
             for e in &rec.successors {
                 let Some(&tp) = page_map.get(&e.to) else {
@@ -53,11 +56,11 @@ pub fn wcrr_with<S: PageStore>(
             }
         }
     }
-    if total == 0 {
+    Ok(if total == 0 {
         1.0
     } else {
         unsplit as f64 / total as f64
-    }
+    })
 }
 
 #[cfg(test)]
@@ -94,7 +97,7 @@ mod tests {
     #[test]
     fn crr_counts_unsplit_fraction() {
         let f = setup();
-        assert!((crr(&f) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((crr(&f).unwrap() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -104,17 +107,17 @@ mod tests {
         w.insert((NodeId(1), NodeId(2)), 10u64); // unsplit
         w.insert((NodeId(2), NodeId(3)), 30u64); // split
                                                  // Edge 3->4 untraversed: weight 0.
-        assert!((wcrr(&f, &w) - 10.0 / 40.0).abs() < 1e-12);
+        assert!((wcrr(&f, &w).unwrap() - 10.0 / 40.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_or_edgeless_file_has_crr_one() {
         let f = NetworkFile::new(512).unwrap();
-        assert_eq!(crr(&f), 1.0);
+        assert_eq!(crr(&f).unwrap(), 1.0);
         let mut f = NetworkFile::new(512).unwrap();
         let n = node(1, &[]);
         f.bulk_load(vec![vec![&n]]).unwrap();
-        assert_eq!(crr(&f), 1.0);
+        assert_eq!(crr(&f).unwrap(), 1.0);
     }
 
     #[test]
@@ -122,7 +125,7 @@ mod tests {
         let mut f = NetworkFile::new(512).unwrap();
         let n = node(1, &[999]); // 999 not stored
         f.bulk_load(vec![vec![&n]]).unwrap();
-        assert_eq!(crr(&f), 1.0);
+        assert_eq!(crr(&f).unwrap(), 1.0);
     }
 
     #[test]
@@ -132,11 +135,11 @@ mod tests {
         together
             .bulk_load(vec![vec![&nodes[0], &nodes[1]]])
             .unwrap();
-        assert_eq!(crr(&together), 1.0);
+        assert_eq!(crr(&together).unwrap(), 1.0);
         let mut apart = NetworkFile::new(512).unwrap();
         apart
             .bulk_load(vec![vec![&nodes[0]], vec![&nodes[1]]])
             .unwrap();
-        assert_eq!(crr(&apart), 0.0);
+        assert_eq!(crr(&apart).unwrap(), 0.0);
     }
 }

@@ -13,8 +13,8 @@
 //! memory", §3.2). Diagnostic whole-file scans (CRR measurement, page
 //! maps) read the store directly and are *not* counted.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 
 use ccam_graph::record::{decode_record, encode_record, encoded_len, peek_id};
 use ccam_graph::{NodeData, NodeId};
@@ -26,6 +26,35 @@ use ccam_storage::{
 /// Default buffer capacity for update operations — the paper "assume\[s\]
 /// that sufficient buffers are provided for update operations" (§3.2).
 pub const DEFAULT_BUFFER_FRAMES: usize = 64;
+
+/// A query result over a file with quarantined (unreadable) pages.
+///
+/// Degraded operations skip pages whose checksums fail instead of
+/// aborting: `value` holds everything that was readable, and `skipped`
+/// lists the data pages that could not be consulted. An empty `skipped`
+/// means the answer is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degraded<T> {
+    /// The (possibly partial) result.
+    pub value: T,
+    /// Data pages that were skipped because they are quarantined.
+    pub skipped: Vec<PageId>,
+}
+
+impl<T> Degraded<T> {
+    /// Wraps a result that consulted every page it needed.
+    pub fn complete(value: T) -> Self {
+        Degraded {
+            value,
+            skipped: Vec::new(),
+        }
+    }
+
+    /// True when no page had to be skipped — the answer is exact.
+    pub fn is_complete(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
 
 /// The data file: counted data pages + secondary index.
 ///
@@ -41,6 +70,10 @@ pub struct NetworkFile<S: PageStore = MemPageStore> {
     index: BPlusTree<MemPageStore>,
     page_size: usize,
     auto_commit: bool,
+    /// Pages known to be unreadable (failed checksum on open or during a
+    /// query). Degraded operations skip them; healthy operations never
+    /// place records on them.
+    quarantined: Mutex<BTreeSet<PageId>>,
 }
 
 impl NetworkFile<MemPageStore> {
@@ -62,18 +95,46 @@ impl<S: PageStore> NetworkFile<S> {
             index: BPlusTree::new_mem(1024)?,
             page_size,
             auto_commit: false,
+            quarantined: Mutex::new(BTreeSet::new()),
         })
     }
 
     /// Opens a store that already holds data pages, rebuilding the
     /// secondary index with one uncounted scan.
+    ///
+    /// Pages that fail their checksum are **quarantined** instead of
+    /// failing the open: their records stay unindexed and degraded
+    /// queries report the pages as skipped (run
+    /// [`ccam_storage::scrub`] to repair them from the WAL). Any other
+    /// read error still aborts the open.
     pub fn open(store: S) -> StorageResult<Self> {
         let mut file = Self::create(store)?;
-        let scan = file.scan_uncounted();
+        let (scan, unreadable) = file.pool.with_store(|store| {
+            let mut scan = Vec::new();
+            let mut unreadable = Vec::new();
+            let mut buf = vec![0u8; store.page_size()];
+            for page in store.live_pages() {
+                match store.read(page, &mut buf) {
+                    Ok(()) => {
+                        let mut scratch = buf.clone();
+                        let sp = SlottedPage::attach(&mut scratch);
+                        let records: Vec<NodeData> =
+                            sp.iter().map(|(_, rec)| decode_record(rec)).collect();
+                        scan.push((page, records));
+                    }
+                    Err(StorageError::ChecksumMismatch { .. }) => unreadable.push(page),
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok((scan, unreadable))
+        })?;
         for (page, records) in scan {
             for rec in records {
                 file.index_insert(rec.id, page)?;
             }
+        }
+        for page in unreadable {
+            file.quarantine(page);
         }
         Ok(file)
     }
@@ -172,6 +233,93 @@ impl<S: PageStore> NetworkFile<S> {
     /// True when `page` is a live data page (uncounted store metadata).
     pub fn is_live_page(&self, page: PageId) -> bool {
         self.pool.with_store(|s| s.is_live(page))
+    }
+
+    // -- quarantine ---------------------------------------------------------
+
+    /// Marks `page` unreadable: degraded operations skip it and record
+    /// placement avoids it until [`Self::clear_quarantined`].
+    pub fn quarantine(&self, page: PageId) {
+        self.quarantined
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(page);
+    }
+
+    /// True when `page` is quarantined.
+    pub fn is_quarantined(&self, page: PageId) -> bool {
+        self.quarantined
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(&page)
+    }
+
+    /// The quarantined pages, in order.
+    pub fn quarantined_pages(&self) -> Vec<PageId> {
+        self.quarantined
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Forgets every quarantine mark (after a successful scrub repair).
+    pub fn clear_quarantined(&self) {
+        self.quarantined
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    /// Reads `id` from `page` unless the page is quarantined; a checksum
+    /// failure quarantines the page on the spot. Skipped pages are pushed
+    /// onto `skipped` (deduplicated); any other error propagates.
+    fn read_guarded(
+        &self,
+        page: PageId,
+        id: NodeId,
+        skipped: &mut Vec<PageId>,
+    ) -> StorageResult<Option<NodeData>> {
+        if self.is_quarantined(page) {
+            if !skipped.contains(&page) {
+                skipped.push(page);
+            }
+            return Ok(None);
+        }
+        match self.read_from_page(page, id) {
+            Ok(rec) => Ok(rec),
+            Err(StorageError::ChecksumMismatch { .. }) => {
+                self.quarantine(page);
+                if !skipped.contains(&page) {
+                    skipped.push(page);
+                }
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `Find()` that degrades instead of aborting: a quarantined (or
+    /// freshly checksum-failed) data page is skipped and reported in
+    /// [`Degraded::skipped`]. When the record cannot be found *and* the
+    /// file has quarantined pages, those pages are reported too — the
+    /// record may be on one of them, unindexed since a tolerant
+    /// [`NetworkFile::open`].
+    pub fn find_degraded(&self, id: NodeId) -> StorageResult<Degraded<Option<NodeData>>> {
+        let mut skipped = Vec::new();
+        let found = match self.page_of(id)? {
+            Some(page) => self.read_guarded(page, id, &mut skipped)?,
+            None => None,
+        };
+        if found.is_none() && skipped.is_empty() {
+            // Absence is only trustworthy when every page was readable.
+            skipped = self.quarantined_pages();
+        }
+        Ok(Degraded {
+            value: found,
+            skipped,
+        })
     }
 
     /// Number of indexed node records.
@@ -319,11 +467,11 @@ impl<S: PageStore> NetworkFile<S> {
         let ok = self.pool.with_page_mut(page, |buf| {
             let mut sp = SlottedPage::attach(buf);
             match sp.insert(&rec) {
-                Ok(_) => true,
-                Err(StorageError::PageFull { .. }) => false,
-                Err(e) => panic!("unexpected page error: {e}"),
+                Ok(_) => Ok(true),
+                Err(StorageError::PageFull { .. }) => Ok(false),
+                Err(e) => Err(e),
             }
-        })?;
+        })??;
         if ok {
             self.index_insert(node.id, page)?;
         }
@@ -340,10 +488,10 @@ impl<S: PageStore> NetworkFile<S> {
                 .find(|(_, rec)| peek_id(rec) == id)
                 .map(|(slot, rec)| (slot, decode_record(rec)));
             if let Some((slot, _)) = found {
-                sp.delete(slot).expect("slot just observed");
+                sp.delete(slot)?;
             }
-            found.map(|(_, rec)| rec)
-        })?;
+            Ok::<_, StorageError>(found.map(|(_, rec)| rec))
+        })??;
         if removed.is_some() {
             self.index_remove(id)?;
         }
@@ -418,37 +566,42 @@ impl<S: PageStore> NetworkFile<S> {
 
     /// Exact post-compaction free bytes per live page, bypassing the
     /// buffer pool (uncounted — models the in-memory free-space map a
-    /// real system maintains).
-    pub fn free_space_map_uncounted(&self) -> Vec<(PageId, usize)> {
-        self.pool.flush_all().expect("flush for scan");
+    /// real system maintains). Quarantined pages are excluded: no new
+    /// record may land on an unreadable page.
+    pub fn free_space_map_uncounted(&self) -> StorageResult<Vec<(PageId, usize)>> {
+        self.pool.flush_all()?;
         self.pool.with_store(|store| {
             let mut out = Vec::new();
             let mut buf = vec![0u8; store.page_size()];
             for page in store.live_pages() {
-                store.read(page, &mut buf).expect("live page readable");
+                if self.is_quarantined(page) {
+                    continue;
+                }
+                store.read(page, &mut buf)?;
                 let mut scratch = buf.clone();
                 let free = SlottedPage::attach(&mut scratch).free_space();
                 out.push((page, free));
             }
-            out
+            Ok(out)
         })
     }
 
     /// Decodes every record in the file, grouped by page, bypassing the
-    /// buffer pool (uncounted; diagnostics only).
-    pub fn scan_uncounted(&self) -> Vec<(PageId, Vec<NodeData>)> {
-        self.pool.flush_all().expect("flush for scan");
+    /// buffer pool (uncounted; diagnostics only). Strict: any read error,
+    /// including a checksum mismatch on a quarantined page, propagates.
+    pub fn scan_uncounted(&self) -> StorageResult<Vec<(PageId, Vec<NodeData>)>> {
+        self.pool.flush_all()?;
         self.pool.with_store(|store| {
             let mut out = Vec::new();
             let mut buf = vec![0u8; store.page_size()];
             for page in store.live_pages() {
-                store.read(page, &mut buf).expect("live page readable");
+                store.read(page, &mut buf)?;
                 let mut scratch = buf.clone();
                 let sp = SlottedPage::attach(&mut scratch);
                 let records: Vec<NodeData> = sp.iter().map(|(_, rec)| decode_record(rec)).collect();
                 out.push((page, records));
             }
-            out
+            Ok(out)
         })
     }
 
@@ -630,10 +783,50 @@ mod tests {
         let p = f.allocate_page().unwrap();
         f.insert_into(p, &node(1, 1)).unwrap();
         let before = f.stats().snapshot();
-        let scan = f.scan_uncounted();
+        let scan = f.scan_uncounted().unwrap();
         assert_eq!(scan.len(), 1);
         assert_eq!(scan[0].1.len(), 1);
         let d = f.stats().snapshot().since(&before);
         assert_eq!(d.physical_reads, 0);
+    }
+
+    #[test]
+    fn degraded_find_skips_quarantined_pages() {
+        let mut f = NetworkFile::new(512).unwrap();
+        let p = f.allocate_page().unwrap();
+        f.insert_into(p, &node(1, 0)).unwrap();
+        let q = f.allocate_page().unwrap();
+        f.insert_into(q, &node(2, 0)).unwrap();
+        f.quarantine(q);
+        // Healthy page: exact answer.
+        let d = f.find_degraded(NodeId(1)).unwrap();
+        assert!(d.value.is_some());
+        assert!(d.is_complete());
+        // Quarantined page: skipped, not an error.
+        let d = f.find_degraded(NodeId(2)).unwrap();
+        assert!(d.value.is_none());
+        assert_eq!(d.skipped, vec![q]);
+        // A genuine miss on a degraded file reports the quarantine too:
+        // the record might live on the unreadable page.
+        let d = f.find_degraded(NodeId(99)).unwrap();
+        assert!(d.value.is_none());
+        assert_eq!(d.skipped, vec![q]);
+        // After clearing, everything is exact again.
+        f.clear_quarantined();
+        assert!(f.find_degraded(NodeId(2)).unwrap().value.is_some());
+    }
+
+    #[test]
+    fn quarantined_pages_never_receive_new_records() {
+        let mut f = NetworkFile::new(512).unwrap();
+        let p = f.allocate_page().unwrap();
+        f.insert_into(p, &node(1, 0)).unwrap();
+        f.quarantine(p);
+        let map = f.free_space_map_uncounted().unwrap();
+        assert!(
+            map.iter().all(|(page, _)| *page != p),
+            "quarantined page must not appear in the free-space map"
+        );
+        assert!(f.quarantined_pages().contains(&p));
     }
 }

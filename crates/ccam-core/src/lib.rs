@@ -37,5 +37,5 @@ pub mod workload;
 
 pub use am::{AccessMethod, Ccam, CcamBuilder, GridAm, TopoAm, TraversalOrder};
 pub use costmodel::CostParams;
-pub use file::NetworkFile;
+pub use file::{Degraded, NetworkFile};
 pub use reorg::ReorgPolicy;

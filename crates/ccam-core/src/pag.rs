@@ -78,9 +78,11 @@ pub fn nbr_pages<S: PageStore>(
 
 /// Materialises the full PAG as an adjacency list over live pages
 /// (diagnostics / tests only — the access methods never call this).
-pub fn full_pag<S: PageStore>(file: &NetworkFile<S>) -> Vec<(PageId, BTreeSet<PageId>)> {
-    let page_map = file.page_map().expect("page map");
-    let scan = file.scan_uncounted();
+pub fn full_pag<S: PageStore>(
+    file: &NetworkFile<S>,
+) -> StorageResult<Vec<(PageId, BTreeSet<PageId>)>> {
+    let page_map = file.page_map()?;
+    let scan = file.scan_uncounted()?;
     let mut pag: Vec<(PageId, BTreeSet<PageId>)> = Vec::new();
     for (page, records) in &scan {
         let mut adj = BTreeSet::new();
@@ -95,7 +97,7 @@ pub fn full_pag<S: PageStore>(file: &NetworkFile<S>) -> Vec<(PageId, BTreeSet<Pa
         }
         pag.push((*page, adj));
     }
-    pag
+    Ok(pag)
 }
 
 #[cfg(test)]
@@ -157,7 +159,7 @@ mod tests {
     #[test]
     fn full_pag_is_symmetric() {
         let (f, _) = setup();
-        let pag = full_pag(&f);
+        let pag = full_pag(&f).unwrap();
         for (p, adj) in &pag {
             for q in adj {
                 let back = pag

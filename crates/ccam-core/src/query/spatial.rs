@@ -37,14 +37,14 @@ pub enum SpatialIndex {
 impl SpatialIndex {
     /// Builds an R-tree index from the file's current contents
     /// (uncounted scan — index construction is not part of query I/O).
-    pub fn build_rtree<S: PageStore>(file: &NetworkFile<S>) -> SpatialIndex {
+    pub fn build_rtree<S: PageStore>(file: &NetworkFile<S>) -> StorageResult<SpatialIndex> {
         let mut tree = RTree::new(16);
-        for (_, records) in file.scan_uncounted() {
+        for (_, records) in file.scan_uncounted()? {
             for rec in records {
                 tree.insert(Rect::point(rec.x, rec.y), rec.id.0);
             }
         }
-        SpatialIndex::RTree(tree)
+        Ok(SpatialIndex::RTree(tree))
     }
 
     /// The Z-order-id index (no construction needed; the node-id B⁺-tree
@@ -149,7 +149,7 @@ mod tests {
     fn rtree_window_matches_brute_force() {
         let net = grid_network(15, 15, 1.0);
         let am = CcamBuilder::new(1024).build_static(&net).unwrap();
-        let idx = SpatialIndex::build_rtree(am.file());
+        let idx = SpatialIndex::build_rtree(am.file()).unwrap();
         for (x0, y0, x1, y1) in [
             (0, 0, 14, 14),
             (3, 4, 7, 9),
@@ -186,7 +186,7 @@ mod tests {
     fn window_records_fetch_full_records() {
         let net = grid_network(10, 10, 1.0);
         let am = CcamBuilder::new(512).build_static(&net).unwrap();
-        let idx = SpatialIndex::build_rtree(am.file());
+        let idx = SpatialIndex::build_rtree(am.file()).unwrap();
         let recs = idx.window_records(am.file(), 2, 2, 5, 5).unwrap();
         assert_eq!(recs.len(), 16);
         for r in &recs {
@@ -198,7 +198,7 @@ mod tests {
     fn index_tracks_updates() {
         let net = grid_network(8, 8, 1.0);
         let mut am = CcamBuilder::new(512).build_static(&net).unwrap();
-        let mut idx = SpatialIndex::build_rtree(am.file());
+        let mut idx = SpatialIndex::build_rtree(am.file()).unwrap();
         let victim = net.node_ids()[20];
         let victim_rec = am.find(victim).unwrap().unwrap();
         let del = am.delete_node(victim).unwrap().unwrap();

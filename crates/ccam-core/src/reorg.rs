@@ -277,10 +277,10 @@ mod tests {
     #[test]
     fn reorganize_improves_crr() {
         let (mut f, pages, _) = badly_clustered();
-        let before = crate::crr::crr(&f);
+        let before = crate::crr::crr(&f).unwrap();
         let set: BTreeSet<PageId> = pages.into_iter().collect();
         reorganize_pages(&mut f, &set, &|_, _| 1, Partitioner::RatioCut).unwrap();
-        let after = crate::crr::crr(&f);
+        let after = crate::crr::crr(&f).unwrap();
         assert!(
             after > before,
             "reclustering must improve CRR: {before:.3} -> {after:.3}"

@@ -104,10 +104,12 @@ impl<S: PageStore> BufferPool<S> {
     /// Frees `id`, dropping any buffered copy.
     pub fn free(&self, id: PageId) -> StorageResult<()> {
         let mut inner = self.inner.lock();
+        // Free in the store first: if it fails, the buffered copy (and
+        // any dirty contents) must survive untouched.
+        inner.store.free(id)?;
         if let Some(idx) = inner.map.remove(&id) {
             inner.drop_frame(idx);
         }
-        inner.store.free(id)?;
         self.stats.record_free();
         Ok(())
     }
@@ -278,8 +280,16 @@ impl<S: PageStore> Inner<S> {
             let victim = self.lru_victim();
             self.evict(victim, stats)?;
         }
+        // The fill happens into a fresh buffer *before* a frame is
+        // created: a failed read — I/O error or checksum mismatch — must
+        // never leave a frame cached as if it held valid page contents.
         let mut data = vec![0u8; self.store.page_size()].into_boxed_slice();
-        self.store.read(id, &mut data)?;
+        if let Err(e) = self.store.read(id, &mut data) {
+            if matches!(e, StorageError::ChecksumMismatch { .. }) {
+                stats.record_checksum_failure();
+            }
+            return Err(e);
+        }
         stats.record_read();
         let idx = self.frames.len();
         self.frames.push(Frame {
@@ -425,6 +435,65 @@ mod tests {
             counters.writes.load(std::sync::atomic::Ordering::Relaxed),
             1
         );
+    }
+
+    #[test]
+    fn failed_fill_is_never_left_cached_as_valid() {
+        use crate::testing::FlakyStore;
+        let (store, switch) = FlakyStore::new(MemPageStore::new(128).unwrap());
+        let p = BufferPool::new(store, 4);
+        let a = p.allocate().unwrap();
+        p.with_page_mut(a, |buf| buf.fill(0x42)).unwrap();
+        p.clear().unwrap();
+        // The fill read fails: no frame may be created for the page.
+        switch.arm_after(0);
+        assert!(p.with_page(a, |_| ()).is_err());
+        assert!(!p.is_resident(a), "failed fill left a frame cached");
+        // Nothing dirty was fabricated either: clearing writes nothing.
+        switch.disarm();
+        let before = p.stats().snapshot();
+        p.clear().unwrap();
+        assert_eq!(p.stats().snapshot().since(&before).physical_writes, 0);
+        // And a healthy retry reads the real contents, not zeroes.
+        let ok = p
+            .with_page(a, |buf| buf.iter().all(|&x| x == 0x42))
+            .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn checksum_mismatch_on_fill_is_counted_and_not_cached() {
+        use crate::testing::CorruptStore;
+        let (store, ctl) = CorruptStore::new(MemPageStore::new(128).unwrap(), 5);
+        let p = BufferPool::new(store, 4);
+        let a = p.allocate().unwrap();
+        p.with_page_mut(a, |buf| buf.fill(9)).unwrap();
+        p.clear().unwrap();
+        ctl.mark_corrupt(a);
+        assert!(matches!(
+            p.with_page(a, |_| ()),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        assert!(!p.is_resident(a));
+        assert_eq!(p.stats().snapshot().checksum_failures, 1);
+    }
+
+    #[test]
+    fn failed_store_free_keeps_the_buffered_copy() {
+        use crate::testing::FlakyStore;
+        let (store, switch) = FlakyStore::new(MemPageStore::new(128).unwrap());
+        let p = BufferPool::new(store, 4);
+        let a = p.allocate().unwrap();
+        p.with_page_mut(a, |buf| buf.fill(6)).unwrap();
+        switch.arm_after(0);
+        assert!(p.free(a).is_err());
+        switch.disarm();
+        // The dirty frame survived the failed free and still flushes.
+        assert!(p.is_resident(a));
+        let ok = p.with_page(a, |buf| buf.iter().all(|&x| x == 6)).unwrap();
+        assert!(ok);
+        p.free(a).unwrap();
+        assert!(!p.is_resident(a));
     }
 
     #[test]

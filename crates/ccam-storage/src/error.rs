@@ -32,6 +32,17 @@ pub enum StorageError {
     InvalidSlot(u16),
     /// The on-disk file is not a valid page file (bad magic / geometry).
     Corrupt(String),
+    /// A page's stored CRC32 does not match its contents — the page
+    /// bit-rotted, was torn, or a write was misdirected. Surfaced only by
+    /// checksummed (v2) page files; see `FilePageStore`.
+    ChecksumMismatch {
+        /// The page that failed verification.
+        page: PageId,
+        /// Checksum stored in the page trailer.
+        stored: u32,
+        /// Checksum computed over the page contents just read.
+        computed: u32,
+    },
     /// Requested page size is unsupported (too small or not a power of two).
     BadPageSize(usize),
     /// A durable store hit an I/O failure mid-batch and refuses further
@@ -52,6 +63,14 @@ impl fmt::Display for StorageError {
             }
             StorageError::InvalidSlot(s) => write!(f, "invalid slot {s}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page file: {msg}"),
+            StorageError::ChecksumMismatch {
+                page,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch on page {page:?}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
             StorageError::BadPageSize(s) => write!(f, "unsupported page size {s}"),
             StorageError::Poisoned => {
                 write!(

@@ -16,7 +16,12 @@
 //! * [`wal`], [`durable`], [`recovery`] — an opt-in write-ahead log:
 //!   [`WalStore`] wraps any [`PageStore`], turns `sync()` into an atomic
 //!   commit point, and replays the log on reopen so a crash at an
-//!   arbitrary instant never tears a multi-page update.
+//!   arbitrary instant never tears a multi-page update,
+//! * [`retry`] — [`RetryStore`] absorbs transient faults with bounded
+//!   attempts and deterministic exponential backoff,
+//! * [`integrity`] — [`scrub`](integrity::scrub) verifies every page's
+//!   CRC32 (v2 page files), repairs damage from committed WAL images and
+//!   reports what must be quarantined.
 //!
 //! The access methods in `ccam-core` never touch a [`PageStore`] directly;
 //! all page traffic flows through a [`BufferPool`] so that the experiments
@@ -25,8 +30,10 @@
 pub mod buffer;
 pub mod durable;
 pub mod error;
+pub mod integrity;
 pub mod page;
 pub mod recovery;
+pub mod retry;
 pub mod slotted;
 pub mod stats;
 pub mod store;
@@ -36,10 +43,15 @@ pub mod wal;
 pub use buffer::BufferPool;
 pub use durable::WalStore;
 pub use error::{StorageError, StorageResult};
+pub use integrity::{committed_images, scrub, scrub_file, PageStatus, ScrubReport};
 pub use page::{PageId, BLOCK_1K, BLOCK_2K, BLOCK_4K, BLOCK_512, MIN_PAGE_SIZE};
 pub use recovery::RecoveryReport;
+pub use retry::{RetryPolicy, RetryStore};
 pub use slotted::{SlotId, SlottedPage};
-pub use stats::IoStats;
+pub use stats::{IoSnapshot, IoStats};
 pub use store::{FilePageStore, MemPageStore, PageStore};
-pub use testing::{CountingStore, CrashController, CrashStore, FlakyStore, TornWrite};
+pub use testing::{
+    CorruptStore, CorruptionController, CountingStore, CrashController, CrashStore, FlakyStore,
+    TornWrite,
+};
 pub use wal::{wal_sidecar, LogRecord, Wal};

@@ -19,6 +19,8 @@ pub struct IoStats {
     allocations: AtomicU64,
     frees: AtomicU64,
     syncs: AtomicU64,
+    retries: AtomicU64,
+    checksum_failures: AtomicU64,
 }
 
 /// A point-in-time copy of the counters, used to compute per-operation
@@ -39,6 +41,13 @@ pub struct IoSnapshot {
     /// write-ahead-logged `WalStore`, so benches can attribute WAL
     /// overhead per operation.
     pub syncs: u64,
+    /// Store operations re-issued by a `RetryStore` after a transient
+    /// fault (one per extra attempt, not per faulted operation).
+    pub retries: u64,
+    /// Page reads that failed CRC32 verification (recorded by the buffer
+    /// pool and by `RetryStore` when the store surfaces
+    /// `ChecksumMismatch`).
+    pub checksum_failures: u64,
 }
 
 impl IoSnapshot {
@@ -51,6 +60,8 @@ impl IoSnapshot {
             allocations: self.allocations - earlier.allocations,
             frees: self.frees - earlier.frees,
             syncs: self.syncs - earlier.syncs,
+            retries: self.retries - earlier.retries,
+            checksum_failures: self.checksum_failures - earlier.checksum_failures,
         }
     }
 
@@ -91,6 +102,14 @@ impl IoStats {
         self.syncs.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_checksum_failure(&self) {
+        self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -100,6 +119,8 @@ impl IoStats {
             allocations: self.allocations.load(Ordering::Relaxed),
             frees: self.frees.load(Ordering::Relaxed),
             syncs: self.syncs.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -124,6 +145,8 @@ impl IoStats {
         self.allocations.store(0, Ordering::Relaxed);
         self.frees.store(0, Ordering::Relaxed);
         self.syncs.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.checksum_failures.store(0, Ordering::Relaxed);
     }
 }
 
@@ -169,6 +192,22 @@ mod tests {
         s.record_read();
         s.record_write();
         s.record_sync();
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn retry_and_checksum_counters_accumulate_and_reset() {
+        let s = IoStats::new_shared();
+        s.record_retry();
+        s.record_retry();
+        s.record_checksum_failure();
+        let snap = s.snapshot();
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.checksum_failures, 1);
+        let before = snap;
+        s.record_retry();
+        assert_eq!(s.delta_since(&before).retries, 1);
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
     }

@@ -10,8 +10,11 @@
 //! crash-recovery tests; [`CountingStore`] records per-operation counts
 //! for tests asserting raw store traffic.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::PageId;
@@ -343,6 +346,233 @@ impl<S: PageStore> PageStore for CrashStore<S> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Seeded corruption injection
+// ---------------------------------------------------------------------------
+
+/// Shared controller for a [`CorruptStore`]: a seeded, deterministic
+/// fault schedule plus a set of "rotted" pages.
+///
+/// Two fault classes are modelled:
+///
+/// * **Transient glitches** — with [`CorruptionController::set_fault_rate`]
+///   armed, each store operation draws from a seeded xorshift stream;
+///   a hit fails `burst` consecutive attempts with an I/O error and then
+///   passes, so a `RetryStore` with `max_attempts > burst` absorbs every
+///   glitch while a bare store surfaces it.
+/// * **Persistent page corruption** —
+///   [`CorruptionController::mark_corrupt`] makes every read of that page
+///   fail with [`StorageError::ChecksumMismatch`] (the error a
+///   checksummed file store would produce), until a full-page write
+///   "restamps" it or [`CorruptionController::clear_corrupt`] heals it.
+///
+/// Everything is derived from the constructor seed; no wall clock or OS
+/// randomness is consulted, so a failing schedule replays exactly.
+pub struct CorruptionController {
+    /// xorshift64* state.
+    rng: Mutex<u64>,
+    /// Per-1024 chance that an operation starts a glitch (0 = off).
+    fault_rate: AtomicU64,
+    /// Consecutive failures per glitch.
+    burst: AtomicU64,
+    /// Failures still owed from the glitch in progress.
+    pending: AtomicU64,
+    /// Pages that fail checksum verification on read.
+    corrupt: Mutex<BTreeSet<u32>>,
+    /// Transient faults injected so far.
+    injected: AtomicU64,
+}
+
+impl std::fmt::Debug for CorruptionController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorruptionController")
+            .field("fault_rate", &self.fault_rate.load(Ordering::SeqCst))
+            .field("burst", &self.burst.load(Ordering::SeqCst))
+            .field("corrupt", &self.corrupt_pages())
+            .field("injected", &self.injected.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl CorruptionController {
+    fn new(seed: u64) -> Arc<CorruptionController> {
+        Arc::new(CorruptionController {
+            // xorshift needs a nonzero state.
+            rng: Mutex::new(seed | 1),
+            fault_rate: AtomicU64::new(0),
+            burst: AtomicU64::new(1),
+            pending: AtomicU64::new(0),
+            corrupt: Mutex::new(BTreeSet::new()),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Arms transient glitches: roughly `per_1024` out of every 1024
+    /// operations start a glitch of `burst` consecutive failures
+    /// (`burst` ≥ 1). Zero disarms.
+    pub fn set_fault_rate(&self, per_1024: u64, burst: u64) {
+        self.burst.store(burst.max(1), Ordering::SeqCst);
+        self.fault_rate.store(per_1024, Ordering::SeqCst);
+        if per_1024 == 0 {
+            self.pending.store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// Marks `id` as bit-rotted: reads fail with a checksum mismatch.
+    pub fn mark_corrupt(&self, id: PageId) {
+        self.corrupt.lock().insert(id.0);
+    }
+
+    /// Heals `id` without a write.
+    pub fn clear_corrupt(&self, id: PageId) {
+        self.corrupt.lock().remove(&id.0);
+    }
+
+    /// Pages currently marked corrupt, ascending.
+    pub fn corrupt_pages(&self) -> Vec<PageId> {
+        self.corrupt.lock().iter().map(|&p| PageId(p)).collect()
+    }
+
+    /// Transient faults injected so far.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    fn next_rng(&self) -> u64 {
+        let mut state = self.rng.lock();
+        let mut x = *state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// One operation's transient-fault draw.
+    fn glitch(&self) -> StorageResult<()> {
+        if self
+            .pending
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+        {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(StorageError::Io(std::io::Error::other(
+                "injected transient fault (burst)",
+            )));
+        }
+        let rate = self.fault_rate.load(Ordering::SeqCst);
+        if rate > 0 && self.next_rng() % 1024 < rate {
+            self.pending
+                .store(self.burst.load(Ordering::SeqCst) - 1, Ordering::SeqCst);
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(StorageError::Io(std::io::Error::other(
+                "injected transient fault",
+            )));
+        }
+        Ok(())
+    }
+
+    fn checksum_error(id: PageId) -> StorageError {
+        // Deterministic fabricated checksums: what a real v2 file would
+        // report, minus the actual bit pattern.
+        let stored = 0xBAD0_0000 | id.0;
+        StorageError::ChecksumMismatch {
+            page: id,
+            stored,
+            computed: stored ^ 1,
+        }
+    }
+}
+
+/// A [`PageStore`] wrapper injecting seeded transient faults and
+/// persistent per-page corruption (see [`CorruptionController`]).
+///
+/// Stacks under a [`crate::RetryStore`] in fault-sweep tests: transient
+/// glitches are absorbed by the retry budget, persistent corruption
+/// surfaces as [`StorageError::ChecksumMismatch`] for the scrub /
+/// quarantine machinery above.
+pub struct CorruptStore<S: PageStore> {
+    inner: S,
+    controller: Arc<CorruptionController>,
+}
+
+impl<S: PageStore> CorruptStore<S> {
+    /// Wraps `inner` with a fault schedule seeded by `seed`; returns the
+    /// store and its controller.
+    pub fn new(inner: S, seed: u64) -> (Self, Arc<CorruptionController>) {
+        let controller = CorruptionController::new(seed);
+        (
+            CorruptStore {
+                inner,
+                controller: Arc::clone(&controller),
+            },
+            controller,
+        )
+    }
+
+    /// Consumes the wrapper, returning the inner store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PageStore> PageStore for CorruptStore<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        self.controller.glitch()?;
+        self.inner.allocate()
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        if self.controller.corrupt.lock().contains(&id.0) {
+            return Err(CorruptionController::checksum_error(id));
+        }
+        self.controller.glitch()?;
+        self.inner.read(id, buf)
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> StorageResult<()> {
+        self.controller.glitch()?;
+        self.inner.write(id, buf)?;
+        // A full-page write restamps the page, healing the rot — the
+        // same semantics a checksummed file store has.
+        self.controller.corrupt.lock().remove(&id.0);
+        Ok(())
+    }
+
+    fn free(&mut self, id: PageId) -> StorageResult<()> {
+        self.controller.glitch()?;
+        self.inner.free(id)?;
+        self.controller.corrupt.lock().remove(&id.0);
+        Ok(())
+    }
+
+    fn is_live(&self, id: PageId) -> bool {
+        self.inner.is_live(id)
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        self.controller.glitch()?;
+        self.inner.sync()
+    }
+
+    fn live_pages(&self) -> Vec<PageId> {
+        self.inner.live_pages()
+    }
+
+    fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
+        self.controller.glitch()?;
+        self.inner.ensure_allocated(id)
+    }
+}
+
 /// Raw per-operation counters of a [`CountingStore`].
 #[derive(Debug, Default)]
 pub struct StoreCounters {
@@ -503,6 +733,78 @@ mod tests {
         assert!(matches!(s.sync(), Err(StorageError::Io(_))));
         switch.disarm();
         s.sync().unwrap();
+    }
+
+    #[test]
+    fn corrupt_store_marked_pages_fail_checksum_until_rewritten() {
+        let (mut s, ctl) = CorruptStore::new(MemPageStore::new(64).unwrap(), 42);
+        let a = s.allocate().unwrap();
+        let b = s.allocate().unwrap();
+        s.write(a, &[1u8; 64]).unwrap();
+        s.write(b, &[2u8; 64]).unwrap();
+        ctl.mark_corrupt(a);
+        let mut buf = [0u8; 64];
+        assert!(matches!(
+            s.read(a, &mut buf),
+            Err(StorageError::ChecksumMismatch { page, .. }) if page == a
+        ));
+        // Unmarked pages read fine; a full-page rewrite heals the rot.
+        s.read(b, &mut buf).unwrap();
+        assert_eq!(ctl.corrupt_pages(), vec![a]);
+        s.write(a, &[3u8; 64]).unwrap();
+        s.read(a, &mut buf).unwrap();
+        assert_eq!(buf, [3u8; 64]);
+        assert!(ctl.corrupt_pages().is_empty());
+    }
+
+    #[test]
+    fn corrupt_store_glitches_are_seeded_and_bursty() {
+        // Same seed ⇒ same fault schedule.
+        let run = |seed: u64| {
+            let (mut s, ctl) = CorruptStore::new(MemPageStore::new(64).unwrap(), seed);
+            let p = s.allocate().unwrap();
+            s.write(p, &[9u8; 64]).unwrap();
+            ctl.set_fault_rate(512, 2); // ~half the ops glitch, 2 fails each
+            let mut buf = [0u8; 64];
+            let outcomes: Vec<bool> = (0..32).map(|_| s.read(p, &mut buf).is_ok()).collect();
+            (outcomes, ctl.injected_faults())
+        };
+        let (a, fa) = run(7);
+        let (b, fb) = run(7);
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+        assert!(fa > 0, "a 50% rate over 32 ops must fire at least once");
+        // A different seed produces a different schedule (with these
+        // parameters the chance of collision is negligible).
+        let (c, _) = run(1234);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn retry_store_absorbs_corrupt_store_bursts() {
+        use crate::retry::{RetryPolicy, RetryStore};
+        let (s, ctl) = CorruptStore::new(MemPageStore::new(64).unwrap(), 99);
+        let mut s = RetryStore::new(
+            s,
+            RetryPolicy {
+                // Comfortably above the burst length of 2, so even a
+                // glitch that chains straight into another one is
+                // absorbed within the budget.
+                max_attempts: 8,
+                base_delay_ticks: 1,
+                max_delay_ticks: 4,
+            },
+        );
+        let p = s.allocate().unwrap();
+        s.write(p, &[5u8; 64]).unwrap();
+        ctl.set_fault_rate(128, 2);
+        let mut buf = [0u8; 64];
+        for _ in 0..64 {
+            s.read(p, &mut buf).unwrap();
+        }
+        assert_eq!(buf, [5u8; 64]);
+        // Every injected fault was retried through.
+        assert_eq!(s.stats().snapshot().retries, ctl.injected_faults());
     }
 
     #[test]

@@ -71,13 +71,24 @@ const fn crc32_table() -> [u32; 256] {
 
 static CRC32_TABLE: [u32; 256] = crc32_table();
 
-/// IEEE CRC32 of `data` (the checksum framing every log record).
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = !0u32;
+fn crc32_raw(mut c: u32, data: &[u8]) -> u32 {
     for &b in data {
         c = (c >> 8) ^ CRC32_TABLE[((c ^ b as u32) & 0xff) as usize];
     }
-    !c
+    c
+}
+
+/// IEEE CRC32 of `data` (the checksum framing every log record).
+pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_raw(!0u32, data)
+}
+
+/// Continues a CRC32 over more bytes: `crc32_extend(crc32(a), b)` equals
+/// `crc32` of `a` followed by `b`. Lets callers checksum logically
+/// concatenated buffers without copying them together (page data + page
+/// id in the v2 page-file trailer).
+pub fn crc32_extend(crc: u32, data: &[u8]) -> u32 {
+    !crc32_raw(!crc, data)
 }
 
 // ---------------------------------------------------------------------------

@@ -35,7 +35,7 @@ fn main() {
     );
 
     // 1. Map window: everything in the downtown quarter.
-    let idx = SpatialIndex::build_rtree(am.file());
+    let idx = SpatialIndex::build_rtree(am.file()).unwrap();
     am.file().pool().clear().unwrap();
     let before = am.stats().snapshot();
     let downtown = idx.window_records(am.file(), 800, 800, 1300, 1300).unwrap();

@@ -93,7 +93,7 @@ fn main() {
     }
 
     // The same formats persist to a real file-backed page store.
-    let scan = am.file().scan_uncounted();
+    let scan = am.file().scan_uncounted().unwrap();
     let path = std::env::temp_dir().join("ccam-dynamic-network.db");
     let mut store = ccam::storage::FilePageStore::create(&path, 1024).unwrap();
     let mut written = 0usize;

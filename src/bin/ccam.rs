@@ -11,6 +11,7 @@
 //! ccam window   <db> <x0> <y0> <x1> <y1>
 //! ccam bench    <db> [--routes N] [--len L]
 //! ccam check    <db>
+//! ccam scrub    <db>
 //! ccam replay   <db> <trace.txt>
 //! ```
 //!
@@ -22,6 +23,16 @@
 //! (`<db>.wal`). A WAL-backed database recovers automatically on every
 //! open — committed updates are replayed, torn tails truncated — and
 //! mutating commands (`replay`) commit after each logical operation.
+//!
+//! Fault tolerance: page files carry per-page CRC32 checksums (v2
+//! format), so silent corruption is detected on read. Every
+//! database-opening command accepts `--retry [N]` (wrap the store in a
+//! [`ccam::storage::RetryStore`] absorbing up to N−1 transient faults
+//! per operation) and `--verify-checksums` (refuse to open a database
+//! with checksum-failed pages instead of quarantining them and serving
+//! degraded answers). `ccam scrub <db>` audits every page, repairs
+//! checksum failures from the committed WAL images where possible, and
+//! reports what remains quarantined.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -35,7 +46,9 @@ use ccam::core::query::spatial::SpatialIndex;
 use ccam::graph::roadmap::{road_map, RoadMapConfig};
 use ccam::graph::walks::random_walk_routes;
 use ccam::graph::{load_network, save_network, Network, NodeId};
-use ccam::storage::{wal_sidecar, FilePageStore, PageStore, Wal, WalStore};
+use ccam::storage::{
+    wal_sidecar, FilePageStore, PageStore, RetryPolicy, RetryStore, Wal, WalStore,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,25 +65,72 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
-    let rest = &args[1..];
+    let (rest, open_opts) = extract_open_flags(&args[1..])?;
+    let rest = rest.as_slice();
     match cmd.as_str() {
         "generate" => generate(rest),
         "build" => build(rest),
-        "stats" => stats(rest),
-        "find" => find(rest),
-        "succ" => succ(rest),
-        "route" => route(rest),
-        "astar" => astar(rest),
-        "window" => window(rest),
-        "bench" => bench(rest),
-        "check" => check(rest),
-        "replay" => replay_cmd(rest),
+        "stats" => stats(rest, &open_opts),
+        "find" => find(rest, &open_opts),
+        "succ" => succ(rest, &open_opts),
+        "route" => route(rest, &open_opts),
+        "astar" => astar(rest, &open_opts),
+        "window" => window(rest, &open_opts),
+        "bench" => bench(rest, &open_opts),
+        "check" => check(rest, &open_opts),
+        "scrub" => scrub(rest),
+        "replay" => replay_cmd(rest, &open_opts),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
+}
+
+/// How database-opening commands treat faults (see [`open_db`]).
+#[derive(Default)]
+struct OpenOptions {
+    /// Retry budget from `--retry [N]` (total attempts per operation).
+    retry: Option<u32>,
+    /// `--verify-checksums`: corrupt pages abort the open instead of
+    /// being quarantined for degraded service.
+    verify_checksums: bool,
+}
+
+/// Strips the fault-handling flags shared by every database command out
+/// of `args`, leaving the command-specific arguments untouched.
+fn extract_open_flags(args: &[String]) -> Result<(Vec<String>, OpenOptions), String> {
+    let mut rest = Vec::new();
+    let mut opts = OpenOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--retry" => {
+                // Optional numeric attempt budget; defaults to the
+                // standard policy's three attempts.
+                if let Some(n) = args.get(i + 1).and_then(|s| s.parse::<u32>().ok()) {
+                    if n == 0 {
+                        return Err("--retry: attempts must be at least 1".into());
+                    }
+                    opts.retry = Some(n);
+                    i += 2;
+                } else {
+                    opts.retry = Some(RetryPolicy::default().max_attempts);
+                    i += 1;
+                }
+            }
+            "--verify-checksums" => {
+                opts.verify_checksums = true;
+                i += 1;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Ok((rest, opts))
 }
 
 fn usage() -> String {
@@ -84,7 +144,9 @@ fn usage() -> String {
      ccam window <db> <x0> <y0> <x1> <y1>\n  \
      ccam bench <db> [--routes N] [--len L]\n  \
      ccam check <db>\n  \
-     ccam replay <db> <trace.txt>"
+     ccam scrub <db>\n  \
+     ccam replay <db> <trace.txt>\n\
+     database commands also accept: [--retry [N]] [--verify-checksums]"
         .to_string()
 }
 
@@ -181,14 +243,22 @@ fn build(args: &[String]) -> Result<(), String> {
                 .build_static_on(make_store(&out_path)?, &net)
                 .map_err(|e| e.to_string())?;
             am.file().commit().map_err(|e| e.to_string())?;
-            ("CCAM-S", am.crr().unwrap(), am.file().num_pages())
+            (
+                "CCAM-S",
+                am.crr().map_err(|e| e.to_string())?,
+                am.file().num_pages(),
+            )
         }
         "ccam-d" => {
             let am = CcamBuilder::new(block)
                 .build_dynamic_on(make_store(&out_path)?, &net)
                 .map_err(|e| e.to_string())?;
             am.file().commit().map_err(|e| e.to_string())?;
-            ("CCAM-D", am.crr().unwrap(), am.file().num_pages())
+            (
+                "CCAM-D",
+                am.crr().map_err(|e| e.to_string())?,
+                am.file().num_pages(),
+            )
         }
         m @ ("dfs" | "bfs" | "wdfs") => {
             let order = match m {
@@ -203,7 +273,11 @@ fn build(args: &[String]) -> Result<(), String> {
                 // log so future opens run in WAL mode.
                 Wal::create(&wal_sidecar(&out_path), block).map_err(|e| e.to_string())?;
             }
-            (order.name(), am.crr().unwrap(), am.file().num_pages())
+            (
+                order.name(),
+                am.crr().map_err(|e| e.to_string())?,
+                am.file().num_pages(),
+            )
         }
         "grid" => {
             let am = GridAm::create(&net, block).map_err(|e| e.to_string())?;
@@ -211,7 +285,11 @@ fn build(args: &[String]) -> Result<(), String> {
             if wal {
                 Wal::create(&wal_sidecar(&out_path), block).map_err(|e| e.to_string())?;
             }
-            ("Grid File", am.crr().unwrap(), am.file().num_pages())
+            (
+                "Grid File",
+                am.crr().map_err(|e| e.to_string())?,
+                am.file().num_pages(),
+            )
         }
         other => return Err(format!("unknown --method {other}")),
     };
@@ -239,14 +317,31 @@ impl FlagMap for HashMap<String, String> {
 /// A `<db>.wal` sidecar switches the store into WAL mode: crash recovery
 /// replays the log before the index is rebuilt, and every mutating
 /// operation auto-commits.
-fn open_db(path: &str) -> Result<ccam::core::am::Ccam<Box<dyn PageStore>>, String> {
+///
+/// `--retry` wraps the page file in a [`RetryStore`] (innermost, below
+/// the WAL overlay, so retries shield both recovery and normal I/O).
+/// Checksum-failed pages are quarantined with a warning — queries then
+/// skip them and answer degraded — unless `--verify-checksums` made
+/// corruption fatal.
+fn open_db(
+    path: &str,
+    opts: &OpenOptions,
+) -> Result<ccam::core::am::Ccam<Box<dyn PageStore>>, String> {
     let db = Path::new(path);
     let store = FilePageStore::open(db).map_err(|e| e.to_string())?;
     let block = store.page_size();
+    let mut base: Box<dyn PageStore> = Box::new(store);
+    if let Some(attempts) = opts.retry {
+        let policy = RetryPolicy {
+            max_attempts: attempts,
+            ..RetryPolicy::default()
+        };
+        base = Box::new(RetryStore::new(base, policy));
+    }
     let wal_path = wal_sidecar(db);
     let wal_mode = wal_path.exists();
     let boxed: Box<dyn PageStore> = if wal_mode {
-        let (ws, report) = WalStore::open(store, &wal_path).map_err(|e| e.to_string())?;
+        let (ws, report) = WalStore::open(base, &wal_path).map_err(|e| e.to_string())?;
         if !report.was_clean() {
             eprintln!(
                 "recovered {path}: {} batch(es) redone ({} page images), \
@@ -259,7 +354,7 @@ fn open_db(path: &str) -> Result<ccam::core::am::Ccam<Box<dyn PageStore>>, Strin
         }
         Box::new(ws)
     } else {
-        Box::new(store)
+        base
     };
     let mut am = CcamBuilder::new(block)
         .open_on(boxed)
@@ -267,15 +362,68 @@ fn open_db(path: &str) -> Result<ccam::core::am::Ccam<Box<dyn PageStore>>, Strin
     if wal_mode {
         am.file_mut().set_auto_commit(true);
     }
+    let quarantined = am.file().quarantined_pages();
+    if !quarantined.is_empty() {
+        let list: Vec<String> = quarantined.iter().map(|p| p.0.to_string()).collect();
+        let list = list.join(", ");
+        if opts.verify_checksums {
+            return Err(format!(
+                "{path}: {} page(s) failed checksum verification: {list} \
+                 (run `ccam scrub {path}` to repair from the WAL)",
+                quarantined.len()
+            ));
+        }
+        eprintln!(
+            "warning: {path}: {} page(s) failed checksum verification and are \
+             quarantined: {list}; answers may be incomplete \
+             (run `ccam scrub {path}`)",
+            quarantined.len()
+        );
+    }
     Ok(am)
 }
 
-fn stats(args: &[String]) -> Result<(), String> {
+/// `ccam scrub <db>`: audit every page, repair checksum failures from the
+/// committed WAL images, report what stayed quarantined.
+fn scrub(args: &[String]) -> Result<(), String> {
+    let [db] = args else {
+        return Err("scrub needs <db>".into());
+    };
+    let report = ccam::storage::scrub_file(Path::new(db)).map_err(|e| e.to_string())?;
+    for (page, status) in &report.pages {
+        match status {
+            ccam::storage::PageStatus::Clean => {}
+            ccam::storage::PageStatus::Repaired => {
+                println!("page {}: repaired from WAL image", page.0);
+            }
+            ccam::storage::PageStatus::Quarantined => {
+                println!("page {}: QUARANTINED (no committed WAL image)", page.0);
+            }
+        }
+    }
+    println!(
+        "scrubbed {db}: {} page(s) — {} clean, {} repaired, {} quarantined",
+        report.pages.len(),
+        report.clean,
+        report.repaired,
+        report.quarantined
+    );
+    if report.quarantined == 0 {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} page(s) unrecoverable; queries will skip them and answer degraded",
+            report.quarantined
+        ))
+    }
+}
+
+fn stats(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     let [db] = args else {
         return Err("stats needs <db>".into());
     };
-    let am = open_db(db)?;
-    let p = CostParams::measure(am.file());
+    let am = open_db(db, opts)?;
+    let p = CostParams::measure(am.file()).map_err(|e| e.to_string())?;
     println!("database          {db}");
     println!("page size         {} B", am.file().page_size());
     println!("records           {}", am.file().len());
@@ -299,11 +447,11 @@ fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn find(args: &[String]) -> Result<(), String> {
+fn find(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     let [db, id] = args else {
         return Err("find needs <db> <node-id>".into());
     };
-    let am = open_db(db)?;
+    let am = open_db(db, opts)?;
     let id = NodeId(parse_u64(id, "node-id")?);
     match am.find(id).map_err(|e| e.to_string())? {
         Some(rec) => {
@@ -321,27 +469,36 @@ fn find(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn succ(args: &[String]) -> Result<(), String> {
+fn succ(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     let [db, id] = args else {
         return Err("succ needs <db> <node-id>".into());
     };
-    let am = open_db(db)?;
+    let am = open_db(db, opts)?;
     let id = NodeId(parse_u64(id, "node-id")?);
     let before = am.stats().snapshot();
-    let succs = am.get_successors(id).map_err(|e| e.to_string())?;
+    // The degraded variant answers past quarantined pages instead of
+    // aborting; on a healthy file it is exactly Get-successors().
+    let result = am.get_successors_degraded(id).map_err(|e| e.to_string())?;
     let io = am.stats().snapshot().since(&before).physical_reads;
-    for s in &succs {
+    for s in &result.value {
         println!("{} at ({}, {})", s.id.0, s.x, s.y);
     }
-    println!("({} successors, {} page accesses)", succs.len(), io);
+    println!("({} successors, {} page accesses)", result.value.len(), io);
+    if !result.is_complete() {
+        let list: Vec<String> = result.skipped.iter().map(|p| p.0.to_string()).collect();
+        eprintln!(
+            "warning: answer is incomplete — skipped quarantined page(s) {}",
+            list.join(", ")
+        );
+    }
     Ok(())
 }
 
-fn route(args: &[String]) -> Result<(), String> {
+fn route(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     if args.len() < 3 {
         return Err("route needs <db> and at least two node ids".into());
     }
-    let am = open_db(&args[0])?;
+    let am = open_db(&args[0], opts)?;
     let nodes: Vec<NodeId> = args[1..]
         .iter()
         .map(|s| parse_u64(s, "node-id").map(NodeId))
@@ -360,11 +517,11 @@ fn route(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn astar(args: &[String]) -> Result<(), String> {
+fn astar(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     let [db, from, to] = args else {
         return Err("astar needs <db> <from> <to>".into());
     };
-    let am = open_db(db)?;
+    let am = open_db(db, opts)?;
     let from = NodeId(parse_u64(from, "from")?);
     let to = NodeId(parse_u64(to, "to")?);
     let before = am.stats().snapshot();
@@ -386,14 +543,14 @@ fn astar(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn window(args: &[String]) -> Result<(), String> {
+fn window(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     let [db, x0, y0, x1, y1] = args else {
         return Err("window needs <db> <x0> <y0> <x1> <y1>".into());
     };
-    let am = open_db(db)?;
+    let am = open_db(db, opts)?;
     let c = |s: &String, w| parse_u64(s, w).map(|v| v as u32);
     let (x0, y0, x1, y1) = (c(x0, "x0")?, c(y0, "y0")?, c(x1, "x1")?, c(y1, "y1")?);
-    let idx = SpatialIndex::build_rtree(am.file());
+    let idx = SpatialIndex::build_rtree(am.file()).map_err(|e| e.to_string())?;
     let recs = idx
         .window_records(am.file(), x0.min(x1), y0.min(y1), x0.max(x1), y0.max(y1))
         .map_err(|e| e.to_string())?;
@@ -404,12 +561,12 @@ fn window(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn bench(args: &[String]) -> Result<(), String> {
+fn bench(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     let (pos, flags) = parse_flags(args, &["routes", "len"]);
     let [db] = pos.as_slice() else {
         return Err("bench needs <db>".into());
     };
-    let am = open_db(db)?;
+    let am = open_db(db, opts)?;
     let routes_n = flags
         .get("routes")
         .map(|s| parse_u64(s, "--routes"))
@@ -422,7 +579,7 @@ fn bench(args: &[String]) -> Result<(), String> {
         .unwrap_or(20) as usize;
     // Rebuild a Network view from the stored records to generate walks.
     let mut net = Network::new();
-    let scan = am.file().scan_uncounted();
+    let scan = am.file().scan_uncounted().map_err(|e| e.to_string())?;
     for (_, records) in &scan {
         for r in records {
             net.add_node(r.id, r.x, r.y, r.payload.clone());
@@ -455,16 +612,16 @@ fn bench(args: &[String]) -> Result<(), String> {
         routes_n,
         len,
         total as f64 / routes_n as f64,
-        am.crr().unwrap()
+        am.crr().map_err(|e| e.to_string())?
     );
     Ok(())
 }
 
-fn check(args: &[String]) -> Result<(), String> {
+fn check(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     let [db] = args else {
         return Err("check needs <db>".into());
     };
-    let am = open_db(db)?;
+    let am = open_db(db, opts)?;
     let report = ccam::core::check::verify(am.file()).map_err(|e| e.to_string())?;
     println!(
         "checked {} records on {} pages (CRR {:.4}, {} under-full pages)",
@@ -481,13 +638,13 @@ fn check(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn replay_cmd(args: &[String]) -> Result<(), String> {
+fn replay_cmd(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     let [db, trace] = args else {
         return Err("replay needs <db> <trace.txt>".into());
     };
     let text = std::fs::read_to_string(trace).map_err(|e| e.to_string())?;
     let ops = ccam::core::workload::parse_trace(&text).map_err(|e| e.to_string())?;
-    let mut am = open_db(db)?;
+    let mut am = open_db(db, opts)?;
     let stats =
         ccam::core::workload::replay(&mut am as &mut dyn AccessMethod<Box<dyn PageStore>>, &ops)
             .map_err(|e| e.to_string())?;

@@ -115,7 +115,7 @@ fn route_evaluation_cost_ordering() {
 fn search_costs_track_the_cost_model() {
     let net = small_map();
     let am = CcamBuilder::new(1024).build_static(&net).unwrap();
-    let params = CostParams::measure(am.file());
+    let params = CostParams::measure(am.file()).unwrap();
 
     let ids = net.node_ids();
     let (mut gs, mut ga, mut n) = (0u64, 0u64, 0u64);
