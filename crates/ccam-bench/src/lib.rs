@@ -10,6 +10,7 @@
 //! | `fig7_reorg_policies`     | Figure 7 — reorganization policies: I/O cost and CRR under insertion |
 //! | `ablation_partitioners`   | extra — CRR per partitioning heuristic (+ m-way refinement) |
 //! | `ablation_buffer`         | extra — route-evaluation I/O vs buffer size |
+//! | `validate_costmodel`      | extra — §3.2 cost-model predictions vs observed I/O per operation class |
 //!
 //! The library part hosts the shared plumbing: building every access
 //! method over the benchmark road map, per-operation I/O measurement and

@@ -412,7 +412,11 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
     /// Figure 3: retrieve `PagesOfNbrs(x)` (implicit in the ranked page
     /// selection), place the record, patch the neighbor lists, then
     /// handle overflow (first order) or reorganize (higher policies).
-    fn insert_node(&mut self, node: &NodeData, incoming: &[(NodeId, u32)]) -> StorageResult<()> {
+    fn insert_node_impl(
+        &mut self,
+        node: &NodeData,
+        incoming: &[(NodeId, u32)],
+    ) -> StorageResult<()> {
         let page = self.place_record(node)?;
         let weights = std::mem::take(&mut self.weights);
         let weight = |u: NodeId, v: NodeId| {
@@ -436,7 +440,7 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
     /// Figure 4: retrieve `Page(x)` and `PagesOfNbrs(x)`, patch the
     /// neighbors, delete record and index entry, then merge on underflow
     /// (first order) or reorganize (higher policies).
-    fn delete_node(&mut self, id: NodeId) -> StorageResult<Option<DeletedNode>> {
+    fn delete_node_impl(&mut self, id: NodeId) -> StorageResult<Option<DeletedNode>> {
         let Some((page, data)) = self.file.find(id)? else {
             return Ok(None);
         };
@@ -460,7 +464,7 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
         Ok(Some(DeletedNode { data, incoming }))
     }
 
-    fn insert_edge(&mut self, from: NodeId, to: NodeId, cost: u32) -> StorageResult<bool> {
+    fn insert_edge_impl(&mut self, from: NodeId, to: NodeId, cost: u32) -> StorageResult<bool> {
         let Some((pf, mut f_rec)) = self.file.find(from)? else {
             return Ok(false);
         };
@@ -487,7 +491,7 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
         Ok(true)
     }
 
-    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<u32>> {
+    fn delete_edge_impl(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<u32>> {
         let Some((pf, mut f_rec)) = self.file.find(from)? else {
             return Ok(None);
         };

@@ -112,7 +112,11 @@ impl<S: PageStore> AccessMethod<S> for GridAm<S> {
 
     /// Placement is purely spatial: the grid file picks the bucket for
     /// `(x, y)`; neighbor pages are touched only to patch their lists.
-    fn insert_node(&mut self, node: &NodeData, incoming: &[(NodeId, u32)]) -> StorageResult<()> {
+    fn insert_node_impl(
+        &mut self,
+        node: &NodeData,
+        incoming: &[(NodeId, u32)],
+    ) -> StorageResult<()> {
         let (bucket, events) = self.grid.insert(
             node.x,
             node.y,
@@ -131,7 +135,7 @@ impl<S: PageStore> AccessMethod<S> for GridAm<S> {
         patch_neighbors_on_insert(&mut self.file, node, incoming)
     }
 
-    fn delete_node(&mut self, id: NodeId) -> StorageResult<Option<DeletedNode>> {
+    fn delete_node_impl(&mut self, id: NodeId) -> StorageResult<Option<DeletedNode>> {
         let Some((page, data)) = self.file.find(id)? else {
             return Ok(None);
         };
@@ -145,7 +149,7 @@ impl<S: PageStore> AccessMethod<S> for GridAm<S> {
         Ok(Some(DeletedNode { data, incoming }))
     }
 
-    fn insert_edge(&mut self, from: NodeId, to: NodeId, cost: u32) -> StorageResult<bool> {
+    fn insert_edge_impl(&mut self, from: NodeId, to: NodeId, cost: u32) -> StorageResult<bool> {
         let Some((pf, mut f_rec)) = self.file.find(from)? else {
             return Ok(false);
         };
@@ -162,7 +166,7 @@ impl<S: PageStore> AccessMethod<S> for GridAm<S> {
         Ok(true)
     }
 
-    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<u32>> {
+    fn delete_edge_impl(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<u32>> {
         let Some((pf, mut f_rec)) = self.file.find(from)? else {
             return Ok(None);
         };

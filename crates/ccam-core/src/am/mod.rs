@@ -51,10 +51,17 @@ pub trait AccessMethod<S: PageStore = MemPageStore> {
     fn file_mut(&mut self) -> &mut NetworkFile<S>;
 
     // -- search operations ---------------------------------------------------
+    //
+    // Every entry point opens an operation span on the shared [`IoStats`].
+    // Spans are no-ops unless profiling was enabled via
+    // [`IoStats::set_profiling`]; nested calls (e.g. `get_successors` →
+    // `find`) fold into the outermost span, so each public operation yields
+    // exactly one [`ccam_storage::OpProfile`].
 
     /// `Find()`: retrieve the record of a given node-id via the secondary
     /// index (one counted data-page access on a cold buffer).
     fn find(&self, id: NodeId) -> StorageResult<Option<NodeData>> {
+        let _span = self.stats().span("find");
         Ok(self.file().find(id)?.map(|(_, rec)| rec))
     }
 
@@ -63,6 +70,7 @@ pub trait AccessMethod<S: PageStore = MemPageStore> {
     /// If the desired successor node is not in the buffer, then a Find()
     /// operation is needed" (§2.3).
     fn get_a_successor(&self, _from: NodeId, to: NodeId) -> StorageResult<Option<NodeData>> {
+        let _span = self.stats().span("get_a_successor");
         if let Some((_, rec)) = self.file().find_in_buffer(to)? {
             return Ok(Some(rec));
         }
@@ -73,6 +81,7 @@ pub trait AccessMethod<S: PageStore = MemPageStore> {
     /// `id`. Successors co-located with `id` (or on any page already
     /// buffered) cost no additional I/O (§2.3).
     fn get_successors(&self, id: NodeId) -> StorageResult<Vec<NodeData>> {
+        let _span = self.stats().span("get_successors");
         let Some((_, rec)) = self.file().find(id)? else {
             return Ok(Vec::new());
         };
@@ -96,6 +105,7 @@ pub trait AccessMethod<S: PageStore = MemPageStore> {
     /// still answers with everything readable. See
     /// [`NetworkFile::find_degraded`] for the skip semantics.
     fn get_successors_degraded(&self, id: NodeId) -> StorageResult<Degraded<Vec<NodeData>>> {
+        let _span = self.stats().span("get_successors_degraded");
         let src = self.file().find_degraded(id)?;
         let mut skipped = src.skipped;
         let Some(rec) = src.value else {
@@ -128,18 +138,47 @@ pub trait AccessMethod<S: PageStore = MemPageStore> {
     /// the successor/predecessor lists of its neighbors. `incoming`
     /// provides the costs of edges *into* the new node (predecessor →
     /// node), matching `node.predecessors`.
-    fn insert_node(&mut self, node: &NodeData, incoming: &[(NodeId, u32)]) -> StorageResult<()>;
+    fn insert_node(&mut self, node: &NodeData, incoming: &[(NodeId, u32)]) -> StorageResult<()> {
+        let _span = self.stats().span("insert_node");
+        self.insert_node_impl(node, incoming)
+    }
+
+    /// Method-specific body of [`AccessMethod::insert_node`]. Callers use
+    /// `insert_node`, which wraps this in an operation span.
+    fn insert_node_impl(
+        &mut self,
+        node: &NodeData,
+        incoming: &[(NodeId, u32)],
+    ) -> StorageResult<()>;
 
     /// `Delete()` with a node argument: remove the record, patch the
     /// neighbors, and return everything needed to re-insert it.
-    fn delete_node(&mut self, id: NodeId) -> StorageResult<Option<DeletedNode>>;
+    fn delete_node(&mut self, id: NodeId) -> StorageResult<Option<DeletedNode>> {
+        let _span = self.stats().span("delete_node");
+        self.delete_node_impl(id)
+    }
+
+    /// Method-specific body of [`AccessMethod::delete_node`].
+    fn delete_node_impl(&mut self, id: NodeId) -> StorageResult<Option<DeletedNode>>;
 
     /// `Insert()` with an edge argument. Returns false when the edge
     /// already exists or an endpoint is missing.
-    fn insert_edge(&mut self, from: NodeId, to: NodeId, cost: u32) -> StorageResult<bool>;
+    fn insert_edge(&mut self, from: NodeId, to: NodeId, cost: u32) -> StorageResult<bool> {
+        let _span = self.stats().span("insert_edge");
+        self.insert_edge_impl(from, to, cost)
+    }
+
+    /// Method-specific body of [`AccessMethod::insert_edge`].
+    fn insert_edge_impl(&mut self, from: NodeId, to: NodeId, cost: u32) -> StorageResult<bool>;
 
     /// `Delete()` with an edge argument. Returns the removed cost.
-    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<u32>>;
+    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<u32>> {
+        let _span = self.stats().span("delete_edge");
+        self.delete_edge_impl(from, to)
+    }
+
+    /// Method-specific body of [`AccessMethod::delete_edge`].
+    fn delete_edge_impl(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<u32>>;
 
     // -- metrics ---------------------------------------------------------------
 

@@ -204,7 +204,11 @@ impl<S: PageStore> AccessMethod<S> for TopoAm<S> {
         &mut self.file
     }
 
-    fn insert_node(&mut self, node: &NodeData, incoming: &[(NodeId, u32)]) -> StorageResult<()> {
+    fn insert_node_impl(
+        &mut self,
+        node: &NodeData,
+        incoming: &[(NodeId, u32)],
+    ) -> StorageResult<()> {
         // Insertion next to the most neighbors approximates "insert at
         // the record's traversal position" without a file rewrite.
         let needed = crate::file::record_len(node);
@@ -219,7 +223,7 @@ impl<S: PageStore> AccessMethod<S> for TopoAm<S> {
         patch_neighbors_on_insert(&mut self.file, node, incoming)
     }
 
-    fn delete_node(&mut self, id: NodeId) -> StorageResult<Option<DeletedNode>> {
+    fn delete_node_impl(&mut self, id: NodeId) -> StorageResult<Option<DeletedNode>> {
         let Some((page, data)) = self.file.find(id)? else {
             return Ok(None);
         };
@@ -230,7 +234,7 @@ impl<S: PageStore> AccessMethod<S> for TopoAm<S> {
         Ok(Some(DeletedNode { data, incoming }))
     }
 
-    fn insert_edge(&mut self, from: NodeId, to: NodeId, cost: u32) -> StorageResult<bool> {
+    fn insert_edge_impl(&mut self, from: NodeId, to: NodeId, cost: u32) -> StorageResult<bool> {
         let Some((pf, mut f_rec)) = self.file.find(from)? else {
             return Ok(false);
         };
@@ -247,7 +251,7 @@ impl<S: PageStore> AccessMethod<S> for TopoAm<S> {
         Ok(true)
     }
 
-    fn delete_edge(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<u32>> {
+    fn delete_edge_impl(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<u32>> {
         let Some((pf, mut f_rec)) = self.file.find(from)? else {
             return Ok(None);
         };

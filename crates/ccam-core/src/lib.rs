@@ -20,6 +20,8 @@
 //! * [`workload`] — operation-trace record/replay for portable
 //!   benchmarking,
 //! * [`costmodel`] — the algebraic cost model of Tables 3 and 4,
+//! * [`validate`] — a harness that replays a live workload and reports
+//!   predicted vs. observed page accesses per operation class,
 //! * [`query`] — aggregate queries: route evaluation, graph search (A*,
 //!   Dijkstra), graph traversal / reachability / transitive closure,
 //!   tour evaluation, route-unit aggregates, location-allocation and
@@ -33,9 +35,11 @@ pub mod file;
 pub mod pag;
 pub mod query;
 pub mod reorg;
+pub mod validate;
 pub mod workload;
 
 pub use am::{AccessMethod, Ccam, CcamBuilder, GridAm, TopoAm, TraversalOrder};
 pub use costmodel::CostParams;
 pub use file::{Degraded, NetworkFile};
 pub use reorg::ReorgPolicy;
+pub use validate::{validate, ClassReport, ValidationConfig, ValidationReport};

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::error::{StorageError, StorageResult};
+use crate::metrics::PageAccessKind;
 use crate::page::PageId;
 use crate::stats::IoStats;
 use crate::store::PageStore;
@@ -75,14 +76,19 @@ impl<S: PageStore> BufferPool<S> {
     /// frames immediately. Experiments use this to switch between the
     /// paper's "one buffer with the size of one data page" (route
     /// evaluation, §4.3) and larger update buffers.
+    ///
+    /// Error-atomic on the capacity: the new (smaller) budget is adopted
+    /// only once every surplus frame has actually been evicted, so a
+    /// failed write-back mid-shrink leaves the pool with its old
+    /// capacity and `frames.len() <= capacity` still holding.
     pub fn set_capacity(&self, capacity: usize) -> StorageResult<()> {
         assert!(capacity >= 1);
         let mut inner = self.inner.lock();
-        inner.capacity = capacity;
         while inner.frames.len() > capacity {
             let victim = inner.lru_victim();
             inner.evict(victim, &self.stats)?;
         }
+        inner.capacity = capacity;
         Ok(())
     }
 
@@ -194,6 +200,46 @@ impl<S: PageStore> BufferPool<S> {
     pub fn flush(&self) -> StorageResult<()> {
         self.flush_all()
     }
+
+    /// Verifies the internal `map` ↔ `frames` agreement and the capacity
+    /// bound; returns a description of the first violation. A debugging
+    /// and property-testing aid — the pool maintains these invariants
+    /// through every allocate/free/fault/clear/shrink sequence.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let inner = self.inner.lock();
+        if inner.frames.len() > inner.capacity {
+            return Err(format!(
+                "{} resident frames exceed capacity {}",
+                inner.frames.len(),
+                inner.capacity
+            ));
+        }
+        if inner.map.len() != inner.frames.len() {
+            return Err(format!(
+                "map has {} entries but {} frames exist",
+                inner.map.len(),
+                inner.frames.len()
+            ));
+        }
+        for (i, fr) in inner.frames.iter().enumerate() {
+            match inner.map.get(&fr.id) {
+                Some(&j) if j == i => {}
+                Some(&j) => {
+                    return Err(format!(
+                        "frame {i} holds page {} but map points that page at {j}",
+                        fr.id.0
+                    ))
+                }
+                None => {
+                    return Err(format!("frame {i} holds unmapped page {}", fr.id.0));
+                }
+            }
+            if !inner.store.is_live(fr.id) {
+                return Err(format!("frame {i} holds dead page {}", fr.id.0));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Dirty frames are written back when the pool drops, so a file-backed
@@ -225,6 +271,7 @@ impl<S: PageStore> Inner<S> {
             self.store.write(id, &data)?;
             self.frames[i].dirty = false;
             stats.record_write();
+            stats.record_page_event(id, PageAccessKind::Write);
         }
         Ok(())
     }
@@ -240,13 +287,11 @@ impl<S: PageStore> Inner<S> {
     }
 
     /// Removes frame `idx` without write-back (caller handles dirtiness),
-    /// fixing up the map for the swapped-in frame.
+    /// fixing up the map for the frame swapped into its slot.
     fn drop_frame(&mut self, idx: usize) {
-        let last = self.frames.len() - 1;
-        self.frames.swap(idx, last);
-        let removed = self.frames.pop().expect("frame present");
+        let removed = self.frames.swap_remove(idx);
         self.map.remove(&removed.id);
-        if idx <= last && idx < self.frames.len() {
+        if idx < self.frames.len() {
             let moved_id = self.frames[idx].id;
             self.map.insert(moved_id, idx);
         }
@@ -259,7 +304,9 @@ impl<S: PageStore> Inner<S> {
             let data = self.frames[idx].data.clone();
             self.store.write(id, &data)?;
             stats.record_write();
+            stats.record_page_event(id, PageAccessKind::Write);
         }
+        crate::trace_event!("buffer", "evict page {}", self.frames[idx].id.0);
         self.drop_frame(idx);
         Ok(())
     }
@@ -271,26 +318,33 @@ impl<S: PageStore> Inner<S> {
         if let Some(&idx) = self.map.get(&id) {
             self.frames[idx].last_used = tick;
             stats.record_hit();
+            stats.record_page_event(id, PageAccessKind::Hit);
             return Ok(idx);
         }
         if !self.store.is_live(id) {
             return Err(StorageError::InvalidPage(id));
         }
-        while self.frames.len() >= self.capacity {
-            let victim = self.lru_victim();
-            self.evict(victim, stats)?;
-        }
         // The fill happens into a fresh buffer *before* a frame is
         // created: a failed read — I/O error or checksum mismatch — must
         // never leave a frame cached as if it held valid page contents.
+        // And it happens *before* any eviction: a failed replacement read
+        // must not cost current residents their frames (the LRU victim —
+        // dirty write-back included — is only paid for once the new page
+        // is actually in hand).
         let mut data = vec![0u8; self.store.page_size()].into_boxed_slice();
         if let Err(e) = self.store.read(id, &mut data) {
             if matches!(e, StorageError::ChecksumMismatch { .. }) {
                 stats.record_checksum_failure();
+                crate::trace_event!("buffer", "checksum failure on page {}", id.0);
             }
             return Err(e);
         }
+        while self.frames.len() >= self.capacity {
+            let victim = self.lru_victim();
+            self.evict(victim, stats)?;
+        }
         stats.record_read();
+        stats.record_page_event(id, PageAccessKind::Miss);
         let idx = self.frames.len();
         self.frames.push(Frame {
             id,
@@ -494,6 +548,113 @@ mod tests {
         assert!(ok);
         p.free(a).unwrap();
         assert!(!p.is_resident(a));
+    }
+
+    /// Regression: `fault_in` used to evict the LRU victim (dirty
+    /// write-back included) *before* attempting the replacement read, so
+    /// a failed read still cost residents their frames. The read must
+    /// come first.
+    #[test]
+    fn failed_fill_leaves_prior_residents_buffered() {
+        use crate::testing::CorruptStore;
+        let (store, ctl) = CorruptStore::new(MemPageStore::new(128).unwrap(), 5);
+        let p = BufferPool::new(store, 2);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        let c = p.allocate().unwrap();
+        // Fill the pool: a and b resident, a dirty.
+        p.with_page_mut(a, |buf| buf.fill(1)).unwrap();
+        p.with_page(b, |_| ()).unwrap();
+        let writes_before = p.stats().snapshot().physical_writes;
+        // A checksum-failing fault-in of c must not evict anyone.
+        ctl.mark_corrupt(c);
+        assert!(matches!(
+            p.with_page(c, |_| ()),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        assert!(
+            p.is_resident(a),
+            "resident a lost its frame to a failed read"
+        );
+        assert!(
+            p.is_resident(b),
+            "resident b lost its frame to a failed read"
+        );
+        assert_eq!(
+            p.stats().snapshot().physical_writes,
+            writes_before,
+            "no dirty write-back may be paid for a read that failed"
+        );
+        p.check_invariants().unwrap();
+        // Once the page heals, the fault-in proceeds and evicts normally.
+        ctl.clear_corrupt(c);
+        p.with_page(c, |_| ()).unwrap();
+        assert!(p.is_resident(c));
+        p.check_invariants().unwrap();
+    }
+
+    /// Regression: a failed eviction write-back mid-shrink used to leave
+    /// the pool claiming the new (smaller) capacity while holding more
+    /// resident frames than that. The old capacity must survive the
+    /// error.
+    #[test]
+    fn failed_shrink_restores_capacity() {
+        use crate::testing::CorruptStore;
+        let (store, ctl) = CorruptStore::new(MemPageStore::new(128).unwrap(), 5);
+        let p = BufferPool::new(store, 3);
+        let ids: Vec<_> = (0..3).map(|_| p.allocate().unwrap()).collect();
+        for &id in &ids {
+            p.with_page_mut(id, |buf| buf.fill(2)).unwrap();
+        }
+        // Every store op fails: the first dirty write-back aborts the
+        // shrink.
+        ctl.set_fault_rate(1024, 1);
+        assert!(p.set_capacity(1).is_err());
+        ctl.set_fault_rate(0, 1);
+        assert_eq!(p.capacity(), 3, "failed shrink must keep the old capacity");
+        assert!(
+            p.resident_pages().len() <= p.capacity(),
+            "pool claims fewer frames than it holds"
+        );
+        p.check_invariants().unwrap();
+        // The shrink succeeds once the store recovers, with no data loss.
+        p.set_capacity(1).unwrap();
+        assert_eq!(p.capacity(), 1);
+        p.check_invariants().unwrap();
+        for &id in &ids {
+            let ok = p.with_page(id, |buf| buf.iter().all(|&x| x == 2)).unwrap();
+            assert!(ok);
+        }
+    }
+
+    #[test]
+    fn page_events_attributed_to_open_span() {
+        use crate::metrics::PageAccessKind;
+        let p = pool(1);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.with_page_mut(a, |buf| buf.fill(1)).unwrap();
+        let stats = p.stats();
+        stats.set_profiling(true);
+        {
+            let _span = p.stats().span("op");
+            p.with_page(b, |_| ()).unwrap(); // evicts dirty a (write), misses b
+            p.with_page(b, |_| ()).unwrap(); // hit
+        }
+        let profiles = stats.take_profiles();
+        assert_eq!(profiles.len(), 1);
+        let kinds: Vec<PageAccessKind> = profiles[0].events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PageAccessKind::Write,
+                PageAccessKind::Miss,
+                PageAccessKind::Hit
+            ]
+        );
+        assert_eq!(profiles[0].events[0].page, a);
+        assert_eq!(profiles[0].events[1].page, b);
+        assert_eq!(profiles[0].data_page_accesses(), 1);
     }
 
     #[test]

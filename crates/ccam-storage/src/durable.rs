@@ -281,6 +281,7 @@ impl<S: PageStore> PageStore for WalStore<S> {
                 return Err(e);
             }
             self.logged = true;
+            crate::trace_event!("wal", "committed batch of {} records", records.len());
         }
         match self.apply_logged() {
             Ok(()) => {

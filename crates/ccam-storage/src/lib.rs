@@ -12,7 +12,11 @@
 //!   file-backed implementation,
 //! * [`buffer`] — an LRU buffer manager that counts data-page accesses,
 //! * [`stats`] — shared I/O counters used by every experiment (the paper
-//!   reports "the number of data pages accessed", §4),
+//!   reports "the number of data pages accessed", §4), plus opt-in
+//!   per-operation profiling spans,
+//! * [`metrics`] — a named-metric registry (counters / gauges /
+//!   histograms) with a dependency-free JSON dump, and the per-operation
+//!   [`OpProfile`] page-access traces the spans produce,
 //! * [`wal`], [`durable`], [`recovery`] — an opt-in write-ahead log:
 //!   [`WalStore`] wraps any [`PageStore`], turns `sync()` into an atomic
 //!   commit point, and replays the log on reopen so a crash at an
@@ -31,6 +35,7 @@ pub mod buffer;
 pub mod durable;
 pub mod error;
 pub mod integrity;
+pub mod metrics;
 pub mod page;
 pub mod recovery;
 pub mod retry;
@@ -44,11 +49,12 @@ pub use buffer::BufferPool;
 pub use durable::WalStore;
 pub use error::{StorageError, StorageResult};
 pub use integrity::{committed_images, scrub, scrub_file, PageStatus, ScrubReport};
+pub use metrics::{Histogram, MetricsRegistry, OpProfile, PageAccessKind, PageEvent};
 pub use page::{PageId, BLOCK_1K, BLOCK_2K, BLOCK_4K, BLOCK_512, MIN_PAGE_SIZE};
 pub use recovery::RecoveryReport;
 pub use retry::{RetryPolicy, RetryStore};
 pub use slotted::{SlotId, SlottedPage};
-pub use stats::{IoSnapshot, IoStats};
+pub use stats::{IoSnapshot, IoStats, OpSpan};
 pub use store::{FilePageStore, MemPageStore, PageStore};
 pub use testing::{
     CorruptStore, CorruptionController, CountingStore, CrashController, CrashStore, FlakyStore,

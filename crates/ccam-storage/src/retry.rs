@@ -143,6 +143,11 @@ impl<S: PageStore> RetryStore<S> {
                     if attempt >= self.policy.max_attempts || !RetryPolicy::is_transient(&err) {
                         return Err(err);
                     }
+                    crate::trace_event!(
+                        "retry",
+                        "transient fault ({err}), attempt {attempt}/{}",
+                        self.policy.max_attempts
+                    );
                     (self.sleeper)(self.policy.backoff(attempt));
                     self.stats.record_retry();
                     attempt += 1;
@@ -163,6 +168,11 @@ impl<S: PageStore> RetryStore<S> {
                     if attempt >= self.policy.max_attempts || !RetryPolicy::is_transient(&err) {
                         return Err(err);
                     }
+                    crate::trace_event!(
+                        "retry",
+                        "transient fault ({err}), attempt {attempt}/{}",
+                        self.policy.max_attempts
+                    );
                     (self.sleeper)(self.policy.backoff(attempt));
                     self.stats.record_retry();
                     attempt += 1;

@@ -30,6 +30,33 @@ fn page_op() -> impl Strategy<Value = PageOp> {
 }
 
 #[derive(Debug, Clone)]
+enum PoolOp {
+    Alloc,
+    Free(usize),
+    Read(usize),
+    Write(usize, u8),
+    Clear,
+    SetCapacity(usize),
+    Corrupt(usize),
+    FaultBurst,
+    Heal,
+}
+
+fn pool_op() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        4 => Just(PoolOp::Alloc),
+        2 => any::<usize>().prop_map(PoolOp::Free),
+        4 => any::<usize>().prop_map(PoolOp::Read),
+        4 => (any::<usize>(), any::<u8>()).prop_map(|(i, v)| PoolOp::Write(i, v)),
+        1 => Just(PoolOp::Clear),
+        2 => (1usize..5).prop_map(PoolOp::SetCapacity),
+        1 => any::<usize>().prop_map(PoolOp::Corrupt),
+        1 => Just(PoolOp::FaultBurst),
+        2 => Just(PoolOp::Heal),
+    ]
+}
+
+#[derive(Debug, Clone)]
 enum WalOp {
     Alloc,
     Write(usize, u8),
@@ -260,6 +287,79 @@ proptest! {
             .all(|r| matches!(r.record, ccam_storage::LogRecord::Checkpoint)));
         prop_assert_eq!(scan.truncated_bytes, 0);
         std::fs::remove_file(&wal_path).ok();
+    }
+
+    /// The buffer pool's frame table and page map stay in agreement under
+    /// any interleaving of allocate/free/read/write/clear/set_capacity —
+    /// including mid-operation failures injected by a [`CorruptStore`]
+    /// (checksum-corrupt pages and transient fault bursts). After every
+    /// step [`BufferPool::check_invariants`] must hold and residency must
+    /// respect the capacity; once the store is healed the pool must be
+    /// fully operational again.
+    #[test]
+    fn buffer_pool_invariants_hold_under_faults(
+        cap in 1usize..5,
+        ops in prop::collection::vec(pool_op(), 1..100),
+    ) {
+        use ccam_storage::testing::CorruptStore;
+
+        let (store, ctl) = CorruptStore::new(MemPageStore::new(64).unwrap(), 7);
+        let pool = BufferPool::new(store, cap);
+        let mut live: Vec<PageId> = Vec::new();
+
+        for op in ops {
+            match op {
+                PoolOp::Alloc => {
+                    if let Ok(id) = pool.allocate() {
+                        live.push(id);
+                    }
+                }
+                PoolOp::Free(i) => {
+                    if live.is_empty() { continue; }
+                    let idx = i % live.len();
+                    // A failed free leaves the page live; only drop it
+                    // from the model when the pool reported success.
+                    if pool.free(live[idx]).is_ok() {
+                        live.remove(idx);
+                    }
+                }
+                PoolOp::Read(i) => {
+                    if live.is_empty() { continue; }
+                    let _ = pool.with_page(live[i % live.len()], |_| ());
+                }
+                PoolOp::Write(i, v) => {
+                    if live.is_empty() { continue; }
+                    let _ = pool.with_page_mut(live[i % live.len()], |buf| buf.fill(v));
+                }
+                PoolOp::Clear => { let _ = pool.clear(); }
+                PoolOp::SetCapacity(n) => { let _ = pool.set_capacity(n); }
+                PoolOp::Corrupt(i) => {
+                    if live.is_empty() { continue; }
+                    ctl.mark_corrupt(live[i % live.len()]);
+                }
+                PoolOp::FaultBurst => ctl.set_fault_rate(1024, 2),
+                PoolOp::Heal => {
+                    ctl.set_fault_rate(0, 1);
+                    for id in ctl.corrupt_pages() {
+                        ctl.clear_corrupt(id);
+                    }
+                }
+            }
+            pool.check_invariants().map_err(TestCaseError::fail)?;
+            prop_assert!(pool.resident_pages().len() <= pool.capacity());
+        }
+
+        // Heal every injected fault: the pool must flush cleanly and every
+        // live page must still be reachable through it.
+        ctl.set_fault_rate(0, 1);
+        for id in ctl.corrupt_pages() {
+            ctl.clear_corrupt(id);
+        }
+        pool.clear().unwrap();
+        pool.check_invariants().map_err(TestCaseError::fail)?;
+        for &id in &live {
+            pool.with_page(id, |_| ()).unwrap();
+        }
     }
 
     /// Allocate/free on the memory store never hands out the same live id

@@ -13,6 +13,7 @@
 //! ccam check    <db>
 //! ccam scrub    <db>
 //! ccam replay   <db> <trace.txt>
+//! ccam profile  <db> [--ops N] [--routes N] [--len L] [--seed N] [--updates] [--json]
 //! ```
 //!
 //! Databases are real page files ([`ccam::storage::FilePageStore`]); the
@@ -33,21 +34,33 @@
 //! degraded answers). `ccam scrub <db>` audits every page, repairs
 //! checksum failures from the committed WAL images where possible, and
 //! reports what remains quarantined.
+//!
+//! Observability: every database command accepts `--metrics-json <path>`
+//! — on success the I/O counters, recovery/scrub statistics and
+//! per-operation profiles (count + page-access / latency histograms)
+//! are dumped there as JSON. `find` and `succ` accept `--explain`,
+//! printing the ordered page-access trace (`12:miss 12:hit 47:write`)
+//! of the operation. `ccam profile <db>` replays a deterministic
+//! workload and diffs the paper's §3.2 cost-model predictions against
+//! the observed page accesses per operation class.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use ccam::core::am::{AccessMethod, CcamBuilder, GridAm, TopoAm, TraversalOrder};
 use ccam::core::costmodel::CostParams;
 use ccam::core::query::route::evaluate_path;
 use ccam::core::query::search::a_star;
 use ccam::core::query::spatial::SpatialIndex;
+use ccam::core::validate::{validate, ValidationConfig};
 use ccam::graph::roadmap::{road_map, RoadMapConfig};
 use ccam::graph::walks::random_walk_routes;
 use ccam::graph::{load_network, save_network, Network, NodeId};
+use ccam::storage::stats::IoStats;
 use ccam::storage::{
-    wal_sidecar, FilePageStore, PageStore, RetryPolicy, RetryStore, Wal, WalStore,
+    wal_sidecar, FilePageStore, MetricsRegistry, PageStore, RetryPolicy, RetryStore, Wal, WalStore,
 };
 
 fn main() -> ExitCode {
@@ -78,8 +91,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "window" => window(rest, &open_opts),
         "bench" => bench(rest, &open_opts),
         "check" => check(rest, &open_opts),
-        "scrub" => scrub(rest),
+        "scrub" => scrub(rest, &open_opts),
         "replay" => replay_cmd(rest, &open_opts),
+        "profile" => profile(rest, &open_opts),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -88,7 +102,8 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// How database-opening commands treat faults (see [`open_db`]).
+/// How database-opening commands treat faults (see [`open_db`]), plus
+/// the optional metrics sink shared by every command.
 #[derive(Default)]
 struct OpenOptions {
     /// Retry budget from `--retry [N]` (total attempts per operation).
@@ -96,6 +111,30 @@ struct OpenOptions {
     /// `--verify-checksums`: corrupt pages abort the open instead of
     /// being quarantined for degraded service.
     verify_checksums: bool,
+    /// `--metrics-json <path>`: collect counters, recovery/scrub
+    /// statistics and per-operation profiles, dumped as JSON on success.
+    metrics: Option<MetricsSink>,
+}
+
+/// Destination and accumulator for `--metrics-json`. The registry uses
+/// interior mutability, so commands record through a shared reference.
+struct MetricsSink {
+    path: PathBuf,
+    registry: MetricsRegistry,
+}
+
+/// Folds the I/O counters and any collected operation profiles into the
+/// sink (when one was requested) and writes the JSON dump.
+fn dump_metrics(opts: &OpenOptions, stats: Option<&Arc<IoStats>>) -> Result<(), String> {
+    let Some(sink) = &opts.metrics else {
+        return Ok(());
+    };
+    if let Some(stats) = stats {
+        sink.registry.merge_io("io", &stats.snapshot());
+        sink.registry.record_profiles(&stats.take_profiles());
+    }
+    std::fs::write(&sink.path, sink.registry.to_json())
+        .map_err(|e| format!("--metrics-json {}: {e}", sink.path.display()))
 }
 
 /// Strips the fault-handling flags shared by every database command out
@@ -124,6 +163,16 @@ fn extract_open_flags(args: &[String]) -> Result<(Vec<String>, OpenOptions), Str
                 opts.verify_checksums = true;
                 i += 1;
             }
+            "--metrics-json" => {
+                let Some(path) = args.get(i + 1) else {
+                    return Err("--metrics-json needs a file path".into());
+                };
+                opts.metrics = Some(MetricsSink {
+                    path: PathBuf::from(path),
+                    registry: MetricsRegistry::new(),
+                });
+                i += 2;
+            }
             _ => {
                 rest.push(args[i].clone());
                 i += 1;
@@ -145,8 +194,10 @@ fn usage() -> String {
      ccam bench <db> [--routes N] [--len L]\n  \
      ccam check <db>\n  \
      ccam scrub <db>\n  \
-     ccam replay <db> <trace.txt>\n\
-     database commands also accept: [--retry [N]] [--verify-checksums]"
+     ccam replay <db> <trace.txt>\n  \
+     ccam profile <db> [--ops N] [--routes N] [--len L] [--seed N] [--updates] [--json]\n\
+     database commands also accept: [--retry [N]] [--verify-checksums] [--metrics-json <path>]\n\
+     find/succ also accept: [--explain] (print the page-access trace)"
         .to_string()
 }
 
@@ -352,6 +403,13 @@ fn open_db(
                 report.torn_bytes
             );
         }
+        if let Some(sink) = &opts.metrics {
+            let r = &sink.registry;
+            r.inc_by("recovery.replayed_batches", report.replayed_batches);
+            r.inc_by("recovery.replayed_pages", report.replayed_pages);
+            r.inc_by("recovery.discarded_records", report.discarded_records);
+            r.inc_by("recovery.torn_bytes", report.torn_bytes);
+        }
         Box::new(ws)
     } else {
         base
@@ -361,6 +419,10 @@ fn open_db(
         .map_err(|e| e.to_string())?;
     if wal_mode {
         am.file_mut().set_auto_commit(true);
+    }
+    if opts.metrics.is_some() {
+        // Collect per-operation profiles for the final JSON dump.
+        am.stats().set_profiling(true);
     }
     let quarantined = am.file().quarantined_pages();
     if !quarantined.is_empty() {
@@ -385,11 +447,21 @@ fn open_db(
 
 /// `ccam scrub <db>`: audit every page, repair checksum failures from the
 /// committed WAL images, report what stayed quarantined.
-fn scrub(args: &[String]) -> Result<(), String> {
+fn scrub(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     let [db] = args else {
         return Err("scrub needs <db>".into());
     };
+    let started = std::time::Instant::now();
     let report = ccam::storage::scrub_file(Path::new(db)).map_err(|e| e.to_string())?;
+    if let Some(sink) = &opts.metrics {
+        let r = &sink.registry;
+        r.inc_by("scrub.pages", report.pages.len() as u64);
+        r.inc_by("scrub.clean", report.clean);
+        r.inc_by("scrub.repaired", report.repaired);
+        r.inc_by("scrub.quarantined", report.quarantined);
+        r.observe("scrub.elapsed_us", started.elapsed().as_micros() as u64);
+        dump_metrics(opts, None)?;
+    }
     for (page, status) in &report.pages {
         match status {
             ccam::storage::PageStatus::Clean => {}
@@ -444,16 +516,46 @@ fn stats(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         "predicted route cost (L=20)     {:.3}",
         p.route_evaluation_cost(20)
     );
+    dump_metrics(opts, Some(&am.stats()))?;
     Ok(())
 }
 
+/// Prints the page-access trace of every profile collected so far
+/// (`--explain`), then forwards them to the metrics sink so a combined
+/// `--explain --metrics-json` run loses nothing.
+fn print_explain(stats: &Arc<IoStats>, opts: &OpenOptions) {
+    for p in &stats.take_profiles() {
+        println!(
+            "explain {}: {} page touch(es), {} physical reads, {} writes, {} us",
+            p.op,
+            p.events.len(),
+            p.io.physical_reads,
+            p.io.physical_writes,
+            p.elapsed_us
+        );
+        println!("  trace: {}", p.trace_string());
+        if let Some(sink) = &opts.metrics {
+            sink.registry.record_profiles(std::slice::from_ref(p));
+        }
+    }
+}
+
 fn find(args: &[String], opts: &OpenOptions) -> Result<(), String> {
-    let [db, id] = args else {
-        return Err("find needs <db> <node-id>".into());
+    let (pos, flags) = parse_flags(args, &[]);
+    let [db, id] = pos.as_slice() else {
+        return Err("find needs <db> <node-id> [--explain]".into());
     };
     let am = open_db(db, opts)?;
+    let explain = flags.contains_key("explain");
+    if explain {
+        am.stats().set_profiling(true);
+    }
     let id = NodeId(parse_u64(id, "node-id")?);
-    match am.find(id).map_err(|e| e.to_string())? {
+    let found = am.find(id).map_err(|e| e.to_string())?;
+    if explain {
+        print_explain(&am.stats(), opts);
+    }
+    match found {
         Some(rec) => {
             println!("node {} at ({}, {})", rec.id.0, rec.x, rec.y);
             println!("payload: {} bytes", rec.payload.len());
@@ -463,6 +565,7 @@ fn find(args: &[String], opts: &OpenOptions) -> Result<(), String> {
             for p in &rec.predecessors {
                 println!("  <- {}", p.0);
             }
+            dump_metrics(opts, Some(&am.stats()))?;
             Ok(())
         }
         None => Err(format!("node {} not found", id.0)),
@@ -470,16 +573,24 @@ fn find(args: &[String], opts: &OpenOptions) -> Result<(), String> {
 }
 
 fn succ(args: &[String], opts: &OpenOptions) -> Result<(), String> {
-    let [db, id] = args else {
-        return Err("succ needs <db> <node-id>".into());
+    let (pos, flags) = parse_flags(args, &[]);
+    let [db, id] = pos.as_slice() else {
+        return Err("succ needs <db> <node-id> [--explain]".into());
     };
     let am = open_db(db, opts)?;
+    let explain = flags.contains_key("explain");
+    if explain {
+        am.stats().set_profiling(true);
+    }
     let id = NodeId(parse_u64(id, "node-id")?);
     let before = am.stats().snapshot();
     // The degraded variant answers past quarantined pages instead of
     // aborting; on a healthy file it is exactly Get-successors().
     let result = am.get_successors_degraded(id).map_err(|e| e.to_string())?;
     let io = am.stats().snapshot().since(&before).physical_reads;
+    if explain {
+        print_explain(&am.stats(), opts);
+    }
     for s in &result.value {
         println!("{} at ({}, {})", s.id.0, s.x, s.y);
     }
@@ -491,6 +602,7 @@ fn succ(args: &[String], opts: &OpenOptions) -> Result<(), String> {
             list.join(", ")
         );
     }
+    dump_metrics(opts, Some(&am.stats()))?;
     Ok(())
 }
 
@@ -514,6 +626,7 @@ fn route(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         "route of {} nodes: total cost {}, complete = {}, {} page accesses",
         eval.nodes_visited, eval.total_cost, eval.complete, io
     );
+    dump_metrics(opts, Some(&am.stats()))?;
     Ok(())
 }
 
@@ -537,6 +650,7 @@ fn astar(args: &[String], opts: &OpenOptions) -> Result<(), String> {
             );
             let ids: Vec<String> = r.path.iter().map(|n| n.0.to_string()).collect();
             println!("path: {}", ids.join(" "));
+            dump_metrics(opts, Some(&am.stats()))?;
             Ok(())
         }
         None => Err(format!("no path from {} to {}", from.0, to.0)),
@@ -558,6 +672,7 @@ fn window(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         println!("{} at ({}, {})", r.id.0, r.x, r.y);
     }
     println!("({} nodes in window)", recs.len());
+    dump_metrics(opts, Some(&am.stats()))?;
     Ok(())
 }
 
@@ -614,6 +729,7 @@ fn bench(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         total as f64 / routes_n as f64,
         am.crr().map_err(|e| e.to_string())?
     );
+    dump_metrics(opts, Some(&am.stats()))?;
     Ok(())
 }
 
@@ -629,6 +745,7 @@ fn check(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     );
     if report.is_clean() {
         println!("ok: no integrity issues");
+        dump_metrics(opts, Some(&am.stats()))?;
         Ok(())
     } else {
         for issue in &report.issues {
@@ -655,5 +772,54 @@ fn replay_cmd(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     for (op, count) in &stats.per_op {
         println!("  {op:14} x{count}");
     }
+    dump_metrics(opts, Some(&am.stats()))?;
+    Ok(())
+}
+
+/// `ccam profile <db>`: replay a deterministic workload per operation
+/// class and diff the paper's cost-model predictions (§3.2, Tables 3–4)
+/// against the observed page accesses. `--updates` adds the
+/// delete/insert classes (every deleted node is re-inserted; combine
+/// with a WAL-backed database or a throwaway copy).
+fn profile(args: &[String], opts: &OpenOptions) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args, &["ops", "routes", "len", "seed"]);
+    let [db] = pos.as_slice() else {
+        return Err("profile needs <db>".into());
+    };
+    let mut cfg = ValidationConfig {
+        updates: flags.contains_key("updates"),
+        ..ValidationConfig::default()
+    };
+    if let Some(s) = flags.get("ops") {
+        cfg.sample = parse_u64(s, "--ops")? as usize;
+    }
+    if let Some(s) = flags.get("routes") {
+        cfg.routes = parse_u64(s, "--routes")? as usize;
+    }
+    if let Some(s) = flags.get("len") {
+        cfg.route_len = parse_u64(s, "--len")? as usize;
+    }
+    if let Some(s) = flags.get("seed") {
+        cfg.seed = parse_u64(s, "--seed")?;
+    }
+    let mut am = open_db(db, opts)?;
+    am.stats().set_profiling(true);
+    let report = validate(&mut am, &cfg).map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(sink) = &opts.metrics {
+        let r = &sink.registry;
+        for c in &report.classes {
+            r.set_gauge(&format!("costmodel.{}.predicted", c.class), c.predicted);
+            r.set_gauge(&format!("costmodel.{}.observed", c.class), c.observed);
+            r.set_gauge(&format!("costmodel.{}.rel_error", c.class), c.rel_error());
+        }
+        r.set_gauge("costmodel.mean_rel_error", report.mean_rel_error());
+        r.set_gauge("costmodel.max_rel_error", report.max_rel_error());
+    }
+    dump_metrics(opts, Some(&am.stats()))?;
     Ok(())
 }

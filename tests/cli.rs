@@ -166,6 +166,96 @@ fn check_and_replay() {
 }
 
 #[test]
+fn profile_explain_and_metrics_json() {
+    let net = tmp("obs.net");
+    let db = tmp("obs.db");
+    let metrics = tmp("obs.metrics.json");
+    let net_s = net.to_str().unwrap();
+    let db_s = db.to_str().unwrap();
+    let metrics_s = metrics.to_str().unwrap();
+
+    assert!(ccam(&["generate", net_s, "--grid", "8", "--seed", "11"])
+        .status
+        .success());
+    assert!(ccam(&["build", net_s, db_s, "--block", "1024"])
+        .status
+        .success());
+
+    // profile: the cost-model validation table, text and JSON forms.
+    let out = ccam(&[
+        "profile", db_s, "--ops", "16", "--routes", "3", "--len", "8",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    for needle in [
+        "cost-model validation",
+        "find",
+        "get_successors",
+        "route",
+        "rel.err",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    let out = ccam(&[
+        "profile", db_s, "--ops", "8", "--routes", "2", "--len", "6", "--json",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let json = stdout(&out);
+    assert!(
+        json.contains("\"classes\"") && json.contains("\"mean_rel_error\""),
+        "{json}"
+    );
+
+    // a node id for the query commands.
+    let w = ccam(&["window", db_s, "0", "0", "99999", "99999"]);
+    let wtext = stdout(&w);
+    let id = wtext
+        .lines()
+        .find(|l| l.contains(" at ("))
+        .and_then(|l| l.split_whitespace().next())
+        .expect("at least one node")
+        .to_string();
+
+    // --explain prints the ordered page-access trace.
+    let out = ccam(&["succ", db_s, &id, "--explain"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("explain get_successors_degraded"), "{text}");
+    assert!(text.contains("trace:"), "{text}");
+    let out = ccam(&["find", db_s, &id, "--explain"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("explain find"), "{text}");
+    // The trace labels every access as hit, miss or write.
+    let trace_line = text.lines().find(|l| l.contains("trace:")).unwrap();
+    assert!(
+        ["hit", "miss", "write"]
+            .iter()
+            .any(|k| trace_line.contains(k)),
+        "{trace_line}"
+    );
+
+    // --metrics-json dumps counters and per-operation histograms.
+    let out = ccam(&["succ", db_s, &id, "--metrics-json", metrics_s]);
+    assert!(out.status.success(), "{out:?}");
+    let dumped = std::fs::read_to_string(&metrics).expect("metrics file written");
+    for needle in [
+        "\"counters\"",
+        "\"histograms\"",
+        "io.physical_reads",
+        "op.get_successors_degraded.count",
+        "op.get_successors_degraded.data_page_accesses",
+    ] {
+        assert!(dumped.contains(needle), "missing {needle:?} in:\n{dumped}");
+    }
+    assert_eq!(dumped.matches('{').count(), dumped.matches('}').count());
+
+    std::fs::remove_file(&net).ok();
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
 fn errors_are_clean() {
     // Unknown command.
     let out = ccam(&["frobnicate"]);
