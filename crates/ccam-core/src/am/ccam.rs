@@ -252,10 +252,51 @@ impl<S: ccam_storage::PageStore> Ccam<S> {
         self.file.allocate_page()
     }
 
+    /// Completes one logical operation as a transaction: on success the
+    /// whole operation commits (under auto-commit) as a single WAL
+    /// batch; on failure — the operation's own error or the commit's —
+    /// every uncommitted change is rolled back via
+    /// [`NetworkFile::abort`], leaving the file on its last committed
+    /// state, and the original error propagates. Without auto-commit
+    /// (or without a rollback-capable store) errors just propagate: the
+    /// caller owns the commit points.
+    fn finish_txn<T>(&mut self, r: StorageResult<T>) -> StorageResult<T> {
+        match r {
+            Ok(v) => {
+                if let Err(e) = self.file.maybe_commit() {
+                    self.abort_txn();
+                    return Err(e);
+                }
+                Ok(v)
+            }
+            Err(e) => {
+                self.abort_txn();
+                Err(e)
+            }
+        }
+    }
+
+    /// Best-effort rollback of a failed operation (its error must not be
+    /// masked by the abort's). After a rollback, pages the lazy policy
+    /// was counting may no longer exist, so the counters restart clean.
+    fn abort_txn(&mut self) {
+        if !self.file.auto_commit() {
+            return;
+        }
+        if matches!(self.file.abort(), Ok(true)) {
+            self.update_counts.clear();
+        }
+    }
+
     /// `Add-node()` — incremental-create insertion: places the record
     /// (whose lists are already complete) without patching neighbors,
     /// then applies the reorganization policy (§2.2).
     pub fn add_node(&mut self, node: &NodeData) -> StorageResult<()> {
+        let r = self.add_node_inner(node);
+        self.finish_txn(r)
+    }
+
+    fn add_node_inner(&mut self, node: &NodeData) -> StorageResult<()> {
         let page = self.place_record(node)?;
         let weights = std::mem::take(&mut self.weights);
         let weight = |u: NodeId, v: NodeId| {
@@ -271,8 +312,7 @@ impl<S: ccam_storage::PageStore> Ccam<S> {
             .file
             .page_of(node.id)?
             .ok_or_else(|| StorageError::Corrupt("record vanished after insert".into()))?;
-        self.maintain_node(page, &node.neighbors())?;
-        self.file.maybe_commit()
+        self.maintain_node(page, &node.neighbors())
     }
 
     /// Replaces the route-derived edge weights and reclusters the whole
@@ -298,12 +338,17 @@ impl<S: ccam_storage::PageStore> Ccam<S> {
     /// the cost of reading and rewriting everything. Returns the CRR
     /// after reorganization.
     pub fn reorganize_full(&mut self) -> StorageResult<f64> {
+        let r = self.reorganize_full_inner();
+        self.finish_txn(r)?;
+        crate::crr::crr(&self.file)
+    }
+
+    fn reorganize_full_inner(&mut self) -> StorageResult<()> {
         let pages: std::collections::BTreeSet<ccam_storage::PageId> =
             self.file.page_map()?.into_values().collect();
         self.reorganize_set(&pages)?;
         self.update_counts.clear();
-        self.file.maybe_commit()?;
-        crate::crr::crr(&self.file)
+        Ok(())
     }
 
     /// Reclusters an explicit page set under the configured weights.
@@ -394,25 +439,8 @@ impl<S: ccam_storage::PageStore> Ccam<S> {
             }
         }
     }
-}
 
-impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn file(&self) -> &NetworkFile<S> {
-        &self.file
-    }
-
-    fn file_mut(&mut self) -> &mut NetworkFile<S> {
-        &mut self.file
-    }
-
-    /// Figure 3: retrieve `PagesOfNbrs(x)` (implicit in the ranked page
-    /// selection), place the record, patch the neighbor lists, then
-    /// handle overflow (first order) or reorganize (higher policies).
-    fn insert_node_impl(
+    fn insert_node_inner(
         &mut self,
         node: &NodeData,
         incoming: &[(NodeId, u32)],
@@ -433,14 +461,10 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
             .file
             .page_of(node.id)?
             .ok_or_else(|| StorageError::Corrupt("record vanished after insert".into()))?;
-        self.maintain_node(page, &node.neighbors())?;
-        self.file.maybe_commit()
+        self.maintain_node(page, &node.neighbors())
     }
 
-    /// Figure 4: retrieve `Page(x)` and `PagesOfNbrs(x)`, patch the
-    /// neighbors, delete record and index entry, then merge on underflow
-    /// (first order) or reorganize (higher policies).
-    fn delete_node_impl(&mut self, id: NodeId) -> StorageResult<Option<DeletedNode>> {
+    fn delete_node_inner(&mut self, id: NodeId) -> StorageResult<Option<DeletedNode>> {
         let Some((page, data)) = self.file.find(id)? else {
             return Ok(None);
         };
@@ -460,11 +484,10 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
                 self.maintain_node(page, &data.neighbors())?;
             }
         }
-        self.file.maybe_commit()?;
         Ok(Some(DeletedNode { data, incoming }))
     }
 
-    fn insert_edge_impl(&mut self, from: NodeId, to: NodeId, cost: u32) -> StorageResult<bool> {
+    fn insert_edge_inner(&mut self, from: NodeId, to: NodeId, cost: u32) -> StorageResult<bool> {
         let Some((pf, mut f_rec)) = self.file.find(from)? else {
             return Ok(false);
         };
@@ -487,11 +510,10 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
             .page_of(to)?
             .ok_or_else(|| StorageError::Corrupt("edge target lost its index entry".into()))?;
         self.maintain_edge(pu, pv)?;
-        self.file.maybe_commit()?;
         Ok(true)
     }
 
-    fn delete_edge_impl(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<u32>> {
+    fn delete_edge_inner(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<u32>> {
         let Some((pf, mut f_rec)) = self.file.find(from)? else {
             return Ok(None);
         };
@@ -514,8 +536,53 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
         if let Some(pv) = self.file.page_of(to)? {
             self.maintain_edge(pu, pv)?;
         }
-        self.file.maybe_commit()?;
         Ok(Some(cost))
+    }
+}
+
+impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn file(&self) -> &NetworkFile<S> {
+        &self.file
+    }
+
+    fn file_mut(&mut self) -> &mut NetworkFile<S> {
+        &mut self.file
+    }
+
+    /// Figure 3: retrieve `PagesOfNbrs(x)` (implicit in the ranked page
+    /// selection), place the record, patch the neighbor lists, then
+    /// handle overflow (first order) or reorganize (higher policies).
+    /// The whole operation — record placement, splits, neighbor
+    /// patches, reorganization, index updates — is one transaction.
+    fn insert_node_impl(
+        &mut self,
+        node: &NodeData,
+        incoming: &[(NodeId, u32)],
+    ) -> StorageResult<()> {
+        let r = self.insert_node_inner(node, incoming);
+        self.finish_txn(r)
+    }
+
+    /// Figure 4: retrieve `Page(x)` and `PagesOfNbrs(x)`, patch the
+    /// neighbors, delete record and index entry, then merge on underflow
+    /// (first order) or reorganize (higher policies). One transaction.
+    fn delete_node_impl(&mut self, id: NodeId) -> StorageResult<Option<DeletedNode>> {
+        let r = self.delete_node_inner(id);
+        self.finish_txn(r)
+    }
+
+    fn insert_edge_impl(&mut self, from: NodeId, to: NodeId, cost: u32) -> StorageResult<bool> {
+        let r = self.insert_edge_inner(from, to, cost);
+        self.finish_txn(r)
+    }
+
+    fn delete_edge_impl(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<u32>> {
+        let r = self.delete_edge_inner(from, to);
+        self.finish_txn(r)
     }
 }
 

@@ -14,6 +14,7 @@
 //! maps) read the store directly and are *not* counted.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ccam_graph::record::{decode_record, encode_record, encoded_len, peek_id};
@@ -74,6 +75,11 @@ pub struct NetworkFile<S: PageStore = MemPageStore> {
     /// query). Degraded operations skip them; healthy operations never
     /// place records on them.
     quarantined: Mutex<BTreeSet<PageId>>,
+    /// Logical operations committed / aborted under auto-commit (the
+    /// access methods treat each insert / delete / reorganization as one
+    /// transaction).
+    txn_commits: AtomicU64,
+    txn_aborts: AtomicU64,
 }
 
 impl NetworkFile<MemPageStore> {
@@ -96,6 +102,8 @@ impl<S: PageStore> NetworkFile<S> {
             page_size,
             auto_commit: false,
             quarantined: Mutex::new(BTreeSet::new()),
+            txn_commits: AtomicU64::new(0),
+            txn_aborts: AtomicU64::new(0),
         })
     }
 
@@ -109,7 +117,19 @@ impl<S: PageStore> NetworkFile<S> {
     /// read error still aborts the open.
     pub fn open(store: S) -> StorageResult<Self> {
         let mut file = Self::create(store)?;
-        let (scan, unreadable) = file.pool.with_store(|store| {
+        file.rebuild_index()?;
+        Ok(file)
+    }
+
+    /// Discards the in-memory secondary index and quarantine set and
+    /// rebuilds both from one tolerant, uncounted scan of the live data
+    /// pages — the same scan [`NetworkFile::open`] performs. Also used by
+    /// [`NetworkFile::abort`] after dirty frames have been discarded, so
+    /// the index reflects exactly what the store holds.
+    pub fn rebuild_index(&mut self) -> StorageResult<()> {
+        self.index = BPlusTree::new_mem(1024)?;
+        self.clear_quarantined();
+        let (scan, unreadable) = self.pool.with_store(|store| {
             let mut scan = Vec::new();
             let mut unreadable = Vec::new();
             let mut buf = vec![0u8; store.page_size()];
@@ -130,13 +150,13 @@ impl<S: PageStore> NetworkFile<S> {
         })?;
         for (page, records) in scan {
             for rec in records {
-                file.index_insert(rec.id, page)?;
+                self.index_insert(rec.id, page)?;
             }
         }
         for page in unreadable {
-            file.quarantine(page);
+            self.quarantine(page);
         }
-        Ok(file)
+        Ok(())
     }
 
     /// Persists every live data page into a fresh page file at `path`
@@ -216,13 +236,48 @@ impl<S: PageStore> NetworkFile<S> {
     }
 
     /// Commits iff auto-commit is enabled — called by the access methods
-    /// at the end of each logical operation.
+    /// at the end of each logical operation. Successful commits are
+    /// counted in [`NetworkFile::txn_commits`].
     pub fn maybe_commit(&self) -> StorageResult<()> {
         if self.auto_commit {
-            self.commit()
-        } else {
-            Ok(())
+            self.commit()?;
+            self.txn_commits.fetch_add(1, Ordering::Relaxed);
         }
+        Ok(())
+    }
+
+    /// Abandons every uncommitted change: dirty buffer frames are
+    /// dropped, the store's pending overlay is rolled back, and the
+    /// secondary index is rebuilt from the (committed) data pages.
+    ///
+    /// Returns `false` — having done nothing — when the store cannot
+    /// roll back (no WAL). If the failed operation's batch already
+    /// reached the log (the store is poisoned *after* its commit point),
+    /// rollback is impossible; the batch is completed with a retried
+    /// `sync()` instead, which lands the same all-or-nothing guarantee:
+    /// the file holds either none or all of the operation's writes.
+    pub fn abort(&mut self) -> StorageResult<bool> {
+        if !self.pool.with_store(|s| s.supports_rollback()) {
+            return Ok(false);
+        }
+        self.pool.discard_frames();
+        if self.pool.with_store_mut(|s| s.rollback()).is_err() {
+            // Past the commit point: finish applying the logged batch.
+            self.pool.with_store_mut(|s| s.sync())?;
+        }
+        self.rebuild_index()?;
+        self.txn_aborts.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Logical operations committed under auto-commit.
+    pub fn txn_commits(&self) -> u64 {
+        self.txn_commits.load(Ordering::Relaxed)
+    }
+
+    /// Logical operations rolled back via [`NetworkFile::abort`].
+    pub fn txn_aborts(&self) -> u64 {
+        self.txn_aborts.load(Ordering::Relaxed)
     }
 
     /// Number of live data pages.
@@ -565,44 +620,46 @@ impl<S: PageStore> NetworkFile<S> {
     }
 
     /// Exact post-compaction free bytes per live page, bypassing the
-    /// buffer pool (uncounted — models the in-memory free-space map a
-    /// real system maintains). Quarantined pages are excluded: no new
-    /// record may land on an unreadable page.
+    /// buffer pool's counters (uncounted — models the in-memory
+    /// free-space map a real system maintains). Quarantined pages are
+    /// excluded: no new record may land on an unreadable page.
+    ///
+    /// Reads through [`BufferPool::read_uncounted`], which serves
+    /// resident (possibly dirty) frames from memory, so the scan never
+    /// flushes. Flushing here would be a hidden *commit point* on a
+    /// WAL-backed store in the middle of a logical operation — exactly
+    /// the torn state crash recovery must never observe.
     pub fn free_space_map_uncounted(&self) -> StorageResult<Vec<(PageId, usize)>> {
-        self.pool.flush_all()?;
-        self.pool.with_store(|store| {
-            let mut out = Vec::new();
-            let mut buf = vec![0u8; store.page_size()];
-            for page in store.live_pages() {
-                if self.is_quarantined(page) {
-                    continue;
-                }
-                store.read(page, &mut buf)?;
-                let mut scratch = buf.clone();
-                let free = SlottedPage::attach(&mut scratch).free_space();
-                out.push((page, free));
+        let mut out = Vec::new();
+        let mut buf = vec![0u8; self.page_size];
+        for page in self.pool.with_store(|s| s.live_pages()) {
+            if self.is_quarantined(page) {
+                continue;
             }
-            Ok(out)
-        })
+            self.pool.read_uncounted(page, &mut buf)?;
+            let mut scratch = buf.clone();
+            let free = SlottedPage::attach(&mut scratch).free_space();
+            out.push((page, free));
+        }
+        Ok(out)
     }
 
     /// Decodes every record in the file, grouped by page, bypassing the
-    /// buffer pool (uncounted; diagnostics only). Strict: any read error,
+    /// buffer pool's counters (uncounted; diagnostics only — dirty
+    /// resident frames are served from memory without flushing, see
+    /// [`Self::free_space_map_uncounted`]). Strict: any read error,
     /// including a checksum mismatch on a quarantined page, propagates.
     pub fn scan_uncounted(&self) -> StorageResult<Vec<(PageId, Vec<NodeData>)>> {
-        self.pool.flush_all()?;
-        self.pool.with_store(|store| {
-            let mut out = Vec::new();
-            let mut buf = vec![0u8; store.page_size()];
-            for page in store.live_pages() {
-                store.read(page, &mut buf)?;
-                let mut scratch = buf.clone();
-                let sp = SlottedPage::attach(&mut scratch);
-                let records: Vec<NodeData> = sp.iter().map(|(_, rec)| decode_record(rec)).collect();
-                out.push((page, records));
-            }
-            Ok(out)
-        })
+        let mut out = Vec::new();
+        let mut buf = vec![0u8; self.page_size];
+        for page in self.pool.with_store(|s| s.live_pages()) {
+            self.pool.read_uncounted(page, &mut buf)?;
+            let mut scratch = buf.clone();
+            let sp = SlottedPage::attach(&mut scratch);
+            let records: Vec<NodeData> = sp.iter().map(|(_, rec)| decode_record(rec)).collect();
+            out.push((page, records));
+        }
+        Ok(out)
     }
 
     /// The paper's blocking factor γ: average records per data page.
@@ -814,6 +871,97 @@ mod tests {
         // After clearing, everything is exact again.
         f.clear_quarantined();
         assert!(f.find_degraded(NodeId(2)).unwrap().value.is_some());
+    }
+
+    #[test]
+    fn abort_rolls_back_to_last_commit() {
+        let wal = std::env::temp_dir().join(format!(
+            "ccam-file-abort-{}-{:?}.wal",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let store =
+            ccam_storage::WalStore::create(ccam_storage::MemPageStore::new(512).unwrap(), &wal)
+                .unwrap();
+        let mut f = NetworkFile::create(store).unwrap();
+        let p = f.allocate_page().unwrap();
+        f.insert_into(p, &node(1, 0)).unwrap();
+        f.commit().unwrap();
+
+        // Uncommitted: a grown record, a second record, a fresh page.
+        let q = f.allocate_page().unwrap();
+        f.insert_into(q, &node(2, 3)).unwrap();
+        f.remove_from(p, NodeId(1)).unwrap();
+        assert!(f.abort().unwrap(), "WAL store must support rollback");
+
+        // Back on the committed state: node 1 present, node 2 and the
+        // fresh page gone, index consistent with the pages.
+        assert!(f.find(NodeId(1)).unwrap().is_some());
+        assert!(f.find(NodeId(2)).unwrap().is_none());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.num_pages(), 1);
+        assert_eq!(f.txn_aborts(), 1);
+        std::fs::remove_file(&wal).ok();
+    }
+
+    #[test]
+    fn abort_without_wal_reports_false() {
+        let mut f = NetworkFile::new(512).unwrap();
+        let p = f.allocate_page().unwrap();
+        f.insert_into(p, &node(1, 0)).unwrap();
+        assert!(!f.abort().unwrap(), "plain store cannot roll back");
+        // Nothing was discarded.
+        assert!(f.find(NodeId(1)).unwrap().is_some());
+        assert_eq!(f.txn_aborts(), 0);
+    }
+
+    #[test]
+    fn maybe_commit_counts_transactions() {
+        let wal = std::env::temp_dir().join(format!(
+            "ccam-file-txn-{}-{:?}.wal",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let store =
+            ccam_storage::WalStore::create(ccam_storage::MemPageStore::new(512).unwrap(), &wal)
+                .unwrap();
+        let mut f = NetworkFile::create(store).unwrap();
+        let p = f.allocate_page().unwrap();
+        f.insert_into(p, &node(1, 0)).unwrap();
+        f.maybe_commit().unwrap();
+        assert_eq!(f.txn_commits(), 0, "auto-commit off: no transaction");
+        f.set_auto_commit(true);
+        f.insert_into(p, &node(2, 0)).unwrap();
+        f.maybe_commit().unwrap();
+        assert_eq!(f.txn_commits(), 1);
+        std::fs::remove_file(&wal).ok();
+    }
+
+    #[test]
+    fn uncounted_scans_do_not_commit() {
+        let wal = std::env::temp_dir().join(format!(
+            "ccam-file-scan-{}-{:?}.wal",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let store =
+            ccam_storage::WalStore::create(ccam_storage::MemPageStore::new(512).unwrap(), &wal)
+                .unwrap();
+        let mut f = NetworkFile::create(store).unwrap();
+        let p = f.allocate_page().unwrap();
+        f.insert_into(p, &node(1, 0)).unwrap();
+
+        // The scans see the dirty (uncommitted) truth...
+        let scan = f.scan_uncounted().unwrap();
+        assert_eq!(scan[0].1.len(), 1);
+        let fsm = f.free_space_map_uncounted().unwrap();
+        assert_eq!(fsm.len(), 1);
+
+        // ...without forcing a commit: abort still rolls everything back.
+        assert!(f.abort().unwrap());
+        assert_eq!(f.len(), 0);
+        assert_eq!(f.num_pages(), 0);
+        std::fs::remove_file(&wal).ok();
     }
 
     #[test]

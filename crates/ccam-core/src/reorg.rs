@@ -129,6 +129,12 @@ pub fn pages_for_edge_update<S: PageStore>(
 /// `weight` supplies the WCRR edge weights (return 1 for uniform CRR).
 /// Page ids are recycled: surplus pages are freed, extra pages are
 /// allocated, and every affected index entry is refreshed.
+///
+/// Atomicity contract: every page rewrite, allocation, free and index
+/// update goes through [`NetworkFile`] — never the store directly — so
+/// the whole reorganization stays buffered until the access method's
+/// surrounding transaction commits it as one WAL batch (or rolls it
+/// back via [`NetworkFile::abort`]). Nothing in here may flush.
 pub fn reorganize_pages<S: PageStore>(
     file: &mut NetworkFile<S>,
     pages: &BTreeSet<PageId>,

@@ -195,6 +195,43 @@ impl<S: PageStore> BufferPool<S> {
         f(&inner.store)
     }
 
+    /// Mutable access to the underlying store — the escape hatch abort
+    /// and checkpoint paths use to drive a transactional store
+    /// ([`PageStore::rollback`], [`PageStore::checkpoint`]) without going
+    /// through the frame cache.
+    pub fn with_store_mut<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        let mut inner = self.inner.lock();
+        f(&mut inner.store)
+    }
+
+    /// Drops every frame *without* writing dirty contents back — the
+    /// abort path: in-flight (uncommitted) page mutations live only in
+    /// dirty frames, so discarding them and rolling back the store
+    /// returns the file to its last committed state.
+    pub fn discard_frames(&self) {
+        let mut inner = self.inner.lock();
+        inner.frames.clear();
+        inner.map.clear();
+    }
+
+    /// Reads page `id`'s *current* contents into `buf` without counting
+    /// an access or creating a frame: a resident frame (dirty or not) is
+    /// served from memory, anything else straight from the store.
+    ///
+    /// This is what in-memory bookkeeping scans (the free-space map) use:
+    /// they model state a real system would keep resident, so they must
+    /// neither perturb the counted I/O statistics nor — crucially —
+    /// force a `flush_all`, which on a `WalStore` is a *commit point* and
+    /// would commit a half-finished multi-page operation.
+    pub fn read_uncounted(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        let inner = self.inner.lock();
+        if let Some(&idx) = inner.map.get(&id) {
+            buf.copy_from_slice(&inner.frames[idx].data);
+            return Ok(());
+        }
+        inner.store.read(id, buf)
+    }
+
     /// Flushes dirty frames and syncs the store (alias of
     /// [`Self::flush_all`] for API clarity at shutdown).
     pub fn flush(&self) -> StorageResult<()> {
@@ -655,6 +692,44 @@ mod tests {
         assert_eq!(profiles[0].events[0].page, a);
         assert_eq!(profiles[0].events[1].page, b);
         assert_eq!(profiles[0].data_page_accesses(), 1);
+    }
+
+    #[test]
+    fn read_uncounted_sees_dirty_frames_without_stats_or_frames() {
+        let p = pool(2);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.with_page_mut(a, |buf| buf.fill(7)).unwrap(); // dirty, resident
+        p.with_page_mut(b, |buf| buf.fill(8)).unwrap();
+        p.clear().unwrap();
+        p.with_page_mut(a, |buf| buf.fill(9)).unwrap(); // dirty again
+        let before = p.stats().snapshot();
+        let mut buf = vec![0u8; 128];
+        // Resident dirty frame: latest bytes, no count.
+        p.read_uncounted(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 9));
+        // Non-resident page: store bytes, no frame created.
+        p.read_uncounted(b, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 8));
+        assert!(!p.is_resident(b));
+        let delta = p.stats().snapshot().since(&before);
+        assert_eq!(delta.physical_reads, 0);
+        assert_eq!(delta.buffer_hits, 0);
+    }
+
+    #[test]
+    fn discard_frames_drops_dirty_state() {
+        let p = pool(2);
+        let a = p.allocate().unwrap();
+        p.with_page_mut(a, |buf| buf.fill(1)).unwrap();
+        p.flush_all().unwrap();
+        p.with_page_mut(a, |buf| buf.fill(2)).unwrap(); // uncommitted
+        p.discard_frames();
+        assert!(!p.is_resident(a));
+        p.check_invariants().unwrap();
+        // The committed bytes survive; the discarded mutation is gone.
+        let ok = p.with_page(a, |buf| buf.iter().all(|&x| x == 1)).unwrap();
+        assert!(ok);
     }
 
     #[test]

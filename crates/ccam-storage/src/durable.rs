@@ -40,7 +40,7 @@ use std::path::Path;
 use crate::error::{StorageError, StorageResult};
 use crate::page::PageId;
 use crate::recovery::{replay, RecoveryReport};
-use crate::store::PageStore;
+use crate::store::{PageStore, WalInfo};
 use crate::wal::{LogRecord, Wal};
 
 /// A [`PageStore`] wrapper that write-ahead logs every mutation and turns
@@ -61,6 +61,13 @@ pub struct WalStore<S: PageStore> {
     logged: bool,
     /// An I/O error left the wrapper mid-batch; mutations are refused.
     poisoned: bool,
+    /// Live-log byte cap. `None` checkpoints after every commit (the
+    /// tightest log, one truncation per batch); `Some(limit)` retains
+    /// committed batches and checkpoints only once the log outgrows
+    /// `limit`, amortizing the truncate+header rewrite over many commits.
+    /// Retained batches are already applied to the data file, so replay
+    /// on reopen merely redoes them (redo is idempotent).
+    max_wal_bytes: Option<u64>,
 }
 
 impl<S: PageStore> WalStore<S> {
@@ -91,6 +98,7 @@ impl<S: PageStore> WalStore<S> {
             pending_frees: BTreeSet::new(),
             logged: false,
             poisoned: false,
+            max_wal_bytes: None,
         }
     }
 
@@ -118,6 +126,32 @@ impl<S: PageStore> WalStore<S> {
     /// Commit batches appended to the log over this handle's lifetime.
     pub fn commits(&self) -> u64 {
         self.wal.commit_count()
+    }
+
+    /// Caps the live log at roughly `limit` bytes (see the
+    /// `max_wal_bytes` field docs). `None` restores
+    /// checkpoint-on-every-commit.
+    pub fn set_max_wal_bytes(&mut self, limit: Option<u64>) {
+        self.max_wal_bytes = limit;
+    }
+
+    /// The configured live-log byte cap.
+    pub fn max_wal_bytes(&self) -> Option<u64> {
+        self.max_wal_bytes
+    }
+
+    /// Forces a checkpoint now: syncs the inner store and truncates the
+    /// log. Every committed batch is applied to the data file at `sync()`
+    /// time regardless of the byte cap, so the log never holds anything
+    /// the data file lacks — except mid-apply after a failure, when the
+    /// wrapper is poisoned and this refuses (retry `sync()` first).
+    pub fn checkpoint(&mut self) -> StorageResult<()> {
+        if self.logged || self.poisoned {
+            return Err(StorageError::Poisoned);
+        }
+        self.inner.sync()?;
+        self.wal.checkpoint()?;
+        Ok(())
     }
 
     /// Discards the pending (unlogged) overlay: buffered writes and
@@ -190,7 +224,13 @@ impl<S: PageStore> WalStore<S> {
             }
         }
         self.inner.sync()?;
-        self.wal.checkpoint()?;
+        let over_cap = match self.max_wal_bytes {
+            None => true, // tightest log: truncate after every batch
+            Some(limit) => self.wal.len() > limit,
+        };
+        if over_cap {
+            self.wal.checkpoint()?;
+        }
         Ok(())
     }
 
@@ -307,6 +347,31 @@ impl<S: PageStore> PageStore for WalStore<S> {
             .into_iter()
             .filter(|p| !self.pending_frees.contains(&p.0))
             .collect()
+    }
+
+    fn supports_rollback(&self) -> bool {
+        true
+    }
+
+    fn rollback(&mut self) -> StorageResult<()> {
+        WalStore::rollback(self)
+    }
+
+    fn checkpoint(&mut self) -> StorageResult<()> {
+        WalStore::checkpoint(self)
+    }
+
+    fn set_max_wal_bytes(&mut self, limit: Option<u64>) {
+        WalStore::set_max_wal_bytes(self, limit)
+    }
+
+    fn wal_info(&self) -> Option<WalInfo> {
+        Some(WalInfo {
+            live_bytes: self.wal.len(),
+            commits: self.wal.commit_count(),
+            checkpoints: self.wal.checkpoint_count(),
+            bytes_appended: self.wal.bytes_appended(),
+        })
     }
 
     fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
@@ -487,6 +552,96 @@ mod tests {
         let mut buf = [0u8; 64];
         s.inner().read(a, &mut buf).unwrap();
         assert_eq!(buf, [8u8; 64]);
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn bounded_wal_retains_batches_and_checkpoints_past_cap() {
+        let wal_path = temp_path("bounded.wal");
+        let mut s = WalStore::create(MemPageStore::new(64).unwrap(), &wal_path).unwrap();
+        s.set_max_wal_bytes(Some(400));
+        let a = s.allocate().unwrap();
+        let mut retained_once = false;
+        for i in 0..40u8 {
+            s.write(a, &[i; 64]).unwrap();
+            s.sync().unwrap();
+            // One page-image batch is ~100 bytes of frames; the log may
+            // overshoot the cap by at most one batch before truncating.
+            assert!(s.wal().len() <= 400 + 200, "log grew to {}", s.wal().len());
+            retained_once |= !s.wal().is_empty();
+            // Committed state is always applied, cap or no cap.
+            let mut buf = [0u8; 64];
+            s.inner().read(a, &mut buf).unwrap();
+            assert_eq!(buf, [i; 64]);
+        }
+        assert!(retained_once, "cap never let the log retain a batch");
+        assert!(s.wal().checkpoint_count() > 0, "cap never triggered");
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn retained_batches_replay_idempotently_after_crash() {
+        let db = temp_path("bounded-crash.db");
+        let wal_path = wal_sidecar(&db);
+        let (a, b);
+        {
+            let inner = FilePageStore::create(&db, 64).unwrap();
+            let mut s = WalStore::create(inner, &wal_path).unwrap();
+            s.set_max_wal_bytes(Some(1 << 20)); // cap high: retain everything
+            a = s.allocate().unwrap();
+            s.write(a, &[1u8; 64]).unwrap();
+            s.sync().unwrap();
+            b = s.allocate().unwrap();
+            s.write(b, &[2u8; 64]).unwrap();
+            s.free(a).unwrap();
+            s.sync().unwrap();
+            assert!(!s.wal().is_empty(), "batches should be retained");
+            let _ = s.simulate_crash();
+        }
+        {
+            // Both batches are already in the data file; replay redoes
+            // them in order (alloc → write → free is idempotent) and must
+            // land on the same final state.
+            let inner = FilePageStore::open(&db).unwrap();
+            let (s, report) = WalStore::open(inner, &wal_path).unwrap();
+            assert_eq!(report.replayed_batches, 2);
+            assert!(!s.is_live(a));
+            assert!(s.is_live(b));
+            let mut buf = [0u8; 64];
+            s.read(b, &mut buf).unwrap();
+            assert_eq!(buf, [2u8; 64]);
+            // Recovery checkpoints: the log is empty again.
+            assert!(s.wal().is_empty());
+        }
+        std::fs::remove_file(&db).ok();
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn manual_checkpoint_truncates_and_refuses_when_poisoned() {
+        let wal_path = temp_path("manual-ckpt.wal");
+        let (flaky, switch) = FlakyStore::new(MemPageStore::new(64).unwrap());
+        let mut s = WalStore::create(flaky, &wal_path).unwrap();
+        s.set_max_wal_bytes(Some(1 << 20));
+        let a = s.allocate().unwrap();
+        s.write(a, &[1u8; 64]).unwrap();
+        s.sync().unwrap();
+        assert!(!s.wal().is_empty());
+        WalStore::checkpoint(&mut s).unwrap();
+        assert!(s.wal().is_empty());
+
+        // Mid-apply failure leaves a logged batch; checkpoint must refuse
+        // until a retried sync() completes the apply.
+        s.write(a, &[2u8; 64]).unwrap();
+        switch.arm_after(0);
+        assert!(s.sync().is_err());
+        switch.disarm();
+        assert!(matches!(
+            WalStore::checkpoint(&mut s),
+            Err(StorageError::Poisoned)
+        ));
+        s.sync().unwrap();
+        WalStore::checkpoint(&mut s).unwrap();
         std::fs::remove_file(&wal_path).ok();
     }
 

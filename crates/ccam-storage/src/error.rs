@@ -48,6 +48,12 @@ pub enum StorageError {
     /// A durable store hit an I/O failure mid-batch and refuses further
     /// mutations until rolled back or recovered (see `WalStore`).
     Poisoned,
+    /// The underlying device is out of space (`ENOSPC` or a short write).
+    /// Typed separately from [`StorageError::Io`] so callers can abort the
+    /// in-flight operation gracefully — the file stays consistent and the
+    /// buffer pool drops the aborted transaction's dirty frames — instead
+    /// of treating a full disk as a transient fault to retry.
+    NoSpace,
 }
 
 impl fmt::Display for StorageError {
@@ -78,6 +84,7 @@ impl fmt::Display for StorageError {
                     "store poisoned by an earlier I/O failure; roll back or recover"
                 )
             }
+            StorageError::NoSpace => write!(f, "no space left on device"),
         }
     }
 }
@@ -93,6 +100,11 @@ impl std::error::Error for StorageError {
 
 impl From<std::io::Error> for StorageError {
     fn from(e: std::io::Error) -> Self {
+        // ENOSPC (28) and short writes (WriteZero from write_all) both mean
+        // the device ran out of room; surface them as the typed variant.
+        if e.raw_os_error() == Some(28) || e.kind() == std::io::ErrorKind::WriteZero {
+            return StorageError::NoSpace;
+        }
         StorageError::Io(e)
     }
 }
@@ -114,6 +126,15 @@ mod tests {
             max: 1000,
         };
         assert!(e.to_string().contains("9000"));
+    }
+
+    #[test]
+    fn enospc_and_short_writes_map_to_no_space() {
+        let enospc = std::io::Error::from_raw_os_error(28);
+        assert!(matches!(StorageError::from(enospc), StorageError::NoSpace));
+        let short = std::io::Error::new(std::io::ErrorKind::WriteZero, "short write");
+        assert!(matches!(StorageError::from(short), StorageError::NoSpace));
+        assert!(StorageError::NoSpace.to_string().contains("no space"));
     }
 
     #[test]

@@ -55,9 +55,9 @@ pub use recovery::RecoveryReport;
 pub use retry::{RetryPolicy, RetryStore};
 pub use slotted::{SlotId, SlottedPage};
 pub use stats::{IoSnapshot, IoStats, OpSpan};
-pub use store::{FilePageStore, MemPageStore, PageStore};
+pub use store::{FilePageStore, MemPageStore, PageStore, WalInfo};
 pub use testing::{
-    CorruptStore, CorruptionController, CountingStore, CrashController, CrashStore, FlakyStore,
-    TornWrite,
+    CorruptStore, CorruptionController, CountingStore, CrashController, CrashStore,
+    DiskFullController, FlakyStore, FullDiskStore, SweepRng, TornWrite,
 };
 pub use wal::{wal_sidecar, LogRecord, Wal};

@@ -222,6 +222,31 @@ impl<S: PageStore> PageStore for RetryStore<S> {
     fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
         self.run_mut(|s| s.ensure_allocated(id))
     }
+
+    // Transactional hooks pass straight through (rollback/checkpoint are
+    // not retried: a failed rollback means the inner store is poisoned,
+    // not glitched). NoSpace is likewise never transient — `is_transient`
+    // only matches Io and ChecksumMismatch.
+
+    fn supports_rollback(&self) -> bool {
+        self.inner.supports_rollback()
+    }
+
+    fn rollback(&mut self) -> StorageResult<()> {
+        self.inner.rollback()
+    }
+
+    fn checkpoint(&mut self) -> StorageResult<()> {
+        self.inner.checkpoint()
+    }
+
+    fn set_max_wal_bytes(&mut self, limit: Option<u64>) {
+        self.inner.set_max_wal_bytes(limit)
+    }
+
+    fn wal_info(&self) -> Option<crate::store::WalInfo> {
+        self.inner.wal_info()
+    }
 }
 
 #[cfg(test)]

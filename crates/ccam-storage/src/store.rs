@@ -17,6 +17,21 @@ use std::path::Path;
 use crate::error::{StorageError, StorageResult};
 use crate::page::{validate_page_size, PageId};
 
+/// Write-ahead-log counters reported by stores that layer a WAL (see
+/// `WalStore`); plain stores report `None` from
+/// [`PageStore::wal_info`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalInfo {
+    /// Live log bytes right now (header + surviving records).
+    pub live_bytes: u64,
+    /// Commit batches appended over the handle's lifetime.
+    pub commits: u64,
+    /// Checkpoints taken over the handle's lifetime.
+    pub checkpoints: u64,
+    /// Record bytes appended over the handle's lifetime.
+    pub bytes_appended: u64,
+}
+
 /// Abstraction over a flat collection of fixed-size pages.
 ///
 /// Pages are addressed by dense [`PageId`]s. `free` recycles ids through a
@@ -60,6 +75,41 @@ pub trait PageStore {
     /// page ids. Slots between the current end of the store and `id` are
     /// created free.
     fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()>;
+
+    // -- transactional hooks (defaulted no-ops for plain stores) ---------
+    //
+    // These let callers holding a `Box<dyn PageStore>` (the CLI) and the
+    // buffer pool drive commit/abort and checkpointing without knowing
+    // whether a WAL sits underneath.
+
+    /// True when this store buffers mutations until `sync` and can
+    /// discard an uncommitted batch via [`PageStore::rollback`]. Plain
+    /// stores apply writes in place and return false.
+    fn supports_rollback(&self) -> bool {
+        false
+    }
+
+    /// Discards every mutation since the last `sync` (the uncommitted
+    /// batch). A no-op for stores without transactional buffering.
+    fn rollback(&mut self) -> StorageResult<()> {
+        Ok(())
+    }
+
+    /// Forces a WAL checkpoint: once every committed batch is durable in
+    /// the data file, the log is truncated. A no-op without a WAL.
+    fn checkpoint(&mut self) -> StorageResult<()> {
+        Ok(())
+    }
+
+    /// Caps the live WAL at roughly `limit` bytes: the store checkpoints
+    /// automatically once the log grows past it (`None` restores
+    /// checkpoint-on-every-commit). A no-op without a WAL.
+    fn set_max_wal_bytes(&mut self, _limit: Option<u64>) {}
+
+    /// WAL counters, when a WAL is present.
+    fn wal_info(&self) -> Option<WalInfo> {
+        None
+    }
 }
 
 /// Boxed stores delegate, so `Box<dyn PageStore>` is itself a
@@ -104,6 +154,26 @@ impl<P: PageStore + ?Sized> PageStore for Box<P> {
 
     fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
         (**self).ensure_allocated(id)
+    }
+
+    fn supports_rollback(&self) -> bool {
+        (**self).supports_rollback()
+    }
+
+    fn rollback(&mut self) -> StorageResult<()> {
+        (**self).rollback()
+    }
+
+    fn checkpoint(&mut self) -> StorageResult<()> {
+        (**self).checkpoint()
+    }
+
+    fn set_max_wal_bytes(&mut self, limit: Option<u64>) {
+        (**self).set_max_wal_bytes(limit)
+    }
+
+    fn wal_info(&self) -> Option<WalInfo> {
+        (**self).wal_info()
     }
 }
 

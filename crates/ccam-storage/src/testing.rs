@@ -7,8 +7,14 @@
 //! higher layers' tests walk the entire error path; [`CrashStore`]
 //! simulates a power cut — optionally with a torn page write — at a
 //! scheduled mutation index, after which every operation fails, for
-//! crash-recovery tests; [`CountingStore`] records per-operation counts
-//! for tests asserting raw store traffic.
+//! crash-recovery tests; [`FullDiskStore`] simulates the device running
+//! out of space (`ENOSPC`, optionally as a short write) at a scheduled
+//! mutation index, for graceful-abort tests; [`CountingStore`] records
+//! per-operation counts for tests asserting raw store traffic.
+//!
+//! [`SweepRng`] is the deterministic generator crash-sweep harnesses
+//! derive their workloads from: same seed, same workload, same crash
+//! schedule — a failing sweep round replays exactly.
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -132,6 +138,65 @@ impl<S: PageStore> PageStore for FlakyStore<S> {
     fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
         self.switch.tick()?;
         self.inner.ensure_allocated(id)
+    }
+
+    fn supports_rollback(&self) -> bool {
+        self.inner.supports_rollback()
+    }
+
+    fn rollback(&mut self) -> StorageResult<()> {
+        self.inner.rollback()
+    }
+
+    fn checkpoint(&mut self) -> StorageResult<()> {
+        self.inner.checkpoint()
+    }
+
+    fn set_max_wal_bytes(&mut self, limit: Option<u64>) {
+        self.inner.set_max_wal_bytes(limit)
+    }
+
+    fn wal_info(&self) -> Option<crate::store::WalInfo> {
+        self.inner.wal_info()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic workload generation
+// ---------------------------------------------------------------------------
+
+/// SplitMix64: a tiny, high-quality deterministic generator for seeded
+/// test workloads (crash sweeps, property tests). No OS entropy, no wall
+/// clock — two instances with the same seed produce identical streams.
+#[derive(Debug, Clone)]
+pub struct SweepRng {
+    state: u64,
+}
+
+impl SweepRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SweepRng {
+        SweepRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..n` (`n` > 0).
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Bernoulli draw: true with probability `num`/`denom`.
+    pub fn gen_bool(&mut self, num: u64, denom: u64) -> bool {
+        self.gen_range(denom) < num
     }
 }
 
@@ -343,6 +408,32 @@ impl<S: PageStore> PageStore for CrashStore<S> {
             return Err(CrashController::power_failure());
         }
         self.inner.ensure_allocated(id)
+    }
+
+    fn supports_rollback(&self) -> bool {
+        self.inner.supports_rollback()
+    }
+
+    fn rollback(&mut self) -> StorageResult<()> {
+        if self.controller.is_dead() {
+            return Err(CrashController::power_failure());
+        }
+        self.inner.rollback()
+    }
+
+    fn checkpoint(&mut self) -> StorageResult<()> {
+        if self.controller.is_dead() {
+            return Err(CrashController::power_failure());
+        }
+        self.inner.checkpoint()
+    }
+
+    fn set_max_wal_bytes(&mut self, limit: Option<u64>) {
+        self.inner.set_max_wal_bytes(limit)
+    }
+
+    fn wal_info(&self) -> Option<crate::store::WalInfo> {
+        self.inner.wal_info()
     }
 }
 
@@ -571,6 +662,237 @@ impl<S: PageStore> PageStore for CorruptStore<S> {
         self.controller.glitch()?;
         self.inner.ensure_allocated(id)
     }
+
+    fn supports_rollback(&self) -> bool {
+        self.inner.supports_rollback()
+    }
+
+    fn rollback(&mut self) -> StorageResult<()> {
+        self.inner.rollback()
+    }
+
+    fn checkpoint(&mut self) -> StorageResult<()> {
+        self.inner.checkpoint()
+    }
+
+    fn set_max_wal_bytes(&mut self, limit: Option<u64>) {
+        self.inner.set_max_wal_bytes(limit)
+    }
+
+    fn wal_info(&self) -> Option<crate::store::WalInfo> {
+        self.inner.wal_info()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full-disk (ENOSPC) simulation
+// ---------------------------------------------------------------------------
+
+/// Shared controller scheduling when a [`FullDiskStore`] runs out of
+/// space.
+///
+/// Arm it with [`DiskFullController::fill_after`]: the next `ops`
+/// *mutations* (allocate / write / free / sync / ensure) succeed, then
+/// the device is "full" — the failing operation and every later mutation
+/// surface [`StorageError::NoSpace`] until [`DiskFullController::drain`].
+/// Reads keep working throughout: a full disk still serves what it holds.
+#[derive(Debug)]
+pub struct DiskFullController {
+    /// Mutations remaining before the disk fills (u64::MAX = disarmed).
+    remaining: AtomicU64,
+    full: AtomicBool,
+    /// When set, the write the disk fills on lands a half-page prefix on
+    /// the inner store before failing (a short write, the way `write(2)`
+    /// reports a filling device), instead of failing cleanly.
+    short_write: AtomicBool,
+    /// NoSpace errors surfaced so far.
+    injected: AtomicU64,
+}
+
+impl DiskFullController {
+    /// A controller that never fires.
+    pub fn disarmed() -> Arc<DiskFullController> {
+        Arc::new(DiskFullController {
+            remaining: AtomicU64::new(u64::MAX),
+            full: AtomicBool::new(false),
+            short_write: AtomicBool::new(false),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Schedules the fill: `ops` more mutations succeed, then the device
+    /// is full. With `short_write`, a page write that hits the limit
+    /// half-lands before failing.
+    pub fn fill_after(&self, ops: u64, short_write: bool) {
+        self.short_write.store(short_write, Ordering::SeqCst);
+        self.full.store(false, Ordering::SeqCst);
+        self.remaining.store(ops, Ordering::SeqCst);
+    }
+
+    /// Frees up space: mutations succeed again.
+    pub fn drain(&self) {
+        self.remaining.store(u64::MAX, Ordering::SeqCst);
+        self.full.store(false, Ordering::SeqCst);
+    }
+
+    /// True once the scheduled fill has fired.
+    pub fn is_full(&self) -> bool {
+        self.full.load(Ordering::SeqCst)
+    }
+
+    /// NoSpace errors injected so far.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    fn no_space(&self) -> StorageError {
+        self.injected.fetch_add(1, Ordering::SeqCst);
+        StorageError::NoSpace
+    }
+
+    /// Ticks one mutation. `Ok(false)` = proceed, `Ok(true)` = this is
+    /// the filling operation (caller applies short-write behaviour, then
+    /// fails), `Err(NoSpace)` = already full.
+    fn tick(&self) -> StorageResult<bool> {
+        if self.full.load(Ordering::SeqCst) {
+            return Err(self.no_space());
+        }
+        let prev = self
+            .remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                if v == u64::MAX {
+                    None
+                } else {
+                    Some(v.saturating_sub(1))
+                }
+            });
+        match prev {
+            Err(_) => Ok(false), // disarmed
+            Ok(0) => {
+                self.full.store(true, Ordering::SeqCst);
+                Ok(true)
+            }
+            Ok(_) => Ok(false),
+        }
+    }
+}
+
+/// A [`PageStore`] wrapper simulating a device that fills up at a
+/// scheduled mutation index (see [`DiskFullController`]).
+///
+/// Unlike [`CrashStore`], the process survives: mutations fail with the
+/// typed [`StorageError::NoSpace`], reads keep succeeding, and draining
+/// the controller models an operator freeing space. Graceful-abort tests
+/// wrap a store in one and assert the in-flight operation aborts without
+/// corrupting committed state.
+pub struct FullDiskStore<S: PageStore> {
+    inner: S,
+    controller: Arc<DiskFullController>,
+}
+
+impl<S: PageStore> FullDiskStore<S> {
+    /// Wraps `inner`; returns the store and its controller.
+    pub fn new(inner: S) -> (Self, Arc<DiskFullController>) {
+        let controller = DiskFullController::disarmed();
+        (
+            FullDiskStore {
+                inner,
+                controller: Arc::clone(&controller),
+            },
+            controller,
+        )
+    }
+
+    /// Consumes the wrapper, returning the inner store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PageStore> PageStore for FullDiskStore<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        if self.controller.tick()? {
+            return Err(self.controller.no_space());
+        }
+        self.inner.allocate()
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        self.inner.read(id, buf) // full disks still read
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> StorageResult<()> {
+        if self.controller.tick()? {
+            if self.controller.short_write.load(Ordering::SeqCst) {
+                // Short write: a half-page prefix lands before ENOSPC.
+                let mut partial = vec![0u8; buf.len()];
+                if self.inner.read(id, &mut partial).is_ok() {
+                    partial[..buf.len() / 2].copy_from_slice(&buf[..buf.len() / 2]);
+                    let _ = self.inner.write(id, &partial);
+                }
+            }
+            return Err(self.controller.no_space());
+        }
+        self.inner.write(id, buf)
+    }
+
+    fn free(&mut self, id: PageId) -> StorageResult<()> {
+        // Freeing *releases* space — it must keep working on a full
+        // device (and rollback relies on it to return pass-through
+        // allocations), so it neither ticks nor blocks.
+        self.inner.free(id)
+    }
+
+    fn is_live(&self, id: PageId) -> bool {
+        self.inner.is_live(id)
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        if self.controller.tick()? {
+            return Err(self.controller.no_space());
+        }
+        self.inner.sync()
+    }
+
+    fn live_pages(&self) -> Vec<PageId> {
+        self.inner.live_pages()
+    }
+
+    fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
+        if self.controller.tick()? {
+            return Err(self.controller.no_space());
+        }
+        self.inner.ensure_allocated(id)
+    }
+
+    fn supports_rollback(&self) -> bool {
+        self.inner.supports_rollback()
+    }
+
+    fn rollback(&mut self) -> StorageResult<()> {
+        // Rollback frees space; never blocked by the full state.
+        self.inner.rollback()
+    }
+
+    fn checkpoint(&mut self) -> StorageResult<()> {
+        self.inner.checkpoint()
+    }
+
+    fn set_max_wal_bytes(&mut self, limit: Option<u64>) {
+        self.inner.set_max_wal_bytes(limit)
+    }
+
+    fn wal_info(&self) -> Option<crate::store::WalInfo> {
+        self.inner.wal_info()
+    }
 }
 
 /// Raw per-operation counters of a [`CountingStore`].
@@ -655,6 +977,26 @@ impl<S: PageStore> PageStore for CountingStore<S> {
     fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
         self.counters.allocs.fetch_add(1, Ordering::Relaxed);
         self.inner.ensure_allocated(id)
+    }
+
+    fn supports_rollback(&self) -> bool {
+        self.inner.supports_rollback()
+    }
+
+    fn rollback(&mut self) -> StorageResult<()> {
+        self.inner.rollback()
+    }
+
+    fn checkpoint(&mut self) -> StorageResult<()> {
+        self.inner.checkpoint()
+    }
+
+    fn set_max_wal_bytes(&mut self, limit: Option<u64>) {
+        self.inner.set_max_wal_bytes(limit)
+    }
+
+    fn wal_info(&self) -> Option<crate::store::WalInfo> {
+        self.inner.wal_info()
     }
 }
 
@@ -805,6 +1147,85 @@ mod tests {
         assert_eq!(buf, [5u8; 64]);
         // Every injected fault was retried through.
         assert_eq!(s.stats().snapshot().retries, ctl.injected_faults());
+    }
+
+    #[test]
+    fn sweep_rng_is_deterministic_and_varies_with_seed() {
+        let mut a = SweepRng::new(42);
+        let mut b = SweepRng::new(42);
+        let sa: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(sa, sb);
+        let mut c = SweepRng::new(43);
+        let sc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_ne!(sa, sc);
+        let mut d = SweepRng::new(7);
+        for _ in 0..100 {
+            assert!(d.gen_range(10) < 10);
+        }
+    }
+
+    #[test]
+    fn full_disk_store_fails_mutations_with_no_space_until_drained() {
+        let (mut s, ctl) = FullDiskStore::new(MemPageStore::new(64).unwrap());
+        let a = s.allocate().unwrap();
+        s.write(a, &[1u8; 64]).unwrap();
+        ctl.fill_after(1, false);
+        s.write(a, &[2u8; 64]).unwrap(); // last op that fits
+        assert!(matches!(s.write(a, &[3u8; 64]), Err(StorageError::NoSpace)));
+        assert!(ctl.is_full());
+        assert!(matches!(s.allocate(), Err(StorageError::NoSpace)));
+        assert!(matches!(s.sync(), Err(StorageError::NoSpace)));
+        // Reads still work on a full disk.
+        let mut buf = [0u8; 64];
+        s.read(a, &mut buf).unwrap();
+        assert_eq!(buf, [2u8; 64]);
+        ctl.drain();
+        s.write(a, &[4u8; 64]).unwrap();
+        s.read(a, &mut buf).unwrap();
+        assert_eq!(buf, [4u8; 64]);
+        assert!(ctl.injected_faults() >= 3);
+    }
+
+    #[test]
+    fn full_disk_short_write_lands_a_prefix() {
+        let (mut s, ctl) = FullDiskStore::new(MemPageStore::new(64).unwrap());
+        let a = s.allocate().unwrap();
+        s.write(a, &[0xaa; 64]).unwrap();
+        ctl.fill_after(0, true);
+        assert!(matches!(
+            s.write(a, &[0xbb; 64]),
+            Err(StorageError::NoSpace)
+        ));
+        ctl.drain();
+        let mut buf = [0u8; 64];
+        s.read(a, &mut buf).unwrap();
+        assert!(buf[..32].iter().all(|&x| x == 0xbb));
+        assert!(buf[32..].iter().all(|&x| x == 0xaa));
+    }
+
+    #[test]
+    fn wrappers_forward_wal_hooks() {
+        use crate::durable::WalStore;
+        let mut p = std::env::temp_dir();
+        p.push(format!("ccam-testing-hooks-{}.wal", std::process::id()));
+        let wal = WalStore::create(MemPageStore::new(64).unwrap(), &p).unwrap();
+        // A fault wrapper above a WalStore still reports and controls it.
+        let (mut s, _ctl) = FullDiskStore::new(wal);
+        assert!(s.supports_rollback());
+        assert!(s.wal_info().is_some());
+        s.set_max_wal_bytes(Some(1 << 20));
+        let a = s.allocate().unwrap();
+        s.write(a, &[1u8; 64]).unwrap();
+        s.sync().unwrap();
+        assert!(s.wal_info().unwrap().live_bytes > 24);
+        s.checkpoint().unwrap();
+        assert!(s.wal_info().unwrap().checkpoints >= 1);
+        // A plain store reports no WAL and refuses nothing.
+        let (plain, _c) = CountingStore::new(MemPageStore::new(64).unwrap());
+        assert!(!plain.supports_rollback());
+        assert!(plain.wal_info().is_none());
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

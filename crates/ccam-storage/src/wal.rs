@@ -164,6 +164,7 @@ pub struct Wal {
     /// Lifetime counters, for experiments attributing WAL overhead.
     commits: u64,
     bytes_appended: u64,
+    checkpoints: u64,
 }
 
 /// What [`Wal::open`] found in an existing log.
@@ -197,6 +198,7 @@ impl Wal {
             end: HEADER_LEN,
             commits: 0,
             bytes_appended: 0,
+            checkpoints: 0,
         };
         wal.write_header()?;
         wal.file.sync_data()?;
@@ -223,6 +225,7 @@ impl Wal {
             end: HEADER_LEN,
             commits: 0,
             bytes_appended: 0,
+            checkpoints: 0,
         };
         let mut scan = WalScan::default();
 
@@ -402,6 +405,7 @@ impl Wal {
         self.file.write_all(&buf)?;
         self.file.sync_data()?;
         self.end += buf.len() as u64;
+        self.checkpoints += 1;
         Ok(())
     }
 
@@ -426,9 +430,10 @@ impl Wal {
     }
 
     /// True when the log holds no records beyond the header/checkpoint
-    /// marker.
+    /// marker. A freshly checkpointed log contains exactly one bodyless
+    /// [`LogRecord::Checkpoint`] frame and still counts as empty.
     pub fn is_empty(&self) -> bool {
-        self.end <= HEADER_LEN
+        self.end <= HEADER_LEN + (FRAME_HEADER_LEN + PAYLOAD_PREFIX_LEN) as u64
     }
 
     /// Commit batches appended over this handle's lifetime.
@@ -439,6 +444,11 @@ impl Wal {
     /// Record bytes appended over this handle's lifetime.
     pub fn bytes_appended(&self) -> u64 {
         self.bytes_appended
+    }
+
+    /// Checkpoints taken over this handle's lifetime.
+    pub fn checkpoint_count(&self) -> u64 {
+        self.checkpoints
     }
 }
 

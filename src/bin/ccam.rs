@@ -12,6 +12,7 @@
 //! ccam bench    <db> [--routes N] [--len L]
 //! ccam check    <db>
 //! ccam scrub    <db>
+//! ccam checkpoint <db>
 //! ccam replay   <db> <trace.txt>
 //! ccam profile  <db> [--ops N] [--routes N] [--len L] [--seed N] [--updates] [--json]
 //! ```
@@ -24,6 +25,17 @@
 //! (`<db>.wal`). A WAL-backed database recovers automatically on every
 //! open — committed updates are replayed, torn tails truncated — and
 //! mutating commands (`replay`) commit after each logical operation.
+//! Every page rewrite, allocation, free and index update belonging to
+//! one logical operation (including the reorganizations it triggers)
+//! commits as a single WAL transaction: recovery replays or discards
+//! the whole group, never a partial reorganization.
+//!
+//! The log is bounded: `--max-wal-bytes <n>` keeps the sidecar under
+//! roughly `n` bytes by checkpointing (applying retained batches to the
+//! page file and truncating the log) automatically whenever a commit
+//! pushes it past the cap; without the flag every commit checkpoints
+//! immediately. `ccam checkpoint <db>` forces the same compaction on
+//! demand — after recovery, or before archiving the sidecar.
 //!
 //! Fault tolerance: page files carry per-page CRC32 checksums (v2
 //! format), so silent corruption is detected on read. Every
@@ -82,7 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let rest = rest.as_slice();
     match cmd.as_str() {
         "generate" => generate(rest),
-        "build" => build(rest),
+        "build" => build(rest, &open_opts),
         "stats" => stats(rest, &open_opts),
         "find" => find(rest, &open_opts),
         "succ" => succ(rest, &open_opts),
@@ -92,6 +104,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "bench" => bench(rest, &open_opts),
         "check" => check(rest, &open_opts),
         "scrub" => scrub(rest, &open_opts),
+        "checkpoint" => checkpoint_cmd(rest, &open_opts),
         "replay" => replay_cmd(rest, &open_opts),
         "profile" => profile(rest, &open_opts),
         "help" | "--help" | "-h" => {
@@ -114,6 +127,10 @@ struct OpenOptions {
     /// `--metrics-json <path>`: collect counters, recovery/scrub
     /// statistics and per-operation profiles, dumped as JSON on success.
     metrics: Option<MetricsSink>,
+    /// `--max-wal-bytes <n>`: auto-checkpoint the WAL whenever a commit
+    /// pushes the live log past `n` bytes. `None` keeps the default of
+    /// checkpointing after every commit.
+    max_wal_bytes: Option<u64>,
 }
 
 /// Destination and accumulator for `--metrics-json`. The registry uses
@@ -135,6 +152,28 @@ fn dump_metrics(opts: &OpenOptions, stats: Option<&Arc<IoStats>>) -> Result<(), 
     }
     std::fs::write(&sink.path, sink.registry.to_json())
         .map_err(|e| format!("--metrics-json {}: {e}", sink.path.display()))
+}
+
+/// [`dump_metrics`] for commands holding an open access method: first
+/// folds in the transaction counters (`reorg_txn_commits` /
+/// `reorg_txn_aborts`) and — on WAL-backed databases — the checkpoint
+/// counter and live-log-bytes gauge.
+fn dump_db_metrics(
+    opts: &OpenOptions,
+    am: &ccam::core::am::Ccam<Box<dyn PageStore>>,
+) -> Result<(), String> {
+    if let Some(sink) = &opts.metrics {
+        let r = &sink.registry;
+        r.inc_by("reorg_txn_commits", am.file().txn_commits());
+        r.inc_by("reorg_txn_aborts", am.file().txn_aborts());
+        if let Some(info) = am.file().pool().with_store(|s| s.wal_info()) {
+            r.inc_by("wal_checkpoints", info.checkpoints);
+            r.inc_by("wal_commits", info.commits);
+            r.inc_by("wal_bytes_appended", info.bytes_appended);
+            r.set_gauge("wal_live_bytes", info.live_bytes as f64);
+        }
+    }
+    dump_metrics(opts, Some(&am.stats()))
 }
 
 /// Strips the fault-handling flags shared by every database command out
@@ -173,6 +212,17 @@ fn extract_open_flags(args: &[String]) -> Result<(Vec<String>, OpenOptions), Str
                 });
                 i += 2;
             }
+            "--max-wal-bytes" => {
+                let Some(n) = args.get(i + 1) else {
+                    return Err("--max-wal-bytes needs a byte count".into());
+                };
+                let n = parse_u64(n, "--max-wal-bytes")?;
+                if n == 0 {
+                    return Err("--max-wal-bytes: cap must be at least 1".into());
+                }
+                opts.max_wal_bytes = Some(n);
+                i += 2;
+            }
             _ => {
                 rest.push(args[i].clone());
                 i += 1;
@@ -194,9 +244,11 @@ fn usage() -> String {
      ccam bench <db> [--routes N] [--len L]\n  \
      ccam check <db>\n  \
      ccam scrub <db>\n  \
+     ccam checkpoint <db>\n  \
      ccam replay <db> <trace.txt>\n  \
      ccam profile <db> [--ops N] [--routes N] [--len L] [--seed N] [--updates] [--json]\n\
-     database commands also accept: [--retry [N]] [--verify-checksums] [--metrics-json <path>]\n\
+     database commands also accept: [--retry [N]] [--verify-checksums] [--metrics-json <path>]\n  \
+     [--max-wal-bytes N] (WAL databases: auto-checkpoint past N live log bytes)\n\
      find/succ also accept: [--explain] (print the page-access trace)"
         .to_string()
 }
@@ -255,7 +307,7 @@ fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn build(args: &[String]) -> Result<(), String> {
+fn build(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     let (pos, flags) = parse_flags(args, &["block", "method"]);
     let [input, out] = pos.as_slice() else {
         return Err("build needs <in.net> <out.db>".into());
@@ -282,7 +334,10 @@ fn build(args: &[String]) -> Result<(), String> {
     let make_store = |path: &Path| -> Result<Box<dyn PageStore>, String> {
         let store = FilePageStore::create(path, block).map_err(|e| e.to_string())?;
         if wal {
-            let ws = WalStore::create(store, &wal_sidecar(path)).map_err(|e| e.to_string())?;
+            let mut ws = WalStore::create(store, &wal_sidecar(path)).map_err(|e| e.to_string())?;
+            if opts.max_wal_bytes.is_some() {
+                ws.set_max_wal_bytes(opts.max_wal_bytes);
+            }
             Ok(Box::new(ws))
         } else {
             Ok(Box::new(store))
@@ -391,8 +446,14 @@ fn open_db(
     }
     let wal_path = wal_sidecar(db);
     let wal_mode = wal_path.exists();
+    if opts.max_wal_bytes.is_some() && !wal_mode {
+        eprintln!("warning: --max-wal-bytes ignored: {path} has no WAL sidecar");
+    }
     let boxed: Box<dyn PageStore> = if wal_mode {
-        let (ws, report) = WalStore::open(base, &wal_path).map_err(|e| e.to_string())?;
+        let (mut ws, report) = WalStore::open(base, &wal_path).map_err(|e| e.to_string())?;
+        if opts.max_wal_bytes.is_some() {
+            ws.set_max_wal_bytes(opts.max_wal_bytes);
+        }
         if !report.was_clean() {
             eprintln!(
                 "recovered {path}: {} batch(es) redone ({} page images), \
@@ -490,6 +551,48 @@ fn scrub(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     }
 }
 
+/// `ccam checkpoint <db>`: recover the database if needed, apply every
+/// retained WAL batch to the page file, and truncate the log. The
+/// on-demand counterpart of the `--max-wal-bytes` auto-checkpoint —
+/// compacts a capped sidecar before archiving or copying it.
+fn checkpoint_cmd(args: &[String], opts: &OpenOptions) -> Result<(), String> {
+    let [db] = args else {
+        return Err("checkpoint needs <db>".into());
+    };
+    let path = Path::new(db);
+    let wal_path = wal_sidecar(path);
+    if !wal_path.exists() {
+        return Err(format!(
+            "{db}: no WAL sidecar ({}); only --wal databases can be checkpointed",
+            wal_path.display()
+        ));
+    }
+    let store = FilePageStore::open(path).map_err(|e| e.to_string())?;
+    let (mut ws, report) = WalStore::open(store, &wal_path).map_err(|e| e.to_string())?;
+    if !report.was_clean() {
+        eprintln!(
+            "recovered {db}: {} batch(es) redone ({} page images), \
+             {} uncommitted record(s) discarded, {} torn byte(s) truncated",
+            report.replayed_batches,
+            report.replayed_pages,
+            report.discarded_records,
+            report.torn_bytes
+        );
+    }
+    let before = ws.wal().len();
+    ws.checkpoint().map_err(|e| e.to_string())?;
+    let after = ws.wal().len();
+    println!("checkpointed {db}: log {before} -> {after} bytes");
+    if let Some(sink) = &opts.metrics {
+        let r = &sink.registry;
+        r.inc_by("recovery.replayed_batches", report.replayed_batches);
+        r.inc_by("wal_checkpoints", 1);
+        r.set_gauge("wal_live_bytes", after as f64);
+        dump_metrics(opts, None)?;
+    }
+    Ok(())
+}
+
 fn stats(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     let [db] = args else {
         return Err("stats needs <db>".into());
@@ -516,7 +619,7 @@ fn stats(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         "predicted route cost (L=20)     {:.3}",
         p.route_evaluation_cost(20)
     );
-    dump_metrics(opts, Some(&am.stats()))?;
+    dump_db_metrics(opts, &am)?;
     Ok(())
 }
 
@@ -565,7 +668,7 @@ fn find(args: &[String], opts: &OpenOptions) -> Result<(), String> {
             for p in &rec.predecessors {
                 println!("  <- {}", p.0);
             }
-            dump_metrics(opts, Some(&am.stats()))?;
+            dump_db_metrics(opts, &am)?;
             Ok(())
         }
         None => Err(format!("node {} not found", id.0)),
@@ -602,7 +705,7 @@ fn succ(args: &[String], opts: &OpenOptions) -> Result<(), String> {
             list.join(", ")
         );
     }
-    dump_metrics(opts, Some(&am.stats()))?;
+    dump_db_metrics(opts, &am)?;
     Ok(())
 }
 
@@ -626,7 +729,7 @@ fn route(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         "route of {} nodes: total cost {}, complete = {}, {} page accesses",
         eval.nodes_visited, eval.total_cost, eval.complete, io
     );
-    dump_metrics(opts, Some(&am.stats()))?;
+    dump_db_metrics(opts, &am)?;
     Ok(())
 }
 
@@ -650,7 +753,7 @@ fn astar(args: &[String], opts: &OpenOptions) -> Result<(), String> {
             );
             let ids: Vec<String> = r.path.iter().map(|n| n.0.to_string()).collect();
             println!("path: {}", ids.join(" "));
-            dump_metrics(opts, Some(&am.stats()))?;
+            dump_db_metrics(opts, &am)?;
             Ok(())
         }
         None => Err(format!("no path from {} to {}", from.0, to.0)),
@@ -672,7 +775,7 @@ fn window(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         println!("{} at ({}, {})", r.id.0, r.x, r.y);
     }
     println!("({} nodes in window)", recs.len());
-    dump_metrics(opts, Some(&am.stats()))?;
+    dump_db_metrics(opts, &am)?;
     Ok(())
 }
 
@@ -729,7 +832,7 @@ fn bench(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         total as f64 / routes_n as f64,
         am.crr().map_err(|e| e.to_string())?
     );
-    dump_metrics(opts, Some(&am.stats()))?;
+    dump_db_metrics(opts, &am)?;
     Ok(())
 }
 
@@ -745,7 +848,7 @@ fn check(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     );
     if report.is_clean() {
         println!("ok: no integrity issues");
-        dump_metrics(opts, Some(&am.stats()))?;
+        dump_db_metrics(opts, &am)?;
         Ok(())
     } else {
         for issue in &report.issues {
@@ -772,7 +875,7 @@ fn replay_cmd(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     for (op, count) in &stats.per_op {
         println!("  {op:14} x{count}");
     }
-    dump_metrics(opts, Some(&am.stats()))?;
+    dump_db_metrics(opts, &am)?;
     Ok(())
 }
 
@@ -820,6 +923,6 @@ fn profile(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         r.set_gauge("costmodel.mean_rel_error", report.mean_rel_error());
         r.set_gauge("costmodel.max_rel_error", report.max_rel_error());
     }
-    dump_metrics(opts, Some(&am.stats()))?;
+    dump_db_metrics(opts, &am)?;
     Ok(())
 }
