@@ -1,0 +1,474 @@
+//! Wall-clock benchmark for the PR-5 hot paths: parallel bulk
+//! `Create()` and the O(1) sharded buffer pool.
+//!
+//! Unlike the paper-figure binaries (which count page accesses, the
+//! machine-independent currency), this harness measures *time* — the
+//! thing the parallel clustering and the pool rewrite actually improve.
+//! It emits a machine-readable JSON report (`BENCH_PR5.json` by
+//! default) with before/after numbers:
+//!
+//! * **clustering** — `cluster-nodes-into-pages()` on a synthetic grid
+//!   well past the paper's 1079 nodes (default 50 176 nodes), swept
+//!   over thread counts, with a byte-identity check across all of them;
+//! * **create** — full `Static-Create()` (clustering + bulk load) at
+//!   1 thread vs all cores;
+//! * **pool** — the new sharded pool vs an inline replica of the old
+//!   `Vec<Frame>` linear-scan pool, on hit-heavy, miss-heavy and
+//!   4-thread concurrent workloads.
+//!
+//! ```text
+//! perf_hotpaths [--grid N] [--block N] [--out FILE]
+//!               [--quick] [--check-baseline FILE]
+//! ```
+//!
+//! `--quick` shrinks the grid and op counts for CI smoke runs.
+//! `--check-baseline FILE` compares the fresh clustering throughput
+//! against a previously committed report and exits non-zero when it
+//! regressed more than 2x (the CI guard against accidental
+//! de-parallelization or an O(n²) slip).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use ccam_core::am::{AccessMethod, CcamBuilder};
+use ccam_graph::generators::grid_network;
+use ccam_partition::{cluster_nodes_into_pages_with, ClusterOptions, PartGraph, Partitioner};
+use ccam_storage::{BufferPool, MemPageStore, PageId, PageStore};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut grid: u32 = 224; // 224 × 224 = 50 176 nodes
+    let mut block: usize = 1024;
+    let mut out = String::from("BENCH_PR5.json");
+    let mut quick = false;
+    let mut baseline: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--grid" => {
+                grid = args[i + 1].parse().expect("--grid N");
+                i += 2;
+            }
+            "--block" => {
+                block = args[i + 1].parse().expect("--block N");
+                i += 2;
+            }
+            "--out" => {
+                out = args[i + 1].clone();
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--check-baseline" => {
+                baseline = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if quick {
+        grid = grid.min(64); // 4096 nodes: seconds, not minutes
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize, 2, 4];
+    if cores > 4 {
+        thread_counts.push(cores);
+    }
+    thread_counts.retain(|&t| t <= cores.max(4));
+    thread_counts.dedup();
+
+    println!("perf_hotpaths: grid {grid}x{grid}, block {block} B, {cores} cores\n");
+    let net = grid_network(grid, grid, 1.0);
+    let nodes = net.len();
+    let edges = net.num_edges();
+    println!("network: {nodes} nodes, {edges} directed edges");
+
+    // ---- Phase 1: clustering, swept over thread counts --------------
+    // The same PartGraph `Static-Create()` builds internally: node
+    // clustering weights against the real page budget, uniform edge
+    // weights (the CRR experiments' setting).
+    let budget = CcamBuilder::new(block)
+        .build_empty()
+        .expect("empty file")
+        .file()
+        .clustering_budget();
+    let all: Vec<&ccam_graph::NodeData> = net.nodes().collect();
+    let idx_of: HashMap<ccam_graph::NodeId, usize> =
+        all.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+    let sizes: Vec<usize> = all
+        .iter()
+        .map(|n| ccam_core::file::clustering_weight(n))
+        .collect();
+    let mut part_edges = Vec::new();
+    for (i, n) in all.iter().enumerate() {
+        for e in &n.successors {
+            if let Some(&j) = idx_of.get(&e.to) {
+                part_edges.push((i, j, 1u64));
+            }
+        }
+    }
+    let graph = PartGraph::new(sizes, &part_edges);
+
+    let mut cluster_rows = Vec::new();
+    let mut reference: Option<Vec<Vec<usize>>> = None;
+    let mut identical = true;
+    for &t in &thread_counts {
+        let opts = ClusterOptions {
+            partitioner: Partitioner::RatioCut,
+            threads: t,
+        };
+        let t0 = Instant::now();
+        let groups = cluster_nodes_into_pages_with(&graph, budget, opts);
+        let secs = t0.elapsed().as_secs_f64();
+        let nps = nodes as f64 / secs;
+        println!(
+            "clustering  threads={t:<2}  {secs:8.3}s  {nps:10.0} nodes/s  {} pages",
+            groups.len()
+        );
+        cluster_rows.push((t, secs, nps, groups.len()));
+        match &reference {
+            None => reference = Some(groups),
+            Some(r) => identical &= *r == groups,
+        }
+    }
+    let secs_at = |want: usize| {
+        cluster_rows
+            .iter()
+            .find(|(t, ..)| *t == want)
+            .map(|&(_, s, ..)| s)
+    };
+    let speedup_4t = match (secs_at(1), secs_at(4)) {
+        (Some(s1), Some(s4)) => s1 / s4,
+        _ => 1.0,
+    };
+    println!(
+        "clustering: identical across thread counts = {identical}, speedup @4 threads = {speedup_4t:.2}x\n"
+    );
+
+    // ---- Phase 2: full Static-Create(), 1 thread vs all cores -------
+    let t0 = Instant::now();
+    let am1 = CcamBuilder::new(block)
+        .threads(1)
+        .build_static(&net)
+        .expect("create 1t");
+    let create_1t = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let am_n = CcamBuilder::new(block)
+        .threads(0)
+        .build_static(&net)
+        .expect("create nt");
+    let create_nt = t0.elapsed().as_secs_f64();
+    let same_layout = am1.file().num_pages() == am_n.file().num_pages()
+        && am1.crr().expect("crr") == am_n.crr().expect("crr");
+    println!(
+        "create      threads=1   {create_1t:8.3}s\ncreate      threads={cores:<3} {create_nt:8.3}s  ({:.2}x, layout identical = {same_layout})\n",
+        create_1t / create_nt
+    );
+    drop(am1);
+    drop(am_n);
+
+    // ---- Phase 3: buffer pool, old linear replica vs new ------------
+    // Two regimes, both reported honestly: at a small capacity the old
+    // pool's linear scan is cache-resident and hard to beat; the O(1)
+    // structure is for large pools, where the old scan cost grows with
+    // every frame while the new path stays flat.
+    let ops: u64 = if quick { 200_000 } else { 2_000_000 };
+    // (capacity, hit-heavy working set, miss-heavy working set)
+    let regimes = [(256usize, 128usize, 4096usize), (4096, 2048, 65536)];
+    let mut pool_rows = Vec::new();
+    for &(cap, hot, cold) in &regimes {
+        let hit_heavy = bench_pool_pair(block, cap, hot, ops);
+        println!(
+            "pool cap={cap:<5} hit-heavy    old {:>10.0} ops/s   new {:>10.0} ops/s   ({:.2}x)",
+            hit_heavy.0,
+            hit_heavy.1,
+            hit_heavy.1 / hit_heavy.0
+        );
+        let miss_heavy = bench_pool_pair(block, cap, cold, ops / 4);
+        println!(
+            "pool cap={cap:<5} miss-heavy   old {:>10.0} ops/s   new {:>10.0} ops/s   ({:.2}x)",
+            miss_heavy.0,
+            miss_heavy.1,
+            miss_heavy.1 / miss_heavy.0
+        );
+        pool_rows.push((cap, hit_heavy, miss_heavy));
+    }
+    let conc_cap = regimes[regimes.len() - 1].0;
+    let conc = bench_pool_concurrent(block, conc_cap, ops / 2);
+    println!(
+        "pool cap={conc_cap:<5} 4-thread     old {:>10.0} ops/s   new {:>10.0} ops/s   ({:.2}x)\n",
+        conc.0,
+        conc.1,
+        conc.1 / conc.0
+    );
+
+    // ---- Report -----------------------------------------------------
+    let mut j = String::new();
+    let _ = write!(
+        j,
+        "{{\n  \"config\": {{\"grid\": {grid}, \"nodes\": {nodes}, \"edges\": {edges}, \
+         \"block\": {block}, \"available_threads\": {cores}, \"quick\": {quick}}},\n"
+    );
+    let _ = write!(
+        j,
+        "  \"clustering\": {{\n    \"identical_across_threads\": {identical},\n    \"runs\": [\n"
+    );
+    for (k, (t, secs, nps, pages)) in cluster_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "      {{\"threads\": {t}, \"secs\": {secs:.4}, \"nodes_per_sec\": {nps:.0}, \"pages\": {pages}}}{}",
+            if k + 1 < cluster_rows.len() { "," } else { "" }
+        );
+    }
+    let best_nps = cluster_rows
+        .iter()
+        .map(|&(_, _, n, _)| n)
+        .fold(0.0, f64::max);
+    let _ = write!(
+        j,
+        "    ],\n    \"speedup_at_4_threads\": {speedup_4t:.3},\n    \
+         \"best_nodes_per_sec\": {best_nps:.0}\n  }},\n"
+    );
+    let _ = writeln!(
+        j,
+        "  \"create\": {{\"secs_1_thread\": {create_1t:.4}, \"secs_all_cores\": {create_nt:.4}, \
+         \"speedup\": {:.3}, \"layout_identical\": {same_layout}}},",
+        create_1t / create_nt
+    );
+    let pool_obj = |(old, new): (f64, f64)| {
+        format!(
+            "{{\"old_ops_per_sec\": {old:.0}, \"new_ops_per_sec\": {new:.0}, \"speedup\": {:.3}}}",
+            new / old
+        )
+    };
+    let _ = write!(j, "  \"pool\": {{\n    \"regimes\": [\n");
+    for (k, &(cap, hit, miss)) in pool_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "      {{\"capacity\": {cap}, \"hit_heavy\": {}, \"miss_heavy\": {}}}{}",
+            pool_obj(hit),
+            pool_obj(miss),
+            if k + 1 < pool_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        j,
+        "    ],\n    \"concurrent_4_threads\": {{\"capacity\": {conc_cap}, \"result\": {}}}\n  }}\n}}\n",
+        pool_obj(conc)
+    );
+    std::fs::write(&out, &j).expect("write report");
+    println!("wrote {out}");
+
+    // ---- Optional CI regression gate --------------------------------
+    if let Some(path) = baseline {
+        let base = std::fs::read_to_string(&path).expect("read baseline");
+        let base_nps = extract_number(&base, "best_nodes_per_sec")
+            .expect("baseline missing best_nodes_per_sec");
+        let ratio = base_nps / best_nps;
+        if ratio > 2.0 {
+            eprintln!(
+                "FAIL: clustering throughput regressed {ratio:.2}x \
+                 (baseline {base_nps:.0} nodes/s, now {best_nps:.0} nodes/s)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "baseline check ok: {best_nps:.0} nodes/s vs baseline {base_nps:.0} nodes/s \
+             ({ratio:.2}x, threshold 2x)"
+        );
+    }
+    if !identical {
+        eprintln!("FAIL: clustering output differed across thread counts");
+        std::process::exit(1);
+    }
+}
+
+/// Pulls `"key": <number>` out of a report written by this binary.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The pre-PR-5 buffer pool, replicated inline for an honest
+/// before/after: a flat `Vec` of frames, page lookup *and* LRU victim
+/// selection both by linear scan over every frame, recency via a
+/// monotone `last_used` tick. Single-threaded by construction (the old
+/// pool serialized everything behind one mutex).
+struct OldPool {
+    store: MemPageStore,
+    frames: Vec<OldFrame>,
+    cap: usize,
+    tick: u64,
+}
+
+struct OldFrame {
+    id: PageId,
+    data: Box<[u8]>,
+    dirty: bool,
+    last_used: u64,
+}
+
+impl OldPool {
+    fn new(store: MemPageStore, cap: usize) -> Self {
+        OldPool {
+            store,
+            frames: Vec::new(),
+            cap,
+            tick: 0,
+        }
+    }
+
+    fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
+        self.tick += 1;
+        // Linear lookup — the O(frames) access path this PR removes.
+        if let Some(i) = self.frames.iter().position(|fr| fr.id == id) {
+            self.frames[i].last_used = self.tick;
+            return f(&self.frames[i].data);
+        }
+        if self.frames.len() >= self.cap {
+            // Linear LRU victim scan.
+            let (v, _) = self
+                .frames
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, fr)| fr.last_used)
+                .expect("non-empty");
+            let victim = self.frames.swap_remove(v);
+            if victim.dirty {
+                self.store.write(victim.id, &victim.data).expect("write");
+            }
+        }
+        let mut data = vec![0u8; self.store.page_size()].into_boxed_slice();
+        self.store.read(id, &mut data).expect("read");
+        self.frames.push(OldFrame {
+            id,
+            data,
+            dirty: false,
+            last_used: self.tick,
+        });
+        f(&self.frames.last().expect("just pushed").data)
+    }
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// Allocates `n` zeroed pages directly in a store.
+fn alloc_pages(store: &mut MemPageStore, n: usize) -> Vec<PageId> {
+    (0..n).map(|_| store.allocate().expect("alloc")).collect()
+}
+
+/// Single-threaded ops/sec over a uniform working set of `set` pages:
+/// `(old, new)`.
+fn bench_pool_pair(block: usize, cap: usize, set: usize, ops: u64) -> (f64, f64) {
+    let mut store = MemPageStore::new(block).expect("store");
+    let ids = alloc_pages(&mut store, set);
+    let mut old = OldPool::new(store, cap);
+    let mut seed = 0x5EED_u64;
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let id = ids[(xorshift(&mut seed) % set as u64) as usize];
+        acc = acc.wrapping_add(old.with_page(id, |b| b[0] as u64));
+    }
+    let old_rate = ops as f64 / t0.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+
+    let mut store = MemPageStore::new(block).expect("store");
+    let ids = alloc_pages(&mut store, set);
+    let pool = BufferPool::new(store, cap);
+    let mut seed = 0x5EED_u64;
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let id = ids[(xorshift(&mut seed) % set as u64) as usize];
+        acc = acc.wrapping_add(pool.with_page(id, |b| b[0] as u64).expect("read"));
+    }
+    let new_rate = ops as f64 / t0.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    (old_rate, new_rate)
+}
+
+/// 4 threads, each hammering its own quarter of a pool-resident working
+/// set (pure hit path): `(old-behind-a-mutex, new-sharded)` ops/sec.
+/// This is the reader-concurrency case the sharded page table exists
+/// for — the old design serializes every access on one lock.
+fn bench_pool_concurrent(block: usize, cap: usize, ops_per_thread: u64) -> (f64, f64) {
+    const THREADS: usize = 4;
+    let per = cap / THREADS;
+
+    let mut store = MemPageStore::new(block).expect("store");
+    let ids = alloc_pages(&mut store, cap);
+    let old = Arc::new(Mutex::new(OldPool::new(store, cap)));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let old = Arc::clone(&old);
+            let barrier = Arc::clone(&barrier);
+            let mine: Vec<PageId> = ids[t * per..(t + 1) * per].to_vec();
+            std::thread::spawn(move || {
+                let mut seed = 0xBEEF_u64 + t as u64;
+                barrier.wait();
+                let mut acc = 0u64;
+                for _ in 0..ops_per_thread {
+                    let id = mine[(xorshift(&mut seed) % per as u64) as usize];
+                    acc =
+                        acc.wrapping_add(old.lock().expect("lock").with_page(id, |b| b[0] as u64));
+                }
+                std::hint::black_box(acc);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("join");
+    }
+    let old_rate = (THREADS as u64 * ops_per_thread) as f64 / t0.elapsed().as_secs_f64();
+
+    let mut store = MemPageStore::new(block).expect("store");
+    let ids = alloc_pages(&mut store, cap);
+    let pool = Arc::new(BufferPool::new(store, cap));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let pool = Arc::clone(&pool);
+            let barrier = Arc::clone(&barrier);
+            let mine: Vec<PageId> = ids[t * per..(t + 1) * per].to_vec();
+            std::thread::spawn(move || {
+                let mut seed = 0xBEEF_u64 + t as u64;
+                barrier.wait();
+                let mut acc = 0u64;
+                for _ in 0..ops_per_thread {
+                    let id = mine[(xorshift(&mut seed) % per as u64) as usize];
+                    acc = acc.wrapping_add(pool.with_page(id, |b| b[0] as u64).expect("read"));
+                }
+                std::hint::black_box(acc);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("join");
+    }
+    let new_rate = (THREADS as u64 * ops_per_thread) as f64 / t0.elapsed().as_secs_f64();
+    (old_rate, new_rate)
+}

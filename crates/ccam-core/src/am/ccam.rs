@@ -17,7 +17,9 @@
 use std::collections::HashMap;
 
 use ccam_graph::{Network, NodeData, NodeId};
-use ccam_partition::{cluster_nodes_into_pages, refine_m_way, PartGraph, Partitioner};
+use ccam_partition::{
+    cluster_nodes_into_pages_with, refine_m_way, ClusterOptions, PartGraph, Partitioner,
+};
 use ccam_storage::{StorageError, StorageResult};
 
 use crate::am::common::{
@@ -41,6 +43,7 @@ pub struct CcamBuilder {
     policy: ReorgPolicy,
     weights: Option<HashMap<(NodeId, NodeId), u64>>,
     mway_passes: usize,
+    threads: usize,
 }
 
 impl CcamBuilder {
@@ -54,12 +57,23 @@ impl CcamBuilder {
             policy: ReorgPolicy::SecondOrder,
             weights: None,
             mway_passes: 0,
+            threads: 1,
         }
     }
 
     /// Selects the two-way partitioning heuristic (ablation hook).
     pub fn partitioner(mut self, p: Partitioner) -> Self {
         self.partitioner = p;
+        self
+    }
+
+    /// Number of threads for the bulk `Static-Create()` clustering
+    /// (`0` = all available cores). The clustering result is
+    /// byte-identical at every thread count, so this only changes
+    /// wall-clock time, never CRR/WCRR or the paper experiments.
+    /// Default: 1 (sequential).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -159,8 +173,11 @@ impl CcamBuilder {
             }
         }
         let graph = PartGraph::new(sizes, &edges);
-        let mut groups =
-            cluster_nodes_into_pages(&graph, am.file.clustering_budget(), self.partitioner);
+        let opts = ClusterOptions {
+            partitioner: self.partitioner,
+            threads: self.threads,
+        };
+        let mut groups = cluster_nodes_into_pages_with(&graph, am.file.clustering_budget(), opts);
         if self.mway_passes > 0 {
             groups = refine_m_way(
                 &graph,

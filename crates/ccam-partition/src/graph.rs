@@ -75,21 +75,42 @@ impl PartGraph {
     /// The subgraph induced by `nodes`. Returns the graph plus the map
     /// from new index to original index.
     pub fn induced(&self, nodes: &[usize]) -> (PartGraph, Vec<usize>) {
-        let mut new_of = vec![usize::MAX; self.len()];
+        let mut scratch = InducedScratch::new();
+        (self.induced_with(nodes, &mut scratch), nodes.to_vec())
+    }
+
+    /// [`Self::induced`] without the per-call allocations: the node-remap
+    /// table and edge list live in `scratch` and are reused across calls.
+    /// The back-map is the caller's `nodes` slice itself (new index `i`
+    /// is original node `nodes[i]`), so no copy is returned.
+    ///
+    /// The recursive clustering calls this once per frontier subset; on
+    /// large networks the reuse removes an O(n) allocation + clear from
+    /// every level of the recursion.
+    pub fn induced_with(&self, nodes: &[usize], scratch: &mut InducedScratch) -> PartGraph {
+        if scratch.new_of.len() < self.len() {
+            scratch.new_of.resize(self.len(), usize::MAX);
+        }
         for (i, &v) in nodes.iter().enumerate() {
-            new_of[v] = i;
+            scratch.new_of[v] = i;
         }
         let sizes = nodes.iter().map(|&v| self.sizes[v]).collect();
-        let mut edges = Vec::new();
+        scratch.edges.clear();
         for (i, &v) in nodes.iter().enumerate() {
             for &(u, w) in &self.adj[v] {
-                let j = new_of[u];
+                let j = scratch.new_of[u];
                 if j != usize::MAX && j > i {
-                    edges.push((i, j, w));
+                    scratch.edges.push((i, j, w));
                 }
             }
         }
-        (PartGraph::new(sizes, &edges), nodes.to_vec())
+        let sub = PartGraph::new(sizes, &scratch.edges);
+        // Restore the remap table to all-MAX by undoing only the entries
+        // this call touched (cheaper than clearing the whole table).
+        for &v in nodes {
+            scratch.new_of[v] = usize::MAX;
+        }
+        sub
     }
 
     /// Nodes in breadth-first order from `start` (used to seed balanced
@@ -120,6 +141,21 @@ impl PartGraph {
             }
         }
         order
+    }
+}
+
+/// Reusable buffers for [`PartGraph::induced_with`]. The remap table is
+/// kept all-`usize::MAX` between calls.
+#[derive(Debug, Default)]
+pub struct InducedScratch {
+    new_of: Vec<usize>,
+    edges: Vec<(usize, usize, u64)>,
+}
+
+impl InducedScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        InducedScratch::default()
     }
 }
 
@@ -175,6 +211,26 @@ mod tests {
         assert_eq!(sub.size(0), 2); // node 1's size
                                     // Edges (1,2) and (2,3) survive; (0,1) and (0,3) are cut away.
         assert_eq!(sub.total_edge_weight(), 5);
+    }
+
+    #[test]
+    fn induced_with_matches_induced_across_reuses() {
+        let g = PartGraph::new(
+            vec![1, 2, 3, 4],
+            &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (0, 3, 4)],
+        );
+        let mut scratch = InducedScratch::new();
+        for subset in [vec![1, 2, 3], vec![0, 3], vec![2], vec![0, 1, 2, 3]] {
+            let reused = g.induced_with(&subset, &mut scratch);
+            let (fresh, back) = g.induced(&subset);
+            assert_eq!(back, subset);
+            assert_eq!(reused.len(), fresh.len());
+            assert_eq!(reused.total_edge_weight(), fresh.total_edge_weight());
+            for v in 0..reused.len() {
+                assert_eq!(reused.size(v), fresh.size(v));
+                assert_eq!(reused.neighbors(v), fresh.neighbors(v));
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod multiway;
 pub mod ratiocut;
 pub mod recursive;
 
-pub use graph::PartGraph;
+pub use graph::{InducedScratch, PartGraph};
 pub use metrics::{cut_weight, ratio_cut_cost, residue_ratio};
 pub use multiway::{m_way_cluster, refine_m_way};
-pub use recursive::{cluster_nodes_into_pages, Partitioner};
+pub use recursive::{
+    cluster_nodes_into_pages, cluster_nodes_into_pages_with, ClusterOptions, Partitioner,
+};

@@ -1,14 +1,29 @@
 //! The paper's `cluster-nodes-into-pages()` procedure (Figure 2).
 //!
-//! Top-down clustering: keep a frontier `F` of over-page-size node sets,
-//! repeatedly 2-way partition one (with each side at least
-//! `MinPgSize = ⌈page-size/2⌉` bytes when feasible) and route the halves
-//! back to `F` (still too big) or to the result `P` (fits a page).
-//! `sizeof(A) = Σ record sizes`, exactly as in the paper.
+//! Top-down clustering: recursively 2-way partition any over-page-size
+//! node set (with each side at least `MinPgSize = ⌈page-size/2⌉` bytes
+//! when feasible) until every piece fits a page. `sizeof(A) = Σ record
+//! sizes`, exactly as in the paper.
+//!
+//! # Parallel bulk `Create()`
+//!
+//! The two halves of a bipartition are independent subproblems, so the
+//! recursion fans out with `rayon::join` when
+//! [`ClusterOptions::threads`] allows it. The result is **byte-identical
+//! to the sequential run**: each branch computes the same bipartition it
+//! would sequentially (the heuristics are deterministic and see only
+//! their own induced subgraph), and branch results are concatenated in
+//! left-then-right order regardless of which thread finished first.
+//! CRR/WCRR and every paper experiment are therefore unchanged by the
+//! thread count — only the wall clock moves.
 
 use crate::fm::Bipartition;
-use crate::graph::PartGraph;
+use crate::graph::{InducedScratch, PartGraph};
 use crate::{fm, kl, ratiocut};
+
+/// Below this many nodes a subproblem is cheaper to recurse inline than
+/// to offer to another thread.
+const PAR_THRESHOLD: usize = 256;
 
 /// Which two-way partitioning heuristic drives the clustering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +77,55 @@ pub fn cluster_nodes_into_pages(
     page_size: usize,
     partitioner: Partitioner,
 ) -> Vec<Vec<usize>> {
+    cluster_nodes_into_pages_with(
+        g,
+        page_size,
+        ClusterOptions {
+            partitioner,
+            threads: 1,
+        },
+    )
+}
+
+/// Tuning knobs for [`cluster_nodes_into_pages_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterOptions {
+    /// Which two-way partitioning heuristic drives the clustering.
+    pub partitioner: Partitioner,
+    /// Worker threads for the recursive fan-out. `0` means "all
+    /// available cores"; `1` runs fully sequentially. The clustering
+    /// result is identical for every value — see the module docs.
+    pub threads: usize,
+}
+
+impl ClusterOptions {
+    /// Defaults: ratio cut (the paper's choice), all available cores.
+    pub fn new(partitioner: Partitioner) -> Self {
+        ClusterOptions {
+            partitioner,
+            threads: 0,
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// [`cluster_nodes_into_pages`] with explicit [`ClusterOptions`] — the
+/// parallel bulk-`Create()` entry point. Output is identical for every
+/// thread count (including 1).
+pub fn cluster_nodes_into_pages_with(
+    g: &PartGraph,
+    page_size: usize,
+    opts: ClusterOptions,
+) -> Vec<Vec<usize>> {
     for v in 0..g.len() {
         assert!(
             g.size(v) <= page_size,
@@ -69,52 +133,101 @@ pub fn cluster_nodes_into_pages(
             g.size(v)
         );
     }
+    if g.is_empty() {
+        return Vec::new();
+    }
     let min_pg_size = page_size.div_ceil(2);
-    let mut result: Vec<Vec<usize>> = Vec::new();
-    let mut frontier: Vec<Vec<usize>> = vec![(0..g.len()).collect()];
+    let ctx = ClusterCtx {
+        g,
+        page_size,
+        min_pg_size,
+        partitioner: opts.partitioner,
+    };
+    let root: Vec<usize> = (0..g.len()).collect();
+    let threads = opts.effective_threads();
+    let result = if threads > 1 {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("clustering thread pool");
+        pool.install(|| ctx.cluster(root, true, &mut InducedScratch::new()))
+    } else {
+        ctx.cluster(root, false, &mut InducedScratch::new())
+    };
+    pack_groups(g, result, page_size)
+}
 
-    while let Some(subset) = frontier.pop() {
-        let size: usize = subset.iter().map(|&v| g.size(v)).sum();
-        if size <= page_size {
-            if !subset.is_empty() {
-                result.push(subset);
-            }
-            continue;
+/// Shared read-only state of one clustering run.
+struct ClusterCtx<'a> {
+    g: &'a PartGraph,
+    page_size: usize,
+    min_pg_size: usize,
+    partitioner: Partitioner,
+}
+
+impl ClusterCtx<'_> {
+    /// Recursively clusters `subset`, returning its pages left-to-right.
+    /// `parallel` fans the two halves out with `rayon::join`; `scratch`
+    /// carries the reusable induced-subgraph buffers down the sequential
+    /// spine (spawned branches start their own).
+    fn cluster(
+        &self,
+        subset: Vec<usize>,
+        parallel: bool,
+        scratch: &mut InducedScratch,
+    ) -> Vec<Vec<usize>> {
+        let size: usize = subset.iter().map(|&v| self.g.size(v)).sum();
+        if size <= self.page_size {
+            return if subset.is_empty() {
+                Vec::new()
+            } else {
+                vec![subset]
+            };
         }
-        let (sub, back) = g.induced(&subset);
-        let bp = partitioner.bipartition(&sub, min_pg_size);
-        let mut a: Vec<usize> = bp.part_a().into_iter().map(|v| back[v]).collect();
-        let mut b: Vec<usize> = bp.part_b().into_iter().map(|v| back[v]).collect();
-        if a.is_empty() || b.is_empty() {
-            // Degenerate bipartition (e.g. unsplittable weights): force
-            // progress by halving the subset by byte size.
-            let mut all = if a.is_empty() { b } else { a };
-            all.sort_unstable();
-            let total: usize = all.iter().map(|&v| g.size(v)).sum();
-            let mut acc = 0usize;
-            let mut first = Vec::new();
-            let mut second = Vec::new();
-            for v in all {
-                if acc < total / 2 {
-                    acc += g.size(v);
-                    first.push(v);
-                } else {
-                    second.push(v);
-                }
-            }
-            a = first;
-            b = second;
-        }
-        for half in [a, b] {
-            let half_size: usize = half.iter().map(|&v| g.size(v)).sum();
-            if half_size > page_size {
-                frontier.push(half);
-            } else if !half.is_empty() {
-                result.push(half);
-            }
+        let (a, b) = self.split(&subset, scratch);
+        if parallel && subset.len() >= PAR_THRESHOLD {
+            drop(subset);
+            let (mut left, right) = rayon::join(
+                || self.cluster(a, true, scratch),
+                || self.cluster(b, true, &mut InducedScratch::new()),
+            );
+            left.extend(right);
+            left
+        } else {
+            let mut left = self.cluster(a, parallel, scratch);
+            left.extend(self.cluster(b, parallel, scratch));
+            left
         }
     }
-    pack_groups(g, result, page_size)
+
+    /// One bipartition step: heuristic split with the degenerate-case
+    /// fallback (halve the subset by byte size to force progress).
+    fn split(&self, subset: &[usize], scratch: &mut InducedScratch) -> (Vec<usize>, Vec<usize>) {
+        let sub = self.g.induced_with(subset, scratch);
+        let bp = self.partitioner.bipartition(&sub, self.min_pg_size);
+        let a: Vec<usize> = bp.part_a().into_iter().map(|v| subset[v]).collect();
+        let b: Vec<usize> = bp.part_b().into_iter().map(|v| subset[v]).collect();
+        if !a.is_empty() && !b.is_empty() {
+            return (a, b);
+        }
+        // Degenerate bipartition (e.g. unsplittable weights): force
+        // progress by halving the subset by byte size.
+        let mut all = if a.is_empty() { b } else { a };
+        all.sort_unstable();
+        let total: usize = all.iter().map(|&v| self.g.size(v)).sum();
+        let mut acc = 0usize;
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for v in all {
+            if acc < total / 2 {
+                acc += self.g.size(v);
+                first.push(v);
+            } else {
+                second.push(v);
+            }
+        }
+        (first, second)
+    }
 }
 
 /// Greedy post-pass: merges clustered groups that fit on one page
@@ -122,57 +235,118 @@ pub fn cluster_nodes_into_pages(
 /// it can only *unsplit* inter-group edges — so CRR is monotonically
 /// non-decreasing while the blocking factor rises towards the paper's
 /// well-packed files.
+///
+/// Group byte sizes and inter-group weights are built **once** and
+/// maintained incrementally across merges (the old implementation
+/// rescanned every edge of the graph per merge, O(merges·E)). Ties on
+/// merge weight break deterministically towards the lowest group-index
+/// pair, so the packing no longer depends on hash-map iteration order.
 pub fn pack_groups(
     g: &PartGraph,
     mut groups: Vec<Vec<usize>>,
     page_size: usize,
 ) -> Vec<Vec<usize>> {
-    loop {
-        let k = groups.len();
-        if k < 2 {
-            return groups;
+    use std::collections::HashMap;
+
+    let k = groups.len();
+    if k < 2 {
+        return groups;
+    }
+    let mut group_of = vec![usize::MAX; g.len()];
+    for (gi, group) in groups.iter().enumerate() {
+        for &v in group {
+            group_of[v] = gi;
         }
-        let mut group_of = vec![usize::MAX; g.len()];
-        for (gi, group) in groups.iter().enumerate() {
-            for &v in group {
-                group_of[v] = gi;
+    }
+    let mut sizes: Vec<usize> = groups
+        .iter()
+        .map(|gr| gr.iter().map(|&v| g.size(v)).sum())
+        .collect();
+    // Symmetric inter-group adjacency: adj[a][b] = summed edge weight.
+    let mut adj: Vec<HashMap<usize, u64>> = vec![HashMap::new(); k];
+    for v in 0..g.len() {
+        for &(u, w) in g.neighbors(v) {
+            let (gu, gv) = (group_of[u], group_of[v]);
+            if u > v && gu != gv {
+                *adj[gu].entry(gv).or_insert(0) += w;
+                *adj[gv].entry(gu).or_insert(0) += w;
             }
         }
-        let sizes: Vec<usize> = groups
-            .iter()
-            .map(|gr| gr.iter().map(|&v| g.size(v)).sum())
-            .collect();
-        // Inter-group edge weights.
-        let mut weight: std::collections::HashMap<(usize, usize), u64> =
-            std::collections::HashMap::new();
-        for v in 0..g.len() {
-            for &(u, w) in g.neighbors(v) {
-                if u > v && group_of[u] != group_of[v] {
-                    let key = (group_of[u].min(group_of[v]), group_of[u].max(group_of[v]));
-                    *weight.entry(key).or_insert(0) += w;
+    }
+    let mut alive = vec![true; k];
+    let mut alive_count = k;
+
+    while alive_count >= 2 {
+        // Best feasible merge: heaviest connected pair that fits, ties
+        // to the lowest (a, b). The scan order over the hash maps is
+        // arbitrary, but the total order on (weight, pair) makes the
+        // winner deterministic.
+        let mut best: Option<(u64, usize, usize)> = None;
+        for a in 0..k {
+            if !alive[a] {
+                continue;
+            }
+            for (&b, &w) in &adj[a] {
+                if b <= a || sizes[a] + sizes[b] > page_size {
+                    continue;
+                }
+                let wins = match best {
+                    None => true,
+                    Some((bw, ba, bb)) => w > bw || (w == bw && (a, b) < (ba, bb)),
+                };
+                if wins {
+                    best = Some((w, a, b));
                 }
             }
         }
-        // Best feasible merge: heaviest connected pair that fits; fall
-        // back to the smallest two groups that fit (connectivity-free
-        // packing still helps the blocking factor).
-        let mut best: Option<(u64, usize, usize)> = None;
-        for (&(a, b), &w) in &weight {
-            if sizes[a] + sizes[b] <= page_size && best.map(|(bw, _, _)| w > bw).unwrap_or(true) {
-                best = Some((w, a, b));
-            }
-        }
         if best.is_none() {
-            let mut order: Vec<usize> = (0..k).collect();
-            order.sort_by_key(|&i| sizes[i]);
-            if sizes[order[0]] + sizes[order[1]] <= page_size {
-                best = Some((0, order[0].min(order[1]), order[0].max(order[1])));
+            // Fall back to the smallest two groups that fit
+            // (connectivity-free packing still helps the blocking
+            // factor). Ties break to the lowest index.
+            let mut two: [Option<(usize, usize)>; 2] = [None, None];
+            for i in 0..k {
+                if !alive[i] {
+                    continue;
+                }
+                let cand = (sizes[i], i);
+                if two[0].is_none_or(|t| cand < t) {
+                    two[1] = two[0];
+                    two[0] = Some(cand);
+                } else if two[1].is_none_or(|t| cand < t) {
+                    two[1] = Some(cand);
+                }
+            }
+            if let (Some((sa, ia)), Some((sb, ib))) = (two[0], two[1]) {
+                if sa + sb <= page_size {
+                    best = Some((0, ia.min(ib), ia.max(ib)));
+                }
             }
         }
-        let Some((_, a, b)) = best else { return groups };
-        let merged = groups.remove(b);
+        let Some((_, a, b)) = best else { break };
+        // Merge b into a, updating sizes and adjacency in place.
+        let merged = std::mem::take(&mut groups[b]);
         groups[a].extend(merged);
+        sizes[a] += sizes[b];
+        alive[b] = false;
+        alive_count -= 1;
+        let partners = std::mem::take(&mut adj[b]);
+        for (c, w) in partners {
+            if c == a {
+                continue;
+            }
+            adj[c].remove(&b);
+            *adj[c].entry(a).or_insert(0) += w;
+            *adj[a].entry(c).or_insert(0) += w;
+        }
+        adj[a].remove(&b);
     }
+    let mut out = Vec::with_capacity(alive_count);
+    for (i, group) in groups.into_iter().enumerate() {
+        if alive[i] {
+            out.push(group);
+        }
+    }
+    out
 }
 
 /// Verifies a page clustering is a true partition within the size budget
@@ -296,5 +470,83 @@ mod tests {
     fn empty_graph_yields_no_pages() {
         let g = PartGraph::new(vec![], &[]);
         assert!(cluster_nodes_into_pages(&g, 64, Partitioner::RatioCut).is_empty());
+    }
+
+    /// The tentpole guarantee: the parallel fan-out returns exactly the
+    /// sequential result, for every heuristic and several thread counts.
+    #[test]
+    fn parallel_clustering_matches_sequential_exactly() {
+        let g = grid(24); // 576 nodes — above PAR_THRESHOLD at the root
+        for partitioner in [
+            Partitioner::RatioCut,
+            Partitioner::FiducciaMattheyses,
+            Partitioner::KernighanLin,
+        ] {
+            let sequential = cluster_nodes_into_pages(&g, 128, partitioner);
+            for threads in [0, 2, 3, 4, 8] {
+                let parallel = cluster_nodes_into_pages_with(
+                    &g,
+                    128,
+                    ClusterOptions {
+                        partitioner,
+                        threads,
+                    },
+                );
+                assert_eq!(
+                    parallel, sequential,
+                    "{partitioner:?} with {threads} threads diverged"
+                );
+            }
+        }
+    }
+
+    /// pack_groups on a many-group input: incremental sizes/weights must
+    /// pack a shattered path back into well-filled pages, stay within
+    /// budget, and be deterministic.
+    #[test]
+    fn pack_groups_packs_many_singleton_groups() {
+        let n = 96;
+        let edges: Vec<(usize, usize, u64)> = (0..n - 1).map(|i| (i, i + 1, 1)).collect();
+        let g = PartGraph::new(vec![16; n], &edges);
+        // Worst-case input: every node its own group.
+        let singletons: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+        let packed = pack_groups(&g, singletons.clone(), 64);
+        check_clustering(&g, &packed, 64);
+        // 96 * 16 bytes / 64-byte pages = 24 full pages minimum; the
+        // greedy pass must reach full packing on a uniform path.
+        assert_eq!(packed.len(), 24, "got {} pages", packed.len());
+        for page in &packed {
+            assert_eq!(page.iter().map(|&v| g.size(v)).sum::<usize>(), 64);
+        }
+        // Deterministic: repeated runs agree element-for-element.
+        let again = pack_groups(&g, singletons, 64);
+        assert_eq!(packed, again);
+    }
+
+    /// Connected pairs must win over a size-based fallback merge, and
+    /// weight ties must break to the lowest pair.
+    #[test]
+    fn pack_groups_prefers_heaviest_connection_then_lowest_pair() {
+        // Four 2-node groups; group pair (0,1) and (2,3) both share
+        // weight 5, (1,2) shares weight 2.
+        let g = PartGraph::new(
+            vec![16; 8],
+            &[
+                (0, 1, 9),
+                (2, 3, 9),
+                (4, 5, 9),
+                (6, 7, 9),
+                (1, 2, 5), // groups 0-1
+                (5, 6, 5), // groups 2-3
+                (3, 4, 2), // groups 1-2
+            ],
+        );
+        let groups = vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]];
+        let packed = pack_groups(&g, groups, 64);
+        check_clustering(&g, &packed, 64);
+        assert_eq!(packed.len(), 2);
+        // Tie on weight 5: (0,1) merges before (2,3); both merges land.
+        assert_eq!(packed[0], vec![0, 1, 2, 3]);
+        assert_eq!(packed[1], vec![4, 5, 6, 7]);
     }
 }

@@ -4,7 +4,10 @@
 
 use ccam_partition::fm::side_sizes;
 use ccam_partition::recursive::check_clustering;
-use ccam_partition::{cluster_nodes_into_pages, cut_weight, PartGraph, Partitioner};
+use ccam_partition::{
+    cluster_nodes_into_pages, cluster_nodes_into_pages_with, cut_weight, ClusterOptions, PartGraph,
+    Partitioner,
+};
 use proptest::prelude::*;
 
 /// A random connected-ish graph: a Hamiltonian path (guarantees one
@@ -13,6 +16,20 @@ use proptest::prelude::*;
 fn arb_graph() -> impl Strategy<Value = PartGraph> {
     (2usize..40).prop_flat_map(|n| {
         let extra = prop::collection::vec((0..n, 0..n, 1u64..5), 0..n * 2);
+        let sizes = prop::collection::vec(8usize..40, n);
+        (Just(n), sizes, extra).prop_map(|(n, sizes, extra)| {
+            let mut edges: Vec<(usize, usize, u64)> = (0..n - 1).map(|i| (i, i + 1, 1)).collect();
+            edges.extend(extra);
+            PartGraph::new(sizes, &edges)
+        })
+    })
+}
+
+/// Like [`arb_graph`] but past the parallel fan-out threshold (256
+/// nodes), so the rayon recursion actually splits work across threads.
+fn arb_big_graph() -> impl Strategy<Value = PartGraph> {
+    (280usize..400).prop_flat_map(|n| {
+        let extra = prop::collection::vec((0..n, 0..n, 1u64..5), 0..n);
         let sizes = prop::collection::vec(8usize..40, n);
         (Just(n), sizes, extra).prop_map(|(n, sizes, extra)| {
             let mut edges: Vec<(usize, usize, u64)> = (0..n - 1).map(|i| (i, i + 1, 1)).collect();
@@ -92,5 +109,36 @@ proptest! {
         }
         let rr = ccam_partition::residue_ratio(&g, &part);
         prop_assert!((0.0..=1.0).contains(&rr), "rr = {rr}");
+    }
+}
+
+proptest! {
+    // Fewer cases: each drives five full clusterings of a >280-node graph.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Parallel clustering is byte-identical to sequential for every
+    /// thread count — same groups, same order — so the paper experiments
+    /// are oblivious to `--threads`. Graphs here are large enough
+    /// (past the 256-node fan-out threshold) that the rayon path really
+    /// runs, and thread counts beyond the machine's cores exercise the
+    /// work-queue imbalance cases.
+    #[test]
+    fn parallel_clustering_equals_sequential(g in arb_big_graph(), page_mult in 2usize..6) {
+        let max_record = (0..g.len()).map(|v| g.size(v)).max().unwrap();
+        let page_size = max_record * page_mult;
+        let sequential = cluster_nodes_into_pages_with(
+            &g,
+            page_size,
+            ClusterOptions { partitioner: Partitioner::RatioCut, threads: 1 },
+        );
+        check_clustering(&g, &sequential, page_size);
+        for threads in [0, 2, 3, 7] {
+            let parallel = cluster_nodes_into_pages_with(
+                &g,
+                page_size,
+                ClusterOptions { partitioner: Partitioner::RatioCut, threads },
+            );
+            prop_assert_eq!(&sequential, &parallel, "threads = {}", threads);
+        }
     }
 }

@@ -45,7 +45,7 @@ pub mod store;
 pub mod testing;
 pub mod wal;
 
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, Prefetcher, ShardCounters};
 pub use durable::WalStore;
 pub use error::{StorageError, StorageResult};
 pub use integrity::{committed_images, scrub, scrub_file, PageStatus, ScrubReport};

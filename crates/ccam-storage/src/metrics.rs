@@ -47,6 +47,9 @@ pub enum PageAccessKind {
     Miss,
     /// Dirty page written back to the store.
     Write,
+    /// Page speculatively fetched by the connectivity-aware prefetcher
+    /// (counted as a physical read; never happens with prefetch off).
+    Prefetch,
 }
 
 impl fmt::Display for PageAccessKind {
@@ -55,6 +58,7 @@ impl fmt::Display for PageAccessKind {
             PageAccessKind::Hit => "hit",
             PageAccessKind::Miss => "miss",
             PageAccessKind::Write => "write",
+            PageAccessKind::Prefetch => "prefetch",
         })
     }
 }
@@ -284,6 +288,8 @@ impl MetricsRegistry {
             ("syncs", snap.syncs),
             ("retries", snap.retries),
             ("checksum_failures", snap.checksum_failures),
+            ("evictions", snap.evictions),
+            ("prefetch_issued", snap.prefetch_issued),
         ] {
             self.inc_by(&format!("{prefix}.{field}"), value);
         }

@@ -35,6 +35,8 @@ pub struct IoStats {
     syncs: AtomicU64,
     retries: AtomicU64,
     checksum_failures: AtomicU64,
+    evictions: AtomicU64,
+    prefetch_issued: AtomicU64,
     /// Fast-path switch for the profiler (checked on every page access).
     profiling: AtomicBool,
     profile: Mutex<ProfileState>,
@@ -92,6 +94,14 @@ pub struct IoSnapshot {
     /// pool and by `RetryStore` when the store surfaces
     /// `ChecksumMismatch`).
     pub checksum_failures: u64,
+    /// Frames evicted from the buffer pool (dirty or clean) to make room
+    /// or satisfy a shrink/clear.
+    pub evictions: u64,
+    /// Pages speculatively read by the buffer pool's connectivity-aware
+    /// prefetcher. Always zero with prefetch off (the default); prefetch
+    /// reads also count as `physical_reads` — the accounting is honest,
+    /// not free.
+    pub prefetch_issued: u64,
 }
 
 impl IoSnapshot {
@@ -111,6 +121,8 @@ impl IoSnapshot {
             checksum_failures: self
                 .checksum_failures
                 .saturating_sub(earlier.checksum_failures),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            prefetch_issued: self.prefetch_issued.saturating_sub(earlier.prefetch_issued),
         }
     }
 
@@ -159,6 +171,14 @@ impl IoStats {
         self.checksum_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_prefetch(&self) {
+        self.prefetch_issued.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -170,6 +190,8 @@ impl IoStats {
             syncs: self.syncs.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            prefetch_issued: self.prefetch_issued.load(Ordering::Relaxed),
         }
     }
 
@@ -196,6 +218,8 @@ impl IoStats {
         self.syncs.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
         self.checksum_failures.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.prefetch_issued.store(0, Ordering::Relaxed);
     }
 
     // -- operation profiling -------------------------------------------------

@@ -57,6 +57,27 @@ fn pool_op() -> impl Strategy<Value = PoolOp> {
 }
 
 #[derive(Debug, Clone)]
+enum LruOp {
+    Alloc,
+    /// Access a page (`true` = through `with_page_mut`); hit or miss,
+    /// it becomes the most recently used.
+    Touch(usize, bool),
+    Free(usize),
+    Clear,
+    SetCapacity(usize),
+}
+
+fn lru_op() -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        3 => Just(LruOp::Alloc),
+        8 => (any::<usize>(), any::<bool>()).prop_map(|(i, w)| LruOp::Touch(i, w)),
+        2 => any::<usize>().prop_map(LruOp::Free),
+        1 => Just(LruOp::Clear),
+        2 => (1usize..6).prop_map(LruOp::SetCapacity),
+    ]
+}
+
+#[derive(Debug, Clone)]
 enum WalOp {
     Alloc,
     Write(usize, u8),
@@ -359,6 +380,65 @@ proptest! {
         pool.check_invariants().map_err(TestCaseError::fail)?;
         for &id in &live {
             pool.with_page(id, |_| ()).unwrap();
+        }
+    }
+
+    /// The pool's recency order matches an exact LRU model: every access
+    /// (hit or miss) moves the page to MRU, misses evict the LRU-most
+    /// resident, `free` drops the page, `clear` empties the pool and
+    /// `set_capacity` sheds LRU-most first. [`BufferPool::resident_pages`]
+    /// reports MRU-first, so it must equal the model list verbatim —
+    /// this pins the O(1) intrusive-list implementation to the semantics
+    /// of the old linear-scan pool.
+    #[test]
+    fn buffer_pool_matches_lru_model(
+        cap in 1usize..6,
+        ops in prop::collection::vec(lru_op(), 1..150),
+    ) {
+        let pool = BufferPool::new(MemPageStore::new(64).unwrap(), cap);
+        let mut live: Vec<PageId> = Vec::new();
+        let mut model: Vec<PageId> = Vec::new(); // MRU-first
+        let mut cap = cap;
+
+        for op in ops {
+            match op {
+                LruOp::Alloc => {
+                    // Allocation touches only the store — never a frame.
+                    live.push(pool.allocate().unwrap());
+                }
+                LruOp::Touch(i, write) => {
+                    if live.is_empty() { continue; }
+                    let id = live[i % live.len()];
+                    if write {
+                        pool.with_page_mut(id, |_| ()).unwrap();
+                    } else {
+                        pool.with_page(id, |_| ()).unwrap();
+                    }
+                    if let Some(pos) = model.iter().position(|&p| p == id) {
+                        model.remove(pos);
+                    } else if model.len() == cap {
+                        model.pop(); // miss at capacity evicts LRU-most
+                    }
+                    model.insert(0, id);
+                }
+                LruOp::Free(i) => {
+                    if live.is_empty() { continue; }
+                    let id = live.remove(i % live.len());
+                    pool.free(id).unwrap();
+                    model.retain(|&p| p != id);
+                }
+                LruOp::Clear => {
+                    pool.clear().unwrap();
+                    model.clear();
+                }
+                LruOp::SetCapacity(n) => {
+                    pool.set_capacity(n).unwrap();
+                    model.truncate(n);
+                    cap = n;
+                }
+            }
+            prop_assert_eq!(&pool.resident_pages(), &model);
+            pool.check_invariants().map_err(TestCaseError::fail)?;
         }
     }
 

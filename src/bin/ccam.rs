@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ccam generate <out.net> [--seed N] [--grid W] [--minneapolis]
-//! ccam build    <in.net> <out.db> [--block N] [--method ccam-s|ccam-d|dfs|bfs|wdfs|grid] [--wal]
+//! ccam build    <in.net> <out.db> [--block N] [--method ccam-s|ccam-d|dfs|bfs|wdfs|grid] [--wal] [--threads N]
 //! ccam stats    <db>
 //! ccam find     <db> <node-id>
 //! ccam succ     <db> <node-id>
@@ -172,6 +172,13 @@ fn dump_db_metrics(
             r.inc_by("wal_bytes_appended", info.bytes_appended);
             r.set_gauge("wal_live_bytes", info.live_bytes as f64);
         }
+        // Per-shard buffer-pool counters (hit/miss/eviction skew shows
+        // whether the page-id distribution balances the shards).
+        for (i, c) in am.file().pool().shard_counters().iter().enumerate() {
+            r.inc_by(&format!("pool.shard{i}.hits"), c.hits);
+            r.inc_by(&format!("pool.shard{i}.misses"), c.misses);
+            r.inc_by(&format!("pool.shard{i}.evictions"), c.evictions);
+        }
     }
     dump_metrics(opts, Some(&am.stats()))
 }
@@ -235,6 +242,7 @@ fn extract_open_flags(args: &[String]) -> Result<(Vec<String>, OpenOptions), Str
 fn usage() -> String {
     "usage:\n  ccam generate <out.net> [--seed N] [--grid W] [--minneapolis]\n  \
      ccam build <in.net> <out.db> [--block N] [--method ccam-s|ccam-d|dfs|bfs|wdfs|grid] [--wal]\n  \
+     \x20           [--threads N] (ccam-s clustering threads; 0 or omitted = all cores)\n  \
      ccam stats <db>\n  \
      ccam find <db> <node-id>\n  \
      ccam succ <db> <node-id>\n  \
@@ -308,7 +316,7 @@ fn generate(args: &[String]) -> Result<(), String> {
 }
 
 fn build(args: &[String], opts: &OpenOptions) -> Result<(), String> {
-    let (pos, flags) = parse_flags(args, &["block", "method"]);
+    let (pos, flags) = parse_flags(args, &["block", "method", "threads"]);
     let [input, out] = pos.as_slice() else {
         return Err("build needs <in.net> <out.db>".into());
     };
@@ -317,6 +325,13 @@ fn build(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         .map(|s| parse_u64(s, "--block"))
         .transpose()?
         .unwrap_or(1024) as usize;
+    // Bulk-create clustering threads; 0 = all cores. The clustering
+    // result is byte-identical at any thread count.
+    let threads = flags
+        .get("threads")
+        .map(|s| parse_u64(s, "--threads"))
+        .transpose()?
+        .unwrap_or(0) as usize;
     let method = flags.map_or("ccam-s", "method");
     let wal = flags.contains_key("wal");
     let net = load_network(Path::new(input)).map_err(|e| e.to_string())?;
@@ -346,6 +361,7 @@ fn build(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     let (name, crr, pages) = match method {
         "ccam-s" => {
             let am = CcamBuilder::new(block)
+                .threads(threads)
                 .build_static_on(make_store(&out_path)?, &net)
                 .map_err(|e| e.to_string())?;
             am.file().commit().map_err(|e| e.to_string())?;

@@ -1,0 +1,242 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of `rayon` it uses: [`join`] for
+//! fork-join recursion and [`ThreadPoolBuilder`] + [`ThreadPool::install`]
+//! for bounding parallelism.
+//!
+//! Instead of a work-stealing deque, [`join`] spawns the second closure
+//! on a fresh scoped thread *when the global thread budget allows* and
+//! runs both closures inline otherwise. The budget is a process-wide
+//! permit counter initialised to `available_parallelism - 1` (so `join`
+//! never oversubscribes the machine) and overridden inside
+//! [`ThreadPool::install`]. Recursive `join` trees therefore use at most
+//! `num_threads` OS threads, degrade gracefully to sequential execution,
+//! and — crucially for CCAM's deterministic clustering — always return
+//! `(result_a, result_b)` in argument order, so callers that combine
+//! results positionally are bit-identical to sequential execution.
+
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+/// Extra threads `join` may spawn beyond the ones already running.
+/// `-1` means "not yet initialised" (lazily set from the machine size).
+static PERMITS: AtomicIsize = AtomicIsize::new(-1);
+
+fn default_permits() -> isize {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as isize - 1)
+        .unwrap_or(0)
+        .max(0)
+}
+
+fn ensure_init() {
+    if PERMITS.load(Ordering::Relaxed) == -1 {
+        let _ =
+            PERMITS.compare_exchange(-1, default_permits(), Ordering::Relaxed, Ordering::Relaxed);
+    }
+}
+
+fn try_acquire_permit() -> bool {
+    ensure_init();
+    let mut cur = PERMITS.load(Ordering::Relaxed);
+    while cur > 0 {
+        match PERMITS.compare_exchange_weak(cur, cur - 1, Ordering::Acquire, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(c) => cur = c,
+        }
+    }
+    false
+}
+
+fn release_permit() {
+    PERMITS.fetch_add(1, Ordering::Release);
+}
+
+/// Number of threads the current budget would use for a saturating
+/// `join` tree (the budget plus the calling thread).
+pub fn current_num_threads() -> usize {
+    ensure_init();
+    (PERMITS.load(Ordering::Relaxed).max(0) as usize) + 1
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning
+/// `(a's result, b's result)`.
+///
+/// `b` runs on a scoped thread when a permit is available, otherwise
+/// both run sequentially on the caller. Panics in either closure
+/// propagate to the caller (the scope joins before unwinding).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if !try_acquire_permit() {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let result = std::thread::scope(|s| {
+        let handle = s.spawn(b);
+        let ra = a();
+        (ra, handle.join())
+    });
+    release_permit();
+    match result {
+        (ra, Ok(rb)) => (ra, rb),
+        (_, Err(payload)) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Error building a thread pool (the stand-in never fails; the type
+/// exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default thread count (machine parallelism).
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Sets the thread count; `0` means the machine's parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_permits() as usize + 1
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A bounded thread budget for `join` trees run via [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with the global `join` budget set to this pool's thread
+    /// count, restoring the previous budget afterwards.
+    ///
+    /// Unlike real rayon the budget is process-global, not per-pool:
+    /// concurrent `install`s from different pools would share it. The
+    /// workspace only ever installs from one thread at a time (CLI /
+    /// bench entry points), where the behaviour is identical.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        ensure_init();
+        let budget = self.num_threads.saturating_sub(1) as isize;
+        let prev = PERMITS.swap(budget, Ordering::SeqCst);
+        struct Restore(isize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                PERMITS.store(self.0, Ordering::SeqCst);
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    /// The permit budget is process-global, so tests that depend on it
+    /// must not interleave.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn join_returns_in_argument_order() {
+        let _g = serial();
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn recursive_join_computes_correctly() {
+        let _g = serial();
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 1000 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (l, r) = join(|| sum(lo, mid), || sum(mid, hi));
+                l + r
+            }
+        }
+        assert_eq!(sum(0, 100_000), (0..100_000u64).sum());
+    }
+
+    #[test]
+    fn install_bounds_threads() {
+        let _g = serial();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        static SAW_PARALLEL: AtomicUsize = AtomicUsize::new(0);
+        pool.install(|| {
+            // With one thread no permits exist: both closures run on the
+            // calling thread.
+            let caller = std::thread::current().id();
+            join(
+                || {
+                    if std::thread::current().id() != caller {
+                        SAW_PARALLEL.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                || {
+                    if std::thread::current().id() != caller {
+                        SAW_PARALLEL.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+            );
+        });
+        assert_eq!(SAW_PARALLEL.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn panic_in_spawned_closure_propagates() {
+        let _g = serial();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let r = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                join(|| 1, || -> i32 { panic!("boom") });
+            })
+        });
+        assert!(r.is_err());
+    }
+}
