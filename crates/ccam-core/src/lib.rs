@@ -25,12 +25,15 @@
 //! * [`query`] — aggregate queries: route evaluation, graph search (A*,
 //!   Dijkstra), graph traversal / reachability / transitive closure,
 //!   tour evaluation, route-unit aggregates, location-allocation and
-//!   spatial window queries.
+//!   spatial window queries,
+//! * [`epoch`] — the single-writer / multi-reader [`EpochCell`] the
+//!   serving layer uses for snapshot-consistent reads during commits.
 
 pub mod am;
 pub mod check;
 pub mod costmodel;
 pub mod crr;
+pub mod epoch;
 pub mod file;
 pub mod pag;
 pub mod query;
@@ -40,6 +43,7 @@ pub mod workload;
 
 pub use am::{AccessMethod, Ccam, CcamBuilder, GridAm, TopoAm, TraversalOrder};
 pub use costmodel::CostParams;
+pub use epoch::{EpochCell, EpochWriteGuard};
 pub use file::{Degraded, NetworkFile};
 pub use reorg::ReorgPolicy;
 pub use validate::{validate, ClassReport, ValidationConfig, ValidationReport};

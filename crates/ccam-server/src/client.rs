@@ -1,0 +1,89 @@
+//! A minimal blocking client for the [`crate::protocol`] — used by the
+//! `serve_load` generator, the CLI and the tests.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    decode_response_batch, encode_request_batch, read_frame, write_frame, Request, Response,
+};
+
+/// One TCP connection speaking the batch protocol, closed-loop: each
+/// [`Client::call`] sends one frame and blocks for its response frame.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_tag: u32,
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`, so small closed-loop frames are
+    /// not delayed by Nagle's algorithm).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            next_tag: 1,
+        })
+    }
+
+    /// Sends `reqs` as one batch frame and blocks for the matching
+    /// response frame (matched by tag — an `Overloaded` rejection for a
+    /// later pipelined frame can never be misattributed).
+    pub fn call(&mut self, reqs: &[Request]) -> io::Result<Vec<Response>> {
+        let tag = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1);
+        write_frame(&mut self.writer, &encode_request_batch(tag, reqs))?;
+        loop {
+            let Some(payload) = read_frame(&mut self.reader)? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before responding",
+                ));
+            };
+            let (resp_tag, resps) = decode_response_batch(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            if resp_tag == tag {
+                return Ok(resps);
+            }
+            // A response to an earlier (abandoned) frame; skip it.
+        }
+    }
+
+    /// Sends a raw payload as a frame, bypassing the encoder — test
+    /// hook for exercising the server's `BadRequest` path.
+    pub fn send_raw(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.writer, payload)
+    }
+
+    /// Reads one raw response frame (pairs with [`Client::send_raw`]).
+    pub fn recv_raw(&mut self) -> io::Result<Option<Vec<u8>>> {
+        read_frame(&mut self.reader)
+    }
+}
+
+// The borrow-split impls let `call` use the split halves of one socket;
+// keep the raw stream reachable for tests that need half-close.
+impl Client {
+    /// Shuts down the write side, signalling the server a clean EOF.
+    pub fn close_write(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Drains and discards everything until the server closes the
+    /// connection (used while shutting down gracefully).
+    pub fn drain(&mut self) -> io::Result<()> {
+        let mut sink = [0u8; 4096];
+        loop {
+            match self.reader.read(&mut sink) {
+                Ok(0) => return Ok(()),
+                Ok(_) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,495 @@
+#![warn(missing_docs)]
+
+//! The TCP serving layer over the CCAM access method.
+//!
+//! The paper evaluates CCAM as an access method; this crate turns the
+//! library into a system: a server speaking the batched binary
+//! [`protocol`] over `std::net`, a fixed pool of worker threads sharing
+//! one [`Ccam`] read path, and a blocking [`client`] used by the load
+//! generator, the CLI and the tests.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  acceptor ──► reader (1/conn) ──► per-conn bounded queue ─┐
+//!                  │ full? write Overloaded immediately     │
+//!                  ▼                                        ▼
+//!              conn writer ◄────────────── worker pool (N threads)
+//!                                   batch runs under EpochCell::read()
+//! ```
+//!
+//! * One **reader thread per connection** decodes frames and appends
+//!   batches to that connection's bounded queue ([`ServerConfig::
+//!   queue_depth`] batches). A full queue is answered *immediately*
+//!   with per-request `Overloaded` — the server never buffers without
+//!   bound, and a slow consumer only ever penalizes itself.
+//! * A connection with pending batches is scheduled at most once on the
+//!   global run queue. A worker pops a connection, takes **one** batch,
+//!   executes the whole batch under a single [`EpochCell::read`] guard
+//!   — so every response in a frame reflects one committed snapshot —
+//!   writes the response frame, and re-schedules the connection if more
+//!   batches are pending. One-batch-at-a-time per connection keeps
+//!   accepted batches FIFO per connection and shares workers fairly
+//!   across connections.
+//! * **Graceful shutdown** ([`ServerHandle::shutdown`]) stops accepting,
+//!   half-closes every connection's read side, joins the readers (no
+//!   new work can arrive), then lets the workers drain every queued
+//!   batch before joining them. In-flight requests complete; their
+//!   responses are delivered.
+//!
+//! Snapshot consistency across a writer commit is delegated to
+//! [`EpochCell`] — see `ccam_core::epoch` for the design note on why
+//! readers block for the writer's critical section rather than pinning
+//! the pre-commit state.
+
+pub mod client;
+pub mod protocol;
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ccam_core::epoch::EpochCell;
+use ccam_core::query::route::evaluate_path;
+use ccam_core::query::route_unit_aggregate;
+use ccam_core::{AccessMethod, Ccam};
+use ccam_storage::{MetricsRegistry, PageStore};
+use parking_lot::{Condvar, Mutex};
+
+use protocol::{
+    decode_request_batch, encode_response_batch, read_frame, write_frame, OpCode, Request,
+    Response, Status,
+};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads executing batches. Clamped to at least 1.
+    pub workers: usize,
+    /// Max *batches* queued per connection before new frames are
+    /// rejected with `Overloaded`. Clamped to at least 1.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// One client connection's server-side state.
+struct Conn {
+    /// Control clone: `shutdown(Read)` unblocks the reader on drain.
+    sock: TcpStream,
+    /// Serialized response writes (workers and overload rejections).
+    writer: Mutex<BufWriter<TcpStream>>,
+    state: Mutex<ConnState>,
+}
+
+struct ConnState {
+    /// Accepted batches awaiting a worker, FIFO. Bounded by
+    /// `queue_depth`.
+    queue: VecDeque<(u32, Vec<Request>)>,
+    /// True while the connection sits on the run queue or a worker is
+    /// processing one of its batches — at most one of either, ever.
+    scheduled: bool,
+    /// The reader thread has exited (client EOF, bad frame, or drain):
+    /// whoever finds the queue empty last fully closes the socket.
+    reader_gone: bool,
+}
+
+struct Shared<S: PageStore + 'static> {
+    db: Arc<EpochCell<Ccam<S>>>,
+    metrics: Arc<MetricsRegistry>,
+    queue_depth: usize,
+    shutting_down: AtomicBool,
+    /// Set after every reader has been joined: no batch can arrive
+    /// anymore, so workers may exit once the run queue is drained.
+    readers_done: AtomicBool,
+    run_queue: Mutex<VecDeque<Arc<Conn>>>,
+    /// Connections a worker has popped but not yet finished/rescheduled
+    /// (their batches are invisible to the run queue); workers only exit
+    /// when this is 0 *and* the run queue is empty. Mutated under the
+    /// `run_queue` lock so the exit check is consistent.
+    inflight: AtomicUsize,
+    work_cv: Condvar,
+    conns: Mutex<Vec<Arc<Conn>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The server. Construct with [`Server::start`]; the returned
+/// [`ServerHandle`] owns the threads.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and spawns the acceptor and worker threads
+    /// over the shared database. The caller keeps its `Arc` clone of
+    /// the [`EpochCell`] — a maintenance writer commits through
+    /// [`EpochCell::write`] while the server reads.
+    pub fn start<S: PageStore + 'static>(
+        db: Arc<EpochCell<Ccam<S>>>,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle<S>> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            db,
+            metrics: Arc::new(MetricsRegistry::new()),
+            queue_depth: config.queue_depth.max(1),
+            shutting_down: AtomicBool::new(false),
+            readers_done: AtomicBool::new(false),
+            run_queue: Mutex::new(VecDeque::new()),
+            inflight: AtomicUsize::new(0),
+            work_cv: Condvar::new(),
+            conns: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ccam-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ccam-acceptor".to_string())
+                .spawn(move || acceptor_loop(&shared, &listener))?
+        };
+        Ok(ServerHandle {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            local_addr,
+        })
+    }
+}
+
+/// Owns a running server's threads; dropping without
+/// [`ServerHandle::shutdown`] aborts connections without draining.
+pub struct ServerHandle<S: PageStore + 'static> {
+    shared: Arc<Shared<S>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl<S: PageStore + 'static> ServerHandle<S> {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's metric registry (request counters, latency and
+    /// batch-size histograms, overload rejections).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.metrics
+    }
+
+    /// The shared database cell (tests use it to commit writes while
+    /// the server is live).
+    pub fn db(&self) -> &Arc<EpochCell<Ccam<S>>> {
+        &self.shared.db
+    }
+
+    /// Metrics as JSON, with current I/O-counter gauges folded in —
+    /// the same document the `Stats` protocol op returns.
+    pub fn metrics_json(&self) -> String {
+        let io = self.shared.db.read().stats().snapshot();
+        fold_io_gauges(&self.shared.metrics, &io, self.shared.db.epoch());
+        self.shared.metrics.to_json()
+    }
+
+    /// Graceful shutdown: stop accepting, drain every accepted batch,
+    /// deliver every pending response, join all threads. Errors if any
+    /// worker or reader thread panicked.
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        let shared = &self.shared;
+        shared.shutting_down.store(true, Ordering::SeqCst);
+        // Half-close every connection's read side: readers wake with
+        // EOF once their current frame (if any) is enqueued.
+        for conn in shared.conns.lock().iter() {
+            let _ = conn.sock.shutdown(Shutdown::Read);
+        }
+        // The acceptor blocks in accept(); a throwaway connection to
+        // ourselves wakes it to observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        let mut panicked = false;
+        if let Some(acceptor) = self.acceptor.take() {
+            panicked |= acceptor.join().is_err();
+        }
+        // Readers joined => every batch that will ever exist is queued.
+        let readers = std::mem::take(&mut *shared.readers.lock());
+        for r in readers {
+            panicked |= r.join().is_err();
+        }
+        shared.readers_done.store(true, Ordering::SeqCst);
+        shared.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            panicked |= w.join().is_err();
+        }
+        if panicked {
+            return Err(std::io::Error::other("server thread panicked"));
+        }
+        Ok(())
+    }
+}
+
+fn acceptor_loop<S: PageStore + 'static>(shared: &Arc<Shared<S>>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let (Ok(sock), Ok(wsock)) = (stream.try_clone(), stream.try_clone()) else {
+            continue;
+        };
+        let conn = Arc::new(Conn {
+            sock,
+            writer: Mutex::new(BufWriter::new(wsock)),
+            state: Mutex::new(ConnState {
+                queue: VecDeque::new(),
+                scheduled: false,
+                reader_gone: false,
+            }),
+        });
+        shared.metrics.inc_by("serve.connections", 1);
+        shared.conns.lock().push(Arc::clone(&conn));
+        let reader_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("ccam-reader".to_string())
+            .spawn(move || reader_loop(&reader_shared, &conn, stream));
+        match handle {
+            Ok(h) => shared.readers.lock().push(h),
+            Err(_) => {
+                // Could not spawn: drop the connection (conn stays in
+                // `conns` harmlessly; its socket closes here).
+            }
+        }
+    }
+}
+
+fn reader_loop<S: PageStore + 'static>(
+    shared: &Arc<Shared<S>>,
+    conn: &Arc<Conn>,
+    stream: TcpStream,
+) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            // Clean EOF, client reset, or our own shutdown(Read).
+            Ok(None) | Err(_) => return reader_exit(conn),
+        };
+        let (tag, batch) = match decode_request_batch(&payload) {
+            Ok(b) => b,
+            Err(_) => {
+                shared.metrics.inc_by("serve.bad_frames", 1);
+                respond_flat(conn, 0, Status::BadRequest, 1);
+                return reader_exit(conn);
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            respond_flat(conn, tag, Status::ShuttingDown, batch.len());
+            return reader_exit(conn);
+        }
+        let batch_len = batch.len();
+        let enqueued = {
+            let mut st = conn.state.lock();
+            if st.queue.len() >= shared.queue_depth {
+                false
+            } else {
+                st.queue.push_back((tag, batch));
+                shared.metrics.inc_by("serve.frames_accepted", 1);
+                if !st.scheduled {
+                    st.scheduled = true;
+                    // Lock order everywhere: conn.state before run_queue.
+                    shared.run_queue.lock().push_back(Arc::clone(conn));
+                    shared.work_cv.notify_one();
+                }
+                true
+            }
+        };
+        if !enqueued {
+            // Reject immediately — by design this can overtake pending
+            // answers, which is why frames carry tags.
+            shared.metrics.inc_by("serve.overloaded", batch_len as u64);
+            respond_flat(conn, tag, Status::Overloaded, batch_len);
+        }
+    }
+}
+
+/// Marks the reader as gone; if no batch is queued or in flight, fully
+/// closes the socket here (otherwise the worker that drains the last
+/// batch does). Without this the client would never see EOF — socket
+/// clones live on inside the `Conn` until the server drops.
+fn reader_exit(conn: &Conn) {
+    let mut st = conn.state.lock();
+    st.reader_gone = true;
+    // Close here only when idle; otherwise the worker parking the
+    // connection sees `reader_gone` (same lock) and closes.
+    if st.queue.is_empty() && !st.scheduled {
+        let _ = conn.sock.shutdown(Shutdown::Both);
+    }
+}
+
+/// Writes a frame of `count` identical error responses (op echo is
+/// per-request where known; `Stats` stands in when the frame itself was
+/// undecodable and `count` is 1).
+fn respond_flat(conn: &Conn, tag: u32, status: Status, count: usize) {
+    let resps = vec![Response::Error(status, OpCode::Stats); count];
+    let payload = encode_response_batch(tag, &resps);
+    let mut w = conn.writer.lock();
+    let _ = write_frame(&mut *w, &payload);
+}
+
+fn worker_loop<S: PageStore + 'static>(shared: &Arc<Shared<S>>) {
+    loop {
+        let conn = {
+            let mut q = shared.run_queue.lock();
+            loop {
+                if let Some(c) = q.pop_front() {
+                    shared.inflight.fetch_add(1, Ordering::SeqCst);
+                    break c;
+                }
+                if shared.readers_done.load(Ordering::SeqCst)
+                    && shared.inflight.load(Ordering::SeqCst) == 0
+                {
+                    // Cascade: wake the other idle workers to exit too.
+                    shared.work_cv.notify_all();
+                    return;
+                }
+                shared.work_cv.wait(&mut q);
+            }
+        };
+        let batch = conn.state.lock().queue.pop_front();
+        if let Some((tag, reqs)) = batch {
+            let resps = execute_batch(shared, &reqs);
+            let payload = encode_response_batch(tag, &resps);
+            let mut w = conn.writer.lock();
+            let _ = write_frame(&mut *w, &payload);
+            drop(w);
+        }
+        // Reschedule or park. The park decision happens under the state
+        // lock so a reader enqueueing concurrently either sees
+        // `scheduled` still true (we will reschedule) or false (it
+        // schedules itself) — a batch can never be stranded.
+        let more = {
+            let mut st = conn.state.lock();
+            if st.queue.is_empty() {
+                st.scheduled = false;
+                if st.reader_gone {
+                    let _ = conn.sock.shutdown(Shutdown::Both);
+                }
+                false
+            } else {
+                true
+            }
+        };
+        // The inflight decrement shares the run-queue lock with the
+        // workers' exit check, so a batch being rescheduled is never
+        // invisible to that check.
+        let mut q = shared.run_queue.lock();
+        if more {
+            q.push_back(conn);
+        }
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        drop(q);
+        if more {
+            shared.work_cv.notify_one();
+        } else if shared.readers_done.load(Ordering::SeqCst) {
+            shared.work_cv.notify_all();
+        }
+    }
+}
+
+/// Executes one batch under a single epoch read guard: every response
+/// in the frame reflects the same committed snapshot.
+fn execute_batch<S: PageStore>(shared: &Shared<S>, reqs: &[Request]) -> Vec<Response> {
+    let am = shared.db.read();
+    let m = &shared.metrics;
+    m.inc_by("serve.batches", 1);
+    m.inc_by("serve.requests", reqs.len() as u64);
+    m.observe("serve.batch_size", reqs.len() as u64);
+    reqs.iter()
+        .map(|req| {
+            let start = Instant::now();
+            let resp = execute_one(shared, &am, req);
+            let us = start.elapsed().as_micros() as u64;
+            m.observe(latency_metric(req.op()), us);
+            resp
+        })
+        .collect()
+}
+
+fn latency_metric(op: OpCode) -> &'static str {
+    match op {
+        OpCode::Find => "serve.find.elapsed_us",
+        OpCode::GetSuccessors => "serve.get_successors.elapsed_us",
+        OpCode::Route => "serve.route.elapsed_us",
+        OpCode::RangeAggregate => "serve.range_aggregate.elapsed_us",
+        OpCode::Stats => "serve.stats.elapsed_us",
+    }
+}
+
+fn execute_one<S: PageStore>(shared: &Shared<S>, am: &Ccam<S>, req: &Request) -> Response {
+    match req {
+        Request::Find(id) => match am.find(*id) {
+            Ok(Some(node)) => Response::Record(node),
+            Ok(None) => Response::Error(Status::NotFound, OpCode::Find),
+            Err(_) => Response::Error(Status::Internal, OpCode::Find),
+        },
+        Request::GetSuccessors(id) => match am.get_successors(*id) {
+            Ok(nodes) => Response::Records(nodes),
+            Err(_) => Response::Error(Status::Internal, OpCode::GetSuccessors),
+        },
+        Request::Route(nodes) => match evaluate_path(am, nodes) {
+            Ok(eval) => Response::RouteEval {
+                total_cost: eval.total_cost,
+                nodes_visited: eval.nodes_visited as u32,
+                complete: eval.complete,
+            },
+            Err(_) => Response::Error(Status::Internal, OpCode::Route),
+        },
+        Request::RangeAggregate(arcs) => match route_unit_aggregate(am, arcs) {
+            Ok(agg) => Response::Aggregate {
+                arcs_found: agg.arcs_found as u32,
+                arcs_missing: agg.arcs_missing as u32,
+                total_cost: agg.total_cost,
+                node_payload_sum: agg.node_payload_sum,
+                nodes_retrieved: agg.nodes_retrieved as u32,
+            },
+            Err(_) => Response::Error(Status::Internal, OpCode::RangeAggregate),
+        },
+        Request::Stats => {
+            let io = am.stats().snapshot();
+            fold_io_gauges(&shared.metrics, &io, shared.db.epoch());
+            Response::StatsJson(shared.metrics.to_json())
+        }
+    }
+}
+
+/// Copies the database's cumulative I/O counters into gauges (gauges,
+/// not counter increments: snapshots are cumulative, and adding them on
+/// every `Stats` call would double-count). Public so the CLI can
+/// produce the same document after the handle is consumed by shutdown.
+pub fn fold_io_gauges(m: &MetricsRegistry, io: &ccam_storage::IoSnapshot, epoch: u64) {
+    m.set_gauge("io.physical_reads", io.physical_reads as f64);
+    m.set_gauge("io.physical_writes", io.physical_writes as f64);
+    m.set_gauge("io.buffer_hits", io.buffer_hits as f64);
+    m.set_gauge("io.evictions", io.evictions as f64);
+    m.set_gauge("serve.epoch", epoch as f64);
+}

@@ -45,7 +45,7 @@ pub mod store;
 pub mod testing;
 pub mod wal;
 
-pub use buffer::{BufferPool, Prefetcher, ShardCounters};
+pub use buffer::{BufferPool, PoolStrategy, Prefetcher, ShardCounters, LINEAR_CAPACITY_MAX};
 pub use durable::WalStore;
 pub use error::{StorageError, StorageResult};
 pub use integrity::{committed_images, scrub, scrub_file, PageStatus, ScrubReport};

@@ -36,7 +36,13 @@ pub struct WalInfo {
 ///
 /// Pages are addressed by dense [`PageId`]s. `free` recycles ids through a
 /// freelist; the store never shrinks.
-pub trait PageStore {
+///
+/// `Send` is a supertrait so that an access method generic over any
+/// `PageStore` (including `Box<dyn PageStore>`) can be handed to worker
+/// threads — the serving layer shares one database behind an
+/// `EpochCell`. Stores are moved between threads, never aliased: shared
+/// access always goes through the buffer pool's locks.
+pub trait PageStore: Send {
     /// Size in bytes of every page of this store.
     fn page_size(&self) -> usize;
 

@@ -8,8 +8,14 @@
 
 use std::collections::HashMap;
 
-use ccam_storage::{BufferPool, MemPageStore, PageId, SlottedPage, StorageError};
+use ccam_storage::{BufferPool, MemPageStore, PageId, PoolStrategy, SlottedPage, StorageError};
 use proptest::prelude::*;
+
+/// Both pool organizations must satisfy every pool property — the
+/// strategy is an internal performance choice, never a semantic one.
+fn pool_strategy() -> impl Strategy<Value = PoolStrategy> {
+    prop_oneof![Just(PoolStrategy::Linear), Just(PoolStrategy::Sharded)]
+}
 
 #[derive(Debug, Clone)]
 enum PageOp {
@@ -165,9 +171,10 @@ proptest! {
     #[test]
     fn buffer_pool_is_transparent(
         cap in 1usize..6,
+        strategy in pool_strategy(),
         ops in prop::collection::vec((0u32..12, any::<u8>()), 1..120),
     ) {
-        let pool = BufferPool::new(MemPageStore::new(64).unwrap(), cap);
+        let pool = BufferPool::with_strategy(MemPageStore::new(64).unwrap(), cap, strategy);
         let mut ids: Vec<PageId> = Vec::new();
         let mut shadow: Vec<u8> = Vec::new();
         for (page_sel, value) in ops {
@@ -320,12 +327,13 @@ proptest! {
     #[test]
     fn buffer_pool_invariants_hold_under_faults(
         cap in 1usize..5,
+        strategy in pool_strategy(),
         ops in prop::collection::vec(pool_op(), 1..100),
     ) {
         use ccam_storage::testing::CorruptStore;
 
         let (store, ctl) = CorruptStore::new(MemPageStore::new(64).unwrap(), 7);
-        let pool = BufferPool::new(store, cap);
+        let pool = BufferPool::with_strategy(store, cap, strategy);
         let mut live: Vec<PageId> = Vec::new();
 
         for op in ops {
@@ -393,9 +401,10 @@ proptest! {
     #[test]
     fn buffer_pool_matches_lru_model(
         cap in 1usize..6,
+        strategy in pool_strategy(),
         ops in prop::collection::vec(lru_op(), 1..150),
     ) {
-        let pool = BufferPool::new(MemPageStore::new(64).unwrap(), cap);
+        let pool = BufferPool::with_strategy(MemPageStore::new(64).unwrap(), cap, strategy);
         let mut live: Vec<PageId> = Vec::new();
         let mut model: Vec<PageId> = Vec::new(); // MRU-first
         let mut cap = cap;

@@ -107,6 +107,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "checkpoint" => checkpoint_cmd(rest, &open_opts),
         "replay" => replay_cmd(rest, &open_opts),
         "profile" => profile(rest, &open_opts),
+        "serve" => serve(rest, &open_opts),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -254,7 +255,8 @@ fn usage() -> String {
      ccam scrub <db>\n  \
      ccam checkpoint <db>\n  \
      ccam replay <db> <trace.txt>\n  \
-     ccam profile <db> [--ops N] [--routes N] [--len L] [--seed N] [--updates] [--json]\n\
+     ccam profile <db> [--ops N] [--routes N] [--len L] [--seed N] [--updates] [--json]\n  \
+     ccam serve <db> [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-seconds S]\n\
      database commands also accept: [--retry [N]] [--verify-checksums] [--metrics-json <path>]\n  \
      [--max-wal-bytes N] (WAL databases: auto-checkpoint past N live log bytes)\n\
      find/succ also accept: [--explain] (print the page-access trace)"
@@ -940,5 +942,80 @@ fn profile(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         r.set_gauge("costmodel.max_rel_error", report.max_rel_error());
     }
     dump_db_metrics(opts, &am)?;
+    Ok(())
+}
+
+/// `ccam serve <db>`: run the TCP query server over an opened database.
+///
+/// Prints `listening on <addr>` once ready (port 0 resolves to the
+/// kernel-assigned port). With `--max-seconds S` the server drains and
+/// exits cleanly after S seconds — the CI smoke test and benchmarking
+/// hook, since a std-only binary has no portable signal handling;
+/// without it the server runs until killed. `--metrics-json` writes the
+/// server's metric registry (request counters, latency and batch-size
+/// histograms, I/O gauges) after the drain — the same document the
+/// `Stats` protocol op returns live.
+fn serve(args: &[String], opts: &OpenOptions) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args, &["addr", "workers", "queue-depth", "max-seconds"]);
+    let [db_path] = pos.as_slice() else {
+        return Err("serve needs <db>".into());
+    };
+    let config = ccam::server::ServerConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:4791".to_string()),
+        workers: flags
+            .get("workers")
+            .map(|s| parse_u64(s, "--workers"))
+            .transpose()?
+            .unwrap_or(2) as usize,
+        queue_depth: flags
+            .get("queue-depth")
+            .map(|s| parse_u64(s, "--queue-depth"))
+            .transpose()?
+            .unwrap_or(16) as usize,
+    };
+    let max_seconds = flags
+        .get("max-seconds")
+        .map(|s| parse_u64(s, "--max-seconds"))
+        .transpose()?;
+
+    let am = open_db(db_path, opts)?;
+    let db = Arc::new(ccam::core::epoch::EpochCell::new(am));
+    let handle =
+        ccam::server::Server::start(Arc::clone(&db), config.clone()).map_err(|e| e.to_string())?;
+    println!("listening on {}", handle.local_addr());
+    println!(
+        "workers {} queue-depth {} db {}",
+        config.workers, config.queue_depth, db_path
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    match max_seconds {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+
+    let metrics = Arc::clone(handle.metrics());
+    handle.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    // All workers are joined: fold the final I/O counters in and report.
+    {
+        let am = db.read();
+        ccam::server::fold_io_gauges(&metrics, &am.stats().snapshot(), db.epoch());
+    }
+    eprintln!(
+        "served {} requests in {} batches ({} overloaded)",
+        metrics.counter("serve.requests"),
+        metrics.counter("serve.batches"),
+        metrics.counter("serve.overloaded"),
+    );
+    if let Some(sink) = &opts.metrics {
+        std::fs::write(&sink.path, metrics.to_json())
+            .map_err(|e| format!("--metrics-json {}: {e}", sink.path.display()))?;
+    }
     Ok(())
 }

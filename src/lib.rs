@@ -17,7 +17,9 @@
 //!   random-walk route workloads,
 //! * [`core`] — the access methods (CCAM, DFS-AM, BFS-AM, WDFS-AM,
 //!   Grid-File AM), reorganization policies, cost model and aggregate
-//!   queries.
+//!   queries,
+//! * [`server`] — the TCP serving layer: batched binary protocol,
+//!   worker pool over one shared access method, blocking client.
 //!
 //! ## Quickstart
 //!
@@ -43,4 +45,5 @@ pub use ccam_core as core;
 pub use ccam_graph as graph;
 pub use ccam_index as index;
 pub use ccam_partition as partition;
+pub use ccam_server as server;
 pub use ccam_storage as storage;

@@ -1,0 +1,179 @@
+//! Stress: snapshot-consistent reads racing a committing writer.
+//!
+//! The serving layer (PR 6) shares one `Ccam` between a single writer
+//! and many readers through `EpochCell`: a write transaction holds the
+//! exclusive guard for its whole critical section, so a reader can
+//! never observe a half-applied transaction — only the committed state
+//! before it or after it. This test exercises that guarantee directly
+//! (no sockets): reader threads run `find` / `get_successors` /
+//! route evaluation in a tight loop while a writer continuously
+//! commits multi-node transactions and periodic full reorganizations.
+//!
+//! Each writer transaction stamps the SAME generation number into
+//! several sentinel nodes. A reader holding one read guard must see
+//! all sentinels agree on a single generation (never a mix = torn
+//! transaction), and generations must be monotone across successive
+//! reads (never a rollback = uncommitted state).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ccam::core::am::{AccessMethod, CcamBuilder};
+use ccam::core::epoch::EpochCell;
+use ccam::core::query::route::evaluate_route;
+use ccam::graph::roadmap::{road_map, RoadMapConfig};
+use ccam::graph::walks::random_walk_routes;
+
+const WRITE_TRANSACTIONS: u64 = 60;
+const REORG_EVERY: u64 = 10;
+
+fn stamp(generation: u64) -> Vec<u8> {
+    generation.to_le_bytes().to_vec()
+}
+
+fn read_stamp(payload: &[u8]) -> u64 {
+    let bytes: [u8; 8] = payload.try_into().expect("sentinel payload is 8 bytes");
+    u64::from_le_bytes(bytes)
+}
+
+#[test]
+fn reads_during_commit_see_only_committed_states() {
+    let net = road_map(&RoadMapConfig {
+        grid_w: 10,
+        grid_h: 10,
+        removed_nodes: 2,
+        target_segments: 150,
+        target_directed: 265,
+        cell: 64,
+        jitter: 24,
+        seed: 5,
+    });
+    let am = CcamBuilder::new(1024).build_static(&net).unwrap();
+    let ids = net.node_ids();
+    let sentinels = [
+        ids[0],
+        ids[ids.len() / 3],
+        ids[2 * ids.len() / 3],
+        ids[ids.len() - 1],
+    ];
+    let routes = random_walk_routes(&net, 8, 10, 9);
+
+    let db = Arc::new(EpochCell::new(am));
+
+    // Generation 0: put every sentinel into a known committed state
+    // before any reader starts, and record the read-only baselines.
+    {
+        let mut am = db.write();
+        for &id in &sentinels {
+            let deleted = am.delete_node(id).unwrap().unwrap();
+            let mut node = deleted.data;
+            node.payload = stamp(0);
+            am.insert_node(&node, &deleted.incoming).unwrap();
+        }
+    }
+    let (succ_counts, route_costs): (Vec<usize>, Vec<u64>) = {
+        let am = db.read();
+        (
+            sentinels
+                .iter()
+                .map(|&id| am.get_successors(id).unwrap().len())
+                .collect(),
+            routes
+                .iter()
+                .map(|r| {
+                    let eval = evaluate_route(&*am, r).unwrap();
+                    assert!(eval.complete, "baseline route must be complete");
+                    eval.total_cost
+                })
+                .collect(),
+        )
+    };
+    let epoch_at_start = db.epoch();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Writer: one committed transaction per generation; every
+        // REORG_EVERY-th also rewrites the whole file layout while
+        // still inside the same exclusive critical section.
+        {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                for generation in 1..=WRITE_TRANSACTIONS {
+                    let mut am = db.write();
+                    for &id in &sentinels {
+                        let deleted = am.delete_node(id).unwrap().unwrap();
+                        let mut node = deleted.data;
+                        node.payload = stamp(generation);
+                        am.insert_node(&node, &deleted.incoming).unwrap();
+                    }
+                    if generation % REORG_EVERY == 0 {
+                        let crr = am.reorganize_full().unwrap();
+                        assert!(crr > 0.0);
+                    }
+                }
+                stop.store(true, Ordering::Release);
+            });
+        }
+
+        // Readers: loop until the writer finishes, then one final pass
+        // that must observe the last generation.
+        for reader in 0..3usize {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            let succ_counts = &succ_counts;
+            let route_costs = &route_costs;
+            let routes = &routes;
+            s.spawn(move || {
+                let mut last_seen = 0u64;
+                loop {
+                    let done = stop.load(Ordering::Acquire);
+                    let am = db.read();
+                    // All sentinels agree: the transaction is atomic.
+                    let generations: Vec<u64> = sentinels
+                        .iter()
+                        .map(|&id| read_stamp(&am.find(id).unwrap().unwrap().payload))
+                        .collect();
+                    assert!(
+                        generations.iter().all(|&g| g == generations[0]),
+                        "reader {reader} saw a torn transaction: {generations:?}"
+                    );
+                    // Generations only move forward: nothing uncommitted
+                    // (or rolled back) ever becomes visible.
+                    assert!(
+                        generations[0] >= last_seen,
+                        "reader {reader} saw generation go backwards: \
+                         {} after {last_seen}",
+                        generations[0]
+                    );
+                    last_seen = generations[0];
+                    // Structure queries stay valid mid-churn: the edge
+                    // set is delete/re-insert invariant, so successor
+                    // counts and route costs never change.
+                    for (k, &id) in sentinels.iter().enumerate() {
+                        assert_eq!(am.get_successors(id).unwrap().len(), succ_counts[k]);
+                    }
+                    let r = &routes[last_seen as usize % routes.len()];
+                    let eval = evaluate_route(&*am, r).unwrap();
+                    assert!(eval.complete);
+                    assert_eq!(
+                        eval.total_cost,
+                        route_costs[last_seen as usize % route_costs.len()]
+                    );
+                    drop(am);
+                    if done {
+                        assert_eq!(
+                            last_seen, WRITE_TRANSACTIONS,
+                            "final read after writer exit must see its last commit"
+                        );
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // Every write() above was one epoch bump: the initial stamping
+    // transaction plus WRITE_TRANSACTIONS generations.
+    assert_eq!(db.epoch(), epoch_at_start + WRITE_TRANSACTIONS);
+}
