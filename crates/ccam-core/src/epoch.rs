@@ -89,9 +89,8 @@ impl<T> EpochCell<T> {
 /// Write guard for [`EpochCell::write`]: exclusive access that bumps the
 /// epoch when dropped.
 pub struct EpochWriteGuard<'a, T> {
-    /// `Option` so `Drop` can release the lock *before* publishing the
-    /// epoch bump (readers waking on the lock must not observe the old
-    /// count).
+    /// `Option` so `Drop` can bump the epoch *before* releasing the
+    /// lock (a reader waking on the lock must observe the new count).
     guard: Option<RwLockWriteGuard<'a, T>>,
     epoch: &'a AtomicU64,
 }

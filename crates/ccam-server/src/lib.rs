@@ -89,6 +89,9 @@ impl Default for ServerConfig {
 
 /// One client connection's server-side state.
 struct Conn {
+    /// Key into `Shared::readers`, so closing a connection can reap its
+    /// reader handle.
+    id: u64,
     /// Control clone: `shutdown(Read)` unblocks the reader on drain.
     sock: TcpStream,
     /// Serialized response writes (workers and overload rejections).
@@ -123,8 +126,25 @@ struct Shared<S: PageStore + 'static> {
     /// `run_queue` lock so the exit check is consistent.
     inflight: AtomicUsize,
     work_cv: Condvar,
+    /// Live connections only: whoever fully closes a connection (the
+    /// reader when idle, else the worker draining its last batch) also
+    /// removes it here and reaps its reader handle — a long-running
+    /// server must not accumulate dead sockets.
     conns: Mutex<Vec<Arc<Conn>>>,
-    readers: Mutex<Vec<JoinHandle<()>>>,
+    readers: Mutex<Vec<(u64, JoinHandle<()>)>>,
+}
+
+/// Forgets a closed connection: drops its `Conn` (and the two socket
+/// clones inside) from `conns` and detaches its reader handle. The
+/// reader is at (or past) its exit when this runs, so dropping the
+/// handle leaks nothing; a *panicking* reader never reaches this path
+/// and stays in `readers` for `shutdown` to join and report.
+fn remove_conn<S: PageStore + 'static>(shared: &Shared<S>, conn: &Conn) {
+    shared.conns.lock().retain(|c| c.id != conn.id);
+    let mut readers = shared.readers.lock();
+    if let Some(i) = readers.iter().position(|(id, _)| *id == conn.id) {
+        readers.swap_remove(i);
+    }
 }
 
 /// The server. Construct with [`Server::start`]; the returned
@@ -204,6 +224,13 @@ impl<S: PageStore + 'static> ServerHandle<S> {
         &self.shared.db
     }
 
+    /// Number of connections the server currently tracks. Closed
+    /// connections are forgotten as they drain, so on a quiesced server
+    /// this is the number of clients still connected.
+    pub fn active_connections(&self) -> usize {
+        self.shared.conns.lock().len()
+    }
+
     /// Metrics as JSON, with current I/O-counter gauges folded in —
     /// the same document the `Stats` protocol op returns.
     pub fn metrics_json(&self) -> String {
@@ -230,9 +257,17 @@ impl<S: PageStore + 'static> ServerHandle<S> {
         if let Some(acceptor) = self.acceptor.take() {
             panicked |= acceptor.join().is_err();
         }
+        // The acceptor may have passed its shutting_down check and
+        // registered one more connection after the half-close pass
+        // above. With the acceptor joined the conn set is final — close
+        // any straggler so its reader sees EOF instead of blocking
+        // forever (which would hang the joins below).
+        for conn in shared.conns.lock().iter() {
+            let _ = conn.sock.shutdown(Shutdown::Read);
+        }
         // Readers joined => every batch that will ever exist is queued.
         let readers = std::mem::take(&mut *shared.readers.lock());
-        for r in readers {
+        for (_, r) in readers {
             panicked |= r.join().is_err();
         }
         shared.readers_done.store(true, Ordering::SeqCst);
@@ -248,6 +283,7 @@ impl<S: PageStore + 'static> ServerHandle<S> {
 }
 
 fn acceptor_loop<S: PageStore + 'static>(shared: &Arc<Shared<S>>, listener: &TcpListener) {
+    let mut next_id = 0u64;
     for stream in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
             return;
@@ -257,7 +293,10 @@ fn acceptor_loop<S: PageStore + 'static>(shared: &Arc<Shared<S>>, listener: &Tcp
         let (Ok(sock), Ok(wsock)) = (stream.try_clone(), stream.try_clone()) else {
             continue;
         };
+        next_id += 1;
+        let id = next_id;
         let conn = Arc::new(Conn {
+            id,
             sock,
             writer: Mutex::new(BufWriter::new(wsock)),
             state: Mutex::new(ConnState {
@@ -273,10 +312,23 @@ fn acceptor_loop<S: PageStore + 'static>(shared: &Arc<Shared<S>>, listener: &Tcp
             .name("ccam-reader".to_string())
             .spawn(move || reader_loop(&reader_shared, &conn, stream));
         match handle {
-            Ok(h) => shared.readers.lock().push(h),
+            Ok(h) => {
+                shared.readers.lock().push((id, h));
+                // An instantly-exiting reader may have run its cleanup
+                // before the handle was registered above; if the conn is
+                // already gone from `conns`, sweep the handle now.
+                if !shared.conns.lock().iter().any(|c| c.id == id) {
+                    let mut readers = shared.readers.lock();
+                    if let Some(i) = readers.iter().position(|(rid, _)| *rid == id) {
+                        readers.swap_remove(i);
+                    }
+                }
+            }
             Err(_) => {
-                // Could not spawn: drop the connection (conn stays in
-                // `conns` harmlessly; its socket closes here).
+                // Could not spawn a reader: nobody will ever service or
+                // clean up this connection — forget it (its sockets
+                // close with the last Arc here).
+                shared.conns.lock().retain(|c| c.id != id);
             }
         }
     }
@@ -292,19 +344,19 @@ fn reader_loop<S: PageStore + 'static>(
         let payload = match read_frame(&mut reader) {
             Ok(Some(p)) => p,
             // Clean EOF, client reset, or our own shutdown(Read).
-            Ok(None) | Err(_) => return reader_exit(conn),
+            Ok(None) | Err(_) => return reader_exit(shared, conn),
         };
         let (tag, batch) = match decode_request_batch(&payload) {
             Ok(b) => b,
             Err(_) => {
                 shared.metrics.inc_by("serve.bad_frames", 1);
                 respond_flat(conn, 0, Status::BadRequest, 1);
-                return reader_exit(conn);
+                return reader_exit(shared, conn);
             }
         };
         if shared.shutting_down.load(Ordering::SeqCst) {
             respond_flat(conn, tag, Status::ShuttingDown, batch.len());
-            return reader_exit(conn);
+            return reader_exit(shared, conn);
         }
         let batch_len = batch.len();
         let enqueued = {
@@ -333,16 +385,21 @@ fn reader_loop<S: PageStore + 'static>(
 }
 
 /// Marks the reader as gone; if no batch is queued or in flight, fully
-/// closes the socket here (otherwise the worker that drains the last
-/// batch does). Without this the client would never see EOF — socket
-/// clones live on inside the `Conn` until the server drops.
-fn reader_exit(conn: &Conn) {
-    let mut st = conn.state.lock();
-    st.reader_gone = true;
-    // Close here only when idle; otherwise the worker parking the
-    // connection sees `reader_gone` (same lock) and closes.
-    if st.queue.is_empty() && !st.scheduled {
+/// closes the socket and forgets the connection here (otherwise the
+/// worker that drains the last batch does). Without this the client
+/// would never see EOF and the server would accumulate a `Conn` — two
+/// socket fds — plus a reader handle per connection until shutdown.
+fn reader_exit<S: PageStore + 'static>(shared: &Shared<S>, conn: &Conn) {
+    let idle = {
+        let mut st = conn.state.lock();
+        st.reader_gone = true;
+        // Clean up here only when idle; otherwise the worker parking
+        // the connection sees `reader_gone` (same lock) and does it.
+        st.queue.is_empty() && !st.scheduled
+    };
+    if idle {
         let _ = conn.sock.shutdown(Shutdown::Both);
+        remove_conn(shared, conn);
     }
 }
 
@@ -387,18 +444,21 @@ fn worker_loop<S: PageStore + 'static>(shared: &Arc<Shared<S>>) {
         // lock so a reader enqueueing concurrently either sees
         // `scheduled` still true (we will reschedule) or false (it
         // schedules itself) — a batch can never be stranded.
-        let more = {
+        let (more, reap) = {
             let mut st = conn.state.lock();
             if st.queue.is_empty() {
                 st.scheduled = false;
-                if st.reader_gone {
-                    let _ = conn.sock.shutdown(Shutdown::Both);
-                }
-                false
+                (false, st.reader_gone)
             } else {
-                true
+                (true, false)
             }
         };
+        if reap {
+            // The reader is gone and we just drained its last batch:
+            // this connection is dead — close it and forget it.
+            let _ = conn.sock.shutdown(Shutdown::Both);
+            remove_conn(shared, &conn);
+        }
         // The inflight decrement shares the run-queue lock with the
         // workers' exit check, so a batch being rescheduled is never
         // invisible to that check.

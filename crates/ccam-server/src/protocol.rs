@@ -353,6 +353,11 @@ pub fn encode_response_batch(tag: u32, resps: &[Response]) -> Vec<u8> {
             Response::Records(nodes) => {
                 out.push(Status::Ok as u8);
                 out.push(OpCode::GetSuccessors as u8);
+                // A record's successor list is itself u16-counted, so a
+                // legitimate GetSuccessors result always fits; anything
+                // larger must fail loudly rather than truncate the count
+                // and emit a frame the client cannot decode.
+                assert!(nodes.len() <= u16::MAX as usize);
                 out.extend_from_slice(&(nodes.len() as u16).to_le_bytes());
                 for node in nodes {
                     let rec = encode_record(node);

@@ -34,6 +34,33 @@ fn start_server(config: ServerConfig) -> (ServerHandle<ccam_storage::MemPageStor
     (Server::start(db, config).unwrap(), net)
 }
 
+/// A long-running server must forget closed connections (each holds two
+/// socket fds plus a reader handle) instead of accumulating them until
+/// shutdown — whether the client disconnects idle or right after a
+/// served batch.
+#[test]
+fn closed_connections_are_forgotten() {
+    let (handle, net) = start_server(ServerConfig::default());
+    let a = net.node_ids()[0];
+    for busy in [false, true] {
+        for _ in 0..4 {
+            let mut client = Client::connect(handle.local_addr()).unwrap();
+            if busy {
+                let resps = client.call(&[Request::Find(a)]).unwrap();
+                assert_eq!(resps.len(), 1);
+            }
+            drop(client);
+        }
+    }
+    // Readers observe the EOFs asynchronously; poll with a deadline.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while handle.active_connections() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(handle.active_connections(), 0, "closed connections leaked");
+    handle.shutdown().unwrap();
+}
+
 #[test]
 fn batched_queries_round_trip() {
     let (handle, net) = start_server(ServerConfig::default());

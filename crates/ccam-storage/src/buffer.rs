@@ -892,8 +892,14 @@ impl<S: PageStore> LinearPool<S> {
     }
 
     /// Pins page `id` (faulting it in on a miss) and returns its frame.
-    /// The whole miss path — store read, eviction, install — runs under
-    /// the one state lock, so there is no double-fault race to handle.
+    /// The miss path — store read, eviction, install — runs under the
+    /// one state lock, with one exception: `evict_to` waits on the
+    /// condvar (releasing the lock) when every frame is pinned. When
+    /// that happens the install step re-checks residency (a concurrent
+    /// miss on the same page may have installed it — pin that frame
+    /// rather than admit a divergent duplicate) and re-reads the page
+    /// (the pre-wait read is stale if the page was modified and written
+    /// back while we slept).
     fn acquire(&self, id: PageId) -> StorageResult<Arc<Frame>> {
         let mut s = self.state.lock();
         s.tick += 1;
@@ -923,7 +929,37 @@ impl<S: PageStore> LinearPool<S> {
             return Err(e);
         }
         let room = s.capacity - 1;
-        self.evict_to(&mut s, room)?;
+        if self.evict_to(&mut s, room)? {
+            // The condvar wait released the state lock, so the world
+            // may have moved: a concurrent miss on this same page may
+            // have installed it (pin that frame — a second copy would
+            // diverge and lose whichever writes back last), and our
+            // speculative read may be stale if the page was modified
+            // and written back while we slept. The lock is now held
+            // continuously through install, so the re-read is current.
+            s.tick += 1;
+            let retick = s.tick;
+            if let Some(lf) = s.frames.iter_mut().find(|lf| lf.frame.id == id) {
+                lf.last_used = retick;
+                lf.pins += 1;
+                let frame = Arc::clone(&lf.frame);
+                s.counters.hits += 1;
+                drop(s);
+                self.stats.record_hit();
+                self.stats.record_page_event(id, PageAccessKind::Hit);
+                return Ok(frame);
+            }
+            if !s.store.is_live(id) {
+                return Err(StorageError::InvalidPage(id));
+            }
+            if let Err(e) = s.store.read(id, &mut data) {
+                if matches!(e, StorageError::ChecksumMismatch { .. }) {
+                    self.stats.record_checksum_failure();
+                    crate::trace_event!("buffer", "checksum failure on page {}", id.0);
+                }
+                return Err(e);
+            }
+        }
         s.counters.misses += 1;
         self.stats.record_read();
         self.stats.record_page_event(id, PageAccessKind::Miss);
@@ -973,15 +1009,19 @@ impl<S: PageStore> LinearPool<S> {
     /// Evicts minimum-tick unpinned frames (writing dirty ones back)
     /// until at most `target` remain. Waits on the condvar when every
     /// frame is pinned. A failed write-back reinstates the victim (its
-    /// tick keeps its recency) and propagates the error.
+    /// tick keeps its recency) and propagates the error. Returns
+    /// whether the condvar wait ran — i.e. whether the state lock was
+    /// released at any point, obliging the caller to revalidate what it
+    /// observed before the call.
     fn evict_to(
         &self,
         s: &mut parking_lot::MutexGuard<'_, LinearState<S>>,
         target: usize,
-    ) -> StorageResult<()> {
+    ) -> StorageResult<bool> {
+        let mut waited = false;
         loop {
             if s.frames.len() <= target {
-                return Ok(());
+                return Ok(waited);
             }
             let victim = s
                 .frames
@@ -994,6 +1034,7 @@ impl<S: PageStore> LinearPool<S> {
                 self.waiters.fetch_add(1, Ordering::Relaxed);
                 self.cv.wait(s);
                 self.waiters.fetch_sub(1, Ordering::Relaxed);
+                waited = true;
                 continue;
             };
             let lf = s.frames.swap_remove(i);
@@ -1510,6 +1551,59 @@ mod tests {
             let ok = p.with_page(id, |buf| buf.iter().all(|&x| x == 1)).unwrap();
             assert!(ok);
         }
+    }
+
+    /// Two threads missing on the same page while every frame is pinned
+    /// both park in `evict_to`; the wait releases the state lock, so the
+    /// loser must dedup against (or re-read after) the winner's install
+    /// instead of admitting a stale duplicate frame — either failure
+    /// loses one of the increments below.
+    #[test]
+    fn linear_concurrent_misses_on_same_page_lose_no_updates() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+        let p = linear_pool(2);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        let t = p.allocate().unwrap();
+        p.clear().unwrap();
+        let (pinned_tx, pinned_rx) = mpsc::channel();
+        let (rel_a_tx, rel_a_rx) = mpsc::channel::<()>();
+        let (rel_b_tx, rel_b_rx) = mpsc::channel::<()>();
+        std::thread::scope(|sc| {
+            let p = &p;
+            let pa_tx = pinned_tx.clone();
+            sc.spawn(move || {
+                p.with_page(a, move |_| {
+                    pa_tx.send(()).unwrap();
+                    let _ = rel_a_rx.recv();
+                })
+                .unwrap();
+            });
+            sc.spawn(move || {
+                p.with_page(b, move |_| {
+                    pinned_tx.send(()).unwrap();
+                    let _ = rel_b_rx.recv();
+                })
+                .unwrap();
+            });
+            pinned_rx.recv().unwrap();
+            pinned_rx.recv().unwrap();
+            // Both capacity-2 frames are now pinned: the misses below
+            // cannot find a victim until `a` is released.
+            let missers: Vec<_> = (0..2)
+                .map(|_| sc.spawn(move || p.with_page_mut(t, |buf| buf[0] += 1).unwrap()))
+                .collect();
+            std::thread::sleep(Duration::from_millis(100));
+            rel_a_tx.send(()).unwrap();
+            for m in missers {
+                m.join().unwrap();
+            }
+            rel_b_tx.send(()).unwrap();
+        });
+        assert_eq!(p.resident_pages().iter().filter(|&&id| id == t).count(), 1);
+        let v = p.with_page(t, |buf| buf[0]).unwrap();
+        assert_eq!(v, 2);
     }
 
     #[test]
