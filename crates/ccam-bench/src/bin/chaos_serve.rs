@@ -1,0 +1,523 @@
+//! Seeded chaos harness for the serving layer — `serve_load`'s hostile
+//! twin, writing `BENCH_PR7.json`.
+//!
+//! ```text
+//! chaos_serve [--seconds S] [--seed N] [--connections N] [--batch N]
+//!             [--workers N] [--queue-depth N] [--out FILE]
+//!             [--max-p99-us N] [--error-budget-per-1024 N]
+//! ```
+//!
+//! The harness owns the whole stack, so every fault is injected, seeded
+//! and accounted for:
+//!
+//! * **Storage chaos** — the database is built on `RetryStore` (jittered
+//!   backoff) over `ChaosStore` (seeded transient I/O glitches, latency
+//!   stalls, per-page corruption, ENOSPC pulses) over `MemPageStore`.
+//!   The store is armed only after a clean build. Mid-run, one data
+//!   page is corrupted (forcing degraded reads) and later healed; a
+//!   disk-full pulse proves reads don't depend on writability.
+//! * **Network chaos** — alongside closed-loop good clients: a
+//!   *staller* that writes half a frame and freezes (must be reaped by
+//!   the idle timeout), a *half-closer* that sends a valid frame and
+//!   shuts down its write side (must still be answered), and a
+//!   *vanisher* that pipelines frames and drops the socket with
+//!   responses unread (server writes must fail fast, not wedge).
+//!
+//! Exit is non-zero unless every SLO holds: zero worker panics, clean
+//! graceful drain, the staller reaped, degraded reads observed, p99
+//! batch latency under the bound, and non-injected errors within the
+//! budget (`Internal` responses are charged against the store's own
+//! injected-fault count first — an injected fault surfacing as a typed
+//! error is the system working).
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ccam_core::epoch::EpochCell;
+use ccam_core::{AccessMethod, CcamBuilder};
+use ccam_graph::roadmap::{road_map, RoadMapConfig};
+use ccam_graph::{Network, NodeId};
+use ccam_server::client::{Backoff, Client};
+use ccam_server::protocol::{Request, Response, Status};
+use ccam_server::{Server, ServerConfig};
+use ccam_storage::{ChaosConfig, ChaosStore, MemPageStore, RetryPolicy, RetryStore};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+struct Config {
+    seconds: u64,
+    seed: u64,
+    connections: usize,
+    batch: usize,
+    workers: usize,
+    queue_depth: usize,
+    out: String,
+    max_p99_us: u64,
+    /// Non-injected errors allowed per 1024 good-client requests.
+    error_budget_per_1024: u64,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        seconds: 5,
+        seed: 42,
+        connections: 4,
+        batch: 8,
+        workers: 2,
+        queue_depth: 8,
+        out: "BENCH_PR7.json".to_string(),
+        max_p99_us: 500_000,
+        error_budget_per_1024: 10,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).unwrap_or_else(|| die("missing value")).clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seconds" => cfg.seconds = value(&mut i).parse().unwrap_or(5),
+            "--seed" => cfg.seed = value(&mut i).parse().unwrap_or(42),
+            "--connections" => cfg.connections = value(&mut i).parse().unwrap_or(4),
+            "--batch" => cfg.batch = value(&mut i).parse().unwrap_or(8),
+            "--workers" => cfg.workers = value(&mut i).parse().unwrap_or(2),
+            "--queue-depth" => cfg.queue_depth = value(&mut i).parse().unwrap_or(8),
+            "--out" => cfg.out = value(&mut i),
+            "--max-p99-us" => cfg.max_p99_us = value(&mut i).parse().unwrap_or(500_000),
+            "--error-budget-per-1024" => {
+                cfg.error_budget_per_1024 = value(&mut i).parse().unwrap_or(10)
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    cfg
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("chaos_serve: {msg}");
+    std::process::exit(2);
+}
+
+struct Workload {
+    ids: Vec<NodeId>,
+    walks: Vec<Vec<NodeId>>,
+}
+
+fn workload_from(net: &Network, seed: u64) -> Workload {
+    let ids = net.node_ids();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut walks = Vec::with_capacity(128);
+    for _ in 0..128 {
+        let mut walk = vec![ids[rng.random_range(0..ids.len())]];
+        for _ in 0..4 {
+            let cur = *walk.last().unwrap();
+            let Some(node) = net.nodes().find(|n| n.id == cur) else {
+                break;
+            };
+            if node.successors.is_empty() {
+                break;
+            }
+            let e = &node.successors[rng.random_range(0..node.successors.len())];
+            walk.push(e.to);
+        }
+        walks.push(walk);
+    }
+    Workload { ids, walks }
+}
+
+fn sample_request(rng: &mut StdRng, w: &Workload) -> Request {
+    let pick = rng.random_range(0..100u32);
+    let id = w.ids[rng.random_range(0..w.ids.len())];
+    if pick < 55 {
+        Request::Find(id)
+    } else if pick < 80 {
+        Request::GetSuccessors(id)
+    } else if pick < 92 {
+        Request::Route(w.walks[rng.random_range(0..w.walks.len())].clone())
+    } else {
+        let walk = &w.walks[rng.random_range(0..w.walks.len())];
+        Request::RangeAggregate(walk.windows(2).map(|p| (p[0], p[1])).collect())
+    }
+}
+
+/// Good-client response tallies, by outcome class.
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    overloaded: u64,
+    deadline: u64,
+    degraded: u64,
+    internal: u64,
+    unexpected: u64,
+    reconnects: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn run_good_client(
+    addr: std::net::SocketAddr,
+    w: &Workload,
+    seed: u64,
+    deadline: Instant,
+) -> Tally {
+    let mut tally = Tally::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut backoff = Backoff::new(
+        3,
+        Duration::from_micros(500),
+        Duration::from_millis(10),
+        seed,
+    );
+    let mut client: Option<Client> = None;
+    while Instant::now() < deadline {
+        let c = match &mut client {
+            Some(c) => c,
+            None => match Client::connect(addr) {
+                Ok(mut c) => {
+                    let _ = c.set_io_timeout(Some(Duration::from_secs(10)));
+                    c.set_deadline_ms(0); // server default budget
+                    client.insert(c)
+                }
+                Err(_) => {
+                    tally.reconnects += 1;
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            },
+        };
+        let batch: Vec<Request> = (0..8).map(|_| sample_request(&mut rng, w)).collect();
+        let start = Instant::now();
+        match c.call_with_retry(&batch, &mut backoff) {
+            Ok(resps) => {
+                tally.latencies_us.push(start.elapsed().as_micros() as u64);
+                for r in &resps {
+                    match r {
+                        Response::Error(Status::Overloaded, _) => tally.overloaded += 1,
+                        Response::Error(Status::DeadlineExceeded, _) => tally.deadline += 1,
+                        Response::Error(Status::Degraded, _) | Response::RecordsDegraded { .. } => {
+                            tally.degraded += 1
+                        }
+                        Response::Error(Status::Internal, _) => tally.internal += 1,
+                        Response::Error(..)
+                            if !matches!(r, Response::Error(Status::NotFound, _)) =>
+                        {
+                            tally.unexpected += 1
+                        }
+                        _ => tally.ok += 1,
+                    }
+                }
+            }
+            Err(_) => {
+                // Transport failure (e.g. our connection was severed
+                // while a fault client thrashed the server, or an io
+                // timeout): the framing is unusable — reconnect.
+                tally.reconnects += 1;
+                client = None;
+            }
+        }
+    }
+    tally
+}
+
+/// Writes half a frame and freezes. Returns true when the server
+/// severs the connection (EOF/reset) within five idle-timeout periods.
+fn run_staller(addr: std::net::SocketAddr, idle_timeout: Duration) -> bool {
+    let Ok(mut sock) = TcpStream::connect(addr) else {
+        return false;
+    };
+    if sock.write_all(&64u32.to_le_bytes()).is_err() || sock.write_all(&[0u8; 8]).is_err() {
+        return false;
+    }
+    let _ = sock.flush();
+    let _ = sock.set_read_timeout(Some(idle_timeout * 5));
+    let mut sink = [0u8; 16];
+    matches!(sock.read(&mut sink), Ok(0) | Err(_))
+}
+
+/// Sends one valid frame, half-closes its write side, and expects the
+/// full response followed by EOF. Returns true on that exact shape.
+fn run_half_closer(addr: std::net::SocketAddr, w: &Workload) -> bool {
+    let Ok(mut client) = Client::connect(addr) else {
+        return false;
+    };
+    let _ = client.set_io_timeout(Some(Duration::from_secs(10)));
+    let reqs = vec![Request::Find(w.ids[0]), Request::GetSuccessors(w.ids[1])];
+    let payload = ccam_server::protocol::encode_request_batch(7, 0, &reqs);
+    if client.send_raw(&payload).is_err() || client.close_write().is_err() {
+        return false;
+    }
+    match client.recv_raw() {
+        Ok(Some(frame)) => {
+            ccam_server::protocol::decode_response_batch(&frame)
+                .map(|(_, resps)| resps.len() == reqs.len())
+                .unwrap_or(false)
+                && client.drain().is_ok()
+        }
+        _ => false,
+    }
+}
+
+/// Pipelines frames and vanishes with responses unread (close with
+/// unread data resets the connection under the server's writes).
+fn run_vanisher(addr: std::net::SocketAddr, w: &Workload) {
+    let Ok(mut client) = Client::connect(addr) else {
+        return;
+    };
+    let heavy: Vec<Request> = w
+        .ids
+        .iter()
+        .take(64)
+        .map(|&id| Request::GetSuccessors(id))
+        .collect();
+    for tag in 0..6u32 {
+        let payload = ccam_server::protocol::encode_request_batch(tag, 0, &heavy);
+        if client.send_raw(&payload).is_err() {
+            return;
+        }
+    }
+    std::thread::sleep(Duration::from_millis(25));
+    // Drop: responses unread in the socket buffer → RST on close.
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let cfg = parse_args();
+    let net = road_map(&RoadMapConfig {
+        grid_w: 20,
+        grid_h: 20,
+        removed_nodes: 8,
+        target_segments: 650,
+        target_directed: 1150,
+        cell: 64,
+        jitter: 24,
+        seed: 5,
+    });
+    let w = workload_from(&net, cfg.seed);
+
+    // Production-shaped stack: retries (jittered, really sleeping)
+    // absorb short glitch bursts; only over-budget faults reach the
+    // access method — where the server degrades or answers Internal.
+    let (chaos, controller) = ChaosStore::new(
+        MemPageStore::new(1024).unwrap_or_else(|e| die(&format!("store: {e}"))),
+        ChaosConfig {
+            seed: cfg.seed,
+            ..ChaosConfig::default()
+        },
+    );
+    let retry = RetryStore::with_sleeper(
+        chaos,
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ticks: 1,
+            max_delay_ticks: 8,
+            jitter_seed: None,
+        }
+        .with_jitter(cfg.seed),
+        |ticks| std::thread::sleep(Duration::from_micros(ticks * 100)),
+    );
+    let am = CcamBuilder::new(1024)
+        .build_static_on(retry, &net)
+        .unwrap_or_else(|e| die(&format!("build: {e}")));
+    let target = net.node_ids()[17];
+    let target_page = am
+        .file()
+        .page_of(target)
+        .ok()
+        .flatten()
+        .unwrap_or_else(|| die("target node has no page"));
+    let db = Arc::new(EpochCell::new(am));
+
+    let idle_timeout = Duration::from_millis(700);
+    let handle = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: cfg.workers,
+            queue_depth: cfg.queue_depth,
+            idle_timeout_ms: idle_timeout.as_millis() as u64,
+            write_timeout_ms: 500,
+            deadline_ms: 200,
+        },
+    )
+    .unwrap_or_else(|e| die(&format!("server: {e}")));
+    let addr = handle.local_addr();
+    eprintln!(
+        "chaos_serve: seed {} — {} good clients + 3 fault clients against {addr} for {}s",
+        cfg.seed, cfg.connections, cfg.seconds
+    );
+
+    // Open the chaos valve only now: the build above ran clean.
+    controller.arm();
+
+    let wall = Instant::now();
+    let run_deadline = wall + Duration::from_secs(cfg.seconds);
+    let stop = AtomicBool::new(false);
+    let half_close_ok = AtomicU64::new(0);
+    let half_close_runs = AtomicU64::new(0);
+
+    let (tallies, staller_reaped) = std::thread::scope(|s| {
+        let good: Vec<_> = (0..cfg.connections)
+            .map(|i| {
+                let w = &w;
+                s.spawn(move || run_good_client(addr, w, cfg.seed + i as u64, run_deadline))
+            })
+            .collect();
+        let staller = s.spawn(|| run_staller(addr, idle_timeout));
+        let stop_ref = &stop;
+        let (hc_ok, hc_runs) = (&half_close_ok, &half_close_runs);
+        let w_ref = &w;
+        s.spawn(move || {
+            while !stop_ref.load(Ordering::Relaxed) && Instant::now() < run_deadline {
+                hc_runs.fetch_add(1, Ordering::Relaxed);
+                if run_half_closer(addr, w_ref) {
+                    hc_ok.fetch_add(1, Ordering::Relaxed);
+                }
+                run_vanisher(addr, w_ref);
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+
+        // Mid-run targeted faults, healed before the run ends.
+        let controller = &controller;
+        let db = &db;
+        s.spawn(move || {
+            let phase = Duration::from_secs(cfg.seconds) / 4;
+            std::thread::sleep(phase);
+            // Corrupt one data page: reads of it must degrade, not 500.
+            // Flush first (a dirty page written back later would heal
+            // the corruption), mark, then keep evicting for the whole
+            // phase — under live traffic a single eviction races the
+            // workers, who can fault the page back in clean between
+            // the clear and the mark and pin the pre-fault copy in
+            // cache forever.
+            db.read().file().pool().clear().ok();
+            controller.corruption.mark_corrupt(target_page);
+            // ENOSPC pulse: the read path owes nothing to writability.
+            controller.disk.fill_after(0, false);
+            let heal_at = Instant::now() + phase;
+            while Instant::now() < heal_at {
+                db.read().file().pool().clear().ok();
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            controller.disk.drain();
+            controller.corruption.clear_corrupt(target_page);
+            db.read().file().clear_quarantined();
+        });
+
+        let tallies: Vec<Tally> = good
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| die("good client panicked")))
+            .collect();
+        stop.store(true, Ordering::Relaxed);
+        let reaped = staller.join().unwrap_or(false);
+        (tallies, reaped)
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    controller.disarm();
+    let injected = controller.injected_faults();
+    let metrics = Arc::clone(handle.metrics());
+    let graceful_drain = handle.shutdown().is_ok();
+
+    let mut t = Tally::default();
+    for mut x in tallies {
+        t.ok += x.ok;
+        t.overloaded += x.overloaded;
+        t.deadline += x.deadline;
+        t.degraded += x.degraded;
+        t.internal += x.internal;
+        t.unexpected += x.unexpected;
+        t.reconnects += x.reconnects;
+        t.latencies_us.append(&mut x.latencies_us);
+    }
+    t.latencies_us.sort_unstable();
+    let total = t.ok + t.overloaded + t.deadline + t.degraded + t.internal + t.unexpected;
+    let p99 = percentile(&t.latencies_us, 0.99);
+    let worker_panics = metrics.counter("serve.worker_panics");
+    let degraded_reads = metrics.counter("serve.degraded_reads");
+    let idle_reaped = metrics.counter("serve.idle_reaped");
+    // Internal responses are charged against the store's own injected
+    // faults first; only the excess (plus protocol-level surprises)
+    // counts against the error budget.
+    let non_injected = t.internal.saturating_sub(injected) + t.unexpected;
+    let budget = (total.max(1) * cfg.error_budget_per_1024) / 1024;
+
+    let mut violations: Vec<String> = Vec::new();
+    if worker_panics > 0 {
+        violations.push(format!("{worker_panics} worker panics (want 0)"));
+    }
+    if !graceful_drain {
+        violations.push("shutdown did not drain cleanly".to_string());
+    }
+    if !staller_reaped {
+        violations.push("stalled half-frame client was not reaped".to_string());
+    }
+    if degraded_reads == 0 {
+        violations.push("no degraded reads despite page corruption".to_string());
+    }
+    if non_injected > budget {
+        violations.push(format!(
+            "{non_injected} non-injected errors exceed budget {budget} ({}/1024 of {total})",
+            cfg.error_budget_per_1024
+        ));
+    }
+    if cfg.max_p99_us > 0 && p99 > cfg.max_p99_us {
+        violations.push(format!("p99 {p99}us over bound {}us", cfg.max_p99_us));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"chaos_serve\",\n  \"config\": {{\n    \"seed\": {},\n    \"seconds\": {},\n    \"connections\": {},\n    \"workers\": {},\n    \"queue_depth\": {}\n  }},\n  \"results\": {{\n    \"qps\": {:.1},\n    \"ok\": {},\n    \"overloaded\": {},\n    \"deadline_exceeded\": {},\n    \"degraded\": {},\n    \"internal\": {},\n    \"unexpected\": {},\n    \"reconnects\": {},\n    \"p50_us\": {},\n    \"p99_us\": {},\n    \"injected_faults\": {},\n    \"injected_stalls\": {},\n    \"non_injected_errors\": {},\n    \"worker_panics\": {},\n    \"degraded_reads\": {},\n    \"idle_reaped\": {},\n    \"half_close_answered\": {},\n    \"half_close_runs\": {},\n    \"staller_reaped\": {},\n    \"graceful_drain\": {},\n    \"slo_violations\": {}\n  }}\n}}\n",
+        cfg.seed,
+        cfg.seconds,
+        cfg.connections,
+        cfg.workers,
+        cfg.queue_depth,
+        t.ok as f64 / elapsed,
+        t.ok,
+        t.overloaded,
+        t.deadline,
+        t.degraded,
+        t.internal,
+        t.unexpected,
+        t.reconnects,
+        percentile(&t.latencies_us, 0.50),
+        p99,
+        injected,
+        controller.injected_stalls(),
+        non_injected,
+        worker_panics,
+        degraded_reads,
+        idle_reaped,
+        half_close_ok.load(Ordering::Relaxed),
+        half_close_runs.load(Ordering::Relaxed),
+        staller_reaped,
+        graceful_drain,
+        violations.len(),
+    );
+    std::fs::write(&cfg.out, &json).unwrap_or_else(|e| die(&format!("--out {}: {e}", cfg.out)));
+    println!(
+        "ok {}  degraded {}  deadline {}  internal {} (injected {})  unexpected {}  p99 {}us  panics {}  drain {}",
+        t.ok, t.degraded, t.deadline, t.internal, injected, t.unexpected, p99, worker_panics, graceful_drain
+    );
+    let _ = std::io::stdout().flush();
+
+    if violations.is_empty() {
+        eprintln!("chaos_serve: all SLOs held");
+    } else {
+        for v in &violations {
+            eprintln!("chaos_serve: SLO VIOLATION — {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -15,7 +15,11 @@
 //! deterministic per seed: connection *i* draws from
 //! `StdRng::seed_from_u64(seed + i)` over the node ids and 4-hop walks
 //! of the `--net` file (which must be the file the served database was
-//! built from).
+//! built from). Batches the server sheds wholesale as `Overloaded` are
+//! retried through the client's seeded jittered backoff
+//! (`Client::call_with_retry`) — the behavior of a production caller,
+//! so reported QPS reflects goodput under backpressure, not raw
+//! rejection throughput.
 //!
 //! Reported: sustained QPS (completed, non-rejected requests/sec),
 //! batch round-trip latency p50/p95/p99 in microseconds, overload
@@ -29,7 +33,7 @@ use std::time::{Duration, Instant};
 
 use ccam_graph::roadmap::{road_map, RoadMapConfig};
 use ccam_graph::{load_network, Network, NodeId};
-use ccam_server::client::Client;
+use ccam_server::client::{Backoff, Client};
 use ccam_server::protocol::{Request, Response, Status};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -160,13 +164,22 @@ fn run_connection(
 ) -> std::io::Result<ConnResult> {
     let mut client = Client::connect(&*cfg.addr)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed + conn_index as u64);
+    // Shed batches (all-Overloaded rejections) are resent after a
+    // short jittered backoff — seeded per connection, so rejected
+    // connections desynchronize deterministically.
+    let mut backoff = Backoff::new(
+        3,
+        Duration::from_micros(200),
+        Duration::from_millis(5),
+        cfg.seed ^ conn_index as u64,
+    );
     let mut res = ConnResult::default();
     while Instant::now() < deadline {
         let batch: Vec<Request> = (0..cfg.batch)
             .map(|_| sample_request(&mut rng, w, &cfg.mix))
             .collect();
         let start = Instant::now();
-        let resps = client.call(&batch)?;
+        let resps = client.call_with_retry(&batch, &mut backoff)?;
         res.latencies_us.push(start.elapsed().as_micros() as u64);
         for r in &resps {
             match r {

@@ -43,9 +43,26 @@ pub fn route_unit_aggregate<S: PageStore>(
     am: &dyn AccessMethod<S>,
     arcs: &[(NodeId, NodeId)],
 ) -> StorageResult<RouteUnitAggregate> {
+    Ok(route_unit_aggregate_bounded(am, arcs, &mut || false)?
+        .expect("never-cancelling aggregation always completes"))
+}
+
+/// [`route_unit_aggregate`] with a cancellation hook for
+/// deadline-bounded callers: `cancel` is polled once per arc, and a
+/// `true` abandons the aggregation, returning `Ok(None)` (a partial
+/// aggregate would be indistinguishable from a complete one — the
+/// counts are the answer, so there is nothing useful to salvage).
+pub fn route_unit_aggregate_bounded<S: PageStore>(
+    am: &dyn AccessMethod<S>,
+    arcs: &[(NodeId, NodeId)],
+    cancel: &mut dyn FnMut() -> bool,
+) -> StorageResult<Option<RouteUnitAggregate>> {
     let mut agg = RouteUnitAggregate::default();
     let mut seen: Vec<NodeId> = Vec::new();
     for &(from, to) in arcs {
+        if cancel() {
+            return Ok(None);
+        }
         let Some(rec) = (if seen.contains(&from) {
             // Already aggregated; still need the edge cost.
             am.get_a_successor(from, from)?
@@ -76,7 +93,7 @@ pub fn route_unit_aggregate<S: PageStore>(
             }
         }
     }
-    Ok(agg)
+    Ok(Some(agg))
 }
 
 /// Evaluates a tour: a route whose last node must equal its first.
@@ -152,6 +169,28 @@ mod tests {
         assert_eq!(agg.arcs_missing, 0);
         assert_eq!(agg.total_cost, 3);
         assert_eq!(agg.nodes_retrieved, 4);
+    }
+
+    #[test]
+    fn route_unit_cancellation_returns_none() {
+        let net = grid_network(4, 1, 1.0);
+        let am = CcamBuilder::new(512).build_static(&net).unwrap();
+        let arcs = [
+            (zorder_id(0, 0), zorder_id(1, 0)),
+            (zorder_id(1, 0), zorder_id(2, 0)),
+        ];
+        let mut polls = 0;
+        let mut cancel = || {
+            polls += 1;
+            polls > 1
+        };
+        assert!(route_unit_aggregate_bounded(&am, &arcs, &mut cancel)
+            .unwrap()
+            .is_none());
+        let full = route_unit_aggregate_bounded(&am, &arcs, &mut || false)
+            .unwrap()
+            .unwrap();
+        assert_eq!(full, route_unit_aggregate(&am, &arcs).unwrap());
     }
 
     #[test]

@@ -18,8 +18,10 @@ pub mod search;
 pub mod spatial;
 pub mod traversal;
 
-pub use aggregate::{evaluate_tour, location_allocation, route_unit_aggregate};
-pub use route::{evaluate_route, RouteEvaluation};
+pub use aggregate::{
+    evaluate_tour, location_allocation, route_unit_aggregate, route_unit_aggregate_bounded,
+};
+pub use route::{evaluate_route, evaluate_route_bounded, RouteEvaluation};
 pub use search::{a_star, dijkstra, SearchResult};
 pub use spatial::SpatialIndex;
 pub use traversal::{reachable_hops, reachable_within, transitive_closure_from};

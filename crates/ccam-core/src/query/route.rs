@@ -37,20 +37,41 @@ pub fn evaluate_route<S: PageStore>(
     am: &dyn AccessMethod<S>,
     route: &Route,
 ) -> StorageResult<RouteEvaluation> {
+    Ok(evaluate_route_bounded(am, route, &mut || false)?
+        .expect("never-cancelling evaluation always completes"))
+}
+
+/// [`evaluate_route`] with a cancellation hook for deadline-bounded
+/// callers: `cancel` is polled once per hop (i.e. per
+/// `Get-A-successor`), and a `true` abandons the walk, returning
+/// `Ok(None)` — distinct from a storage error, and from a complete
+/// evaluation. A serving layer maps it to a deadline-exceeded status; a
+/// long route over a cold buffer pool is otherwise unboundedly slow.
+pub fn evaluate_route_bounded<S: PageStore>(
+    am: &dyn AccessMethod<S>,
+    route: &Route,
+    cancel: &mut dyn FnMut() -> bool,
+) -> StorageResult<Option<RouteEvaluation>> {
     let mut eval = RouteEvaluation {
         total_cost: 0,
         nodes_visited: 0,
         complete: true,
     };
     let Some(&first) = route.nodes.first() else {
-        return Ok(eval);
+        return Ok(Some(eval));
     };
+    if cancel() {
+        return Ok(None);
+    }
     let Some(mut current) = am.find(first)? else {
         eval.complete = false;
-        return Ok(eval);
+        return Ok(Some(eval));
     };
     eval.nodes_visited = 1;
     for &next_id in &route.nodes[1..] {
+        if cancel() {
+            return Ok(None);
+        }
         // The edge cost lives on the current node's successor list.
         let Some(edge) = current.successors.iter().find(|e| e.to == next_id) else {
             eval.complete = false;
@@ -64,7 +85,7 @@ pub fn evaluate_route<S: PageStore>(
         eval.nodes_visited += 1;
         current = next;
     }
-    Ok(eval)
+    Ok(Some(eval))
 }
 
 /// Convenience: evaluates a node-id sequence.
@@ -77,6 +98,21 @@ pub fn evaluate_path<S: PageStore>(
         &Route {
             nodes: nodes.to_vec(),
         },
+    )
+}
+
+/// Convenience: [`evaluate_route_bounded`] over a node-id sequence.
+pub fn evaluate_path_bounded<S: PageStore>(
+    am: &dyn AccessMethod<S>,
+    nodes: &[NodeId],
+    cancel: &mut dyn FnMut() -> bool,
+) -> StorageResult<Option<RouteEvaluation>> {
+    evaluate_route_bounded(
+        am,
+        &Route {
+            nodes: nodes.to_vec(),
+        },
+        cancel,
     )
 }
 
@@ -116,6 +152,26 @@ mod tests {
         let eval = evaluate_path(&am, &[NodeId(u64::MAX)]).unwrap();
         assert!(!eval.complete);
         assert_eq!(eval.nodes_visited, 0);
+    }
+
+    #[test]
+    fn cancellation_abandons_the_walk_with_none() {
+        let net = grid_network(8, 1, 1.0);
+        let am = CcamBuilder::new(512).build_static(&net).unwrap();
+        let nodes: Vec<_> = (0..8).map(|x| zorder_id(x, 0)).collect();
+        // Cancel after three polls: the walk stops mid-route.
+        let mut polls = 0;
+        let mut cancel = || {
+            polls += 1;
+            polls > 3
+        };
+        let out = evaluate_path_bounded(&am, &nodes, &mut cancel).unwrap();
+        assert!(out.is_none(), "cancelled evaluation must return None");
+        // A never-firing hook reproduces the unbounded result exactly.
+        let full = evaluate_path_bounded(&am, &nodes, &mut || false)
+            .unwrap()
+            .unwrap();
+        assert_eq!(full, evaluate_path(&am, &nodes).unwrap());
     }
 
     #[test]

@@ -1,11 +1,20 @@
 //! A minimal blocking client for the [`crate::protocol`] — used by the
-//! `serve_load` generator, the CLI and the tests.
+//! `serve_load` generator, the chaos harness, the CLI and the tests.
+//!
+//! Resilience lives here rather than in every caller: a client can
+//! propagate a per-request deadline (`set_deadline_ms`), bound its own
+//! socket waits (`set_io_timeout`), and retry `Overloaded` rejections
+//! with capped, jittered exponential backoff ([`Backoff`],
+//! [`Client::call_with_retry`]). I/O errors are *not* retried on the
+//! same connection — a partially read or written frame leaves the
+//! stream desynchronized, so callers reconnect instead.
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::protocol::{
-    decode_response_batch, encode_request_batch, read_frame, write_frame, Request, Response,
+    decode_response_batch, encode_request_batch, read_frame, write_frame, Request, Response, Status,
 };
 
 /// One TCP connection speaking the batch protocol, closed-loop: each
@@ -14,6 +23,7 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_tag: u32,
+    deadline_ms: u32,
 }
 
 impl Client {
@@ -27,7 +37,24 @@ impl Client {
             reader,
             writer: BufWriter::new(stream),
             next_tag: 1,
+            deadline_ms: 0,
         })
+    }
+
+    /// Sets the deadline field stamped on every subsequent request
+    /// frame, in milliseconds. 0 (the default) defers to the server's
+    /// configured default budget.
+    pub fn set_deadline_ms(&mut self, deadline_ms: u32) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// Bounds this client's own socket reads and writes: a server that
+    /// stops responding fails the call with `WouldBlock`/`TimedOut`
+    /// instead of hanging the caller forever. `None` restores blocking.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        let stream = self.writer.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)
     }
 
     /// Sends `reqs` as one batch frame and blocks for the matching
@@ -36,7 +63,10 @@ impl Client {
     pub fn call(&mut self, reqs: &[Request]) -> io::Result<Vec<Response>> {
         let tag = self.next_tag;
         self.next_tag = self.next_tag.wrapping_add(1);
-        write_frame(&mut self.writer, &encode_request_batch(tag, reqs))?;
+        write_frame(
+            &mut self.writer,
+            &encode_request_batch(tag, self.deadline_ms, reqs),
+        )?;
         loop {
             let Some(payload) = read_frame(&mut self.reader)? else {
                 return Err(io::Error::new(
@@ -50,6 +80,33 @@ impl Client {
                 return Ok(resps);
             }
             // A response to an earlier (abandoned) frame; skip it.
+        }
+    }
+
+    /// [`Client::call`], retrying when the *whole batch* was rejected
+    /// `Overloaded` (the server shed it unexecuted, so a resend is
+    /// safe and exact). Mixed responses are returned as-is: some
+    /// requests were answered, and re-running those would double-count
+    /// work on the server. Sleeps `backoff.delay(attempt)` between
+    /// tries; returns the last all-`Overloaded` response when retries
+    /// are exhausted.
+    pub fn call_with_retry(
+        &mut self,
+        reqs: &[Request],
+        backoff: &mut Backoff,
+    ) -> io::Result<Vec<Response>> {
+        let mut attempt = 0u32;
+        loop {
+            let resps = self.call(reqs)?;
+            let all_overloaded = !resps.is_empty()
+                && resps
+                    .iter()
+                    .all(|r| matches!(r, Response::Error(Status::Overloaded, _)));
+            if !all_overloaded || attempt >= backoff.max_retries {
+                return Ok(resps);
+            }
+            std::thread::sleep(backoff.delay(attempt));
+            attempt += 1;
         }
     }
 
@@ -85,5 +142,81 @@ impl Client {
                 Err(e) => return Err(e),
             }
         }
+    }
+}
+
+/// Capped exponential backoff with full-range-halved jitter: attempt
+/// `n` sleeps uniformly in `[cap/2, cap]` where `cap = min(base <<
+/// n, max)`. Jitter is seeded (xorshift64*), so a load test's retry
+/// storm is reproducible; distinct seeds desynchronize clients that
+/// were rejected together (avoiding a retry thundering herd).
+#[derive(Debug)]
+pub struct Backoff {
+    /// Retries after the first attempt (so `max_retries + 1` calls).
+    pub max_retries: u32,
+    base: Duration,
+    max: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    /// `base` doubles per attempt, capped at `max`; `seed` drives the
+    /// jitter.
+    pub fn new(max_retries: u32, base: Duration, max: Duration, seed: u64) -> Backoff {
+        Backoff {
+            max_retries,
+            base,
+            max,
+            rng: seed | 1,
+        }
+    }
+
+    /// The sleep before retry number `attempt` (0-based).
+    pub fn delay(&mut self, attempt: u32) -> Duration {
+        let cap = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX))
+            .min(self.max);
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let cap_us = cap.as_micros() as u64;
+        Duration::from_micros(cap_us / 2 + r % (cap_us / 2 + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_delays_double_stay_jittered_and_cap() {
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(80);
+        let mut b = Backoff::new(8, base, max, 42);
+        for attempt in 0..10 {
+            let cap = base
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(max)
+                .as_micros() as u64;
+            let d = b.delay(attempt).as_micros() as u64;
+            assert!(
+                d >= cap / 2 && d <= cap,
+                "attempt {attempt}: {d} vs cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let mut b = Backoff::new(4, Duration::from_millis(5), Duration::from_millis(40), seed);
+            (0..6).map(|a| b.delay(a)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(9), mk(9));
+        assert_ne!(mk(9), mk(10));
     }
 }

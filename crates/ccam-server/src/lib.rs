@@ -37,6 +37,32 @@
 //!   batch before joining them. In-flight requests complete; their
 //!   responses are delivered.
 //!
+//! # Fault tolerance
+//!
+//! The serving layer assumes both peers and storage misbehave:
+//!
+//! * **Slow clients** — the per-connection socket carries a read
+//!   timeout ([`ServerConfig::idle_timeout_ms`]), so a client that
+//!   stalls mid-frame (slowloris) is reaped instead of pinning its
+//!   reader thread and connection slot forever; response writes carry
+//!   [`ServerConfig::write_timeout_ms`] and a failed write severs the
+//!   connection rather than blocking a worker.
+//! * **Deadlines** — every accepted frame gets a deadline (the client's
+//!   requested budget, else [`ServerConfig::deadline_ms`]), counted
+//!   from frame acceptance so queueing spends budget too. Expired
+//!   requests answer `DeadlineExceeded` without executing; `Route` and
+//!   `RangeAggregate` poll the deadline *while* walking so a
+//!   pathological request cannot hold a worker unboundedly.
+//! * **Panics** — each request executes under `catch_unwind`; a panic
+//!   answers `Internal`, increments `serve.worker_panics`, and the
+//!   batch continues. A worker thread that unwinds anywhere else
+//!   re-enters its loop (self-respawn) so the pool never shrinks.
+//! * **Storage faults** — checksum failures degrade instead of
+//!   erroring: reads route around quarantined pages
+//!   (`Status::Degraded`, partial bodies for `GetSuccessors`); every
+//!   other storage error is answered `Internal` and counted per error
+//!   kind under `serve.internal_errors.<kind>`.
+//!
 //! Snapshot consistency across a writer commit is delegated to
 //! [`EpochCell`] — see `ccam_core::epoch` for the design note on why
 //! readers block for the writer's critical section rather than pinning
@@ -46,18 +72,20 @@ pub mod client;
 pub mod protocol;
 
 use std::collections::VecDeque;
-use std::io::{BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ccam_core::epoch::EpochCell;
-use ccam_core::query::route::evaluate_path;
-use ccam_core::query::route_unit_aggregate;
+use ccam_core::query::route::evaluate_path_bounded;
+use ccam_core::query::route_unit_aggregate_bounded;
 use ccam_core::{AccessMethod, Ccam};
-use ccam_storage::{MetricsRegistry, PageStore};
+use ccam_graph::NodeId;
+use ccam_storage::{MetricsRegistry, PageStore, StorageError};
 use parking_lot::{Condvar, Mutex};
 
 use protocol::{
@@ -75,6 +103,22 @@ pub struct ServerConfig {
     /// Max *batches* queued per connection before new frames are
     /// rejected with `Overloaded`. Clamped to at least 1.
     pub queue_depth: usize,
+    /// Read timeout on each connection's socket, in milliseconds. A
+    /// connection that sends nothing — including one stalled *mid-frame*
+    /// — for this long is reaped: its reader exits and the socket is
+    /// closed, so a slowloris peer cannot pin a thread or a connection
+    /// slot. 0 disables reaping.
+    pub idle_timeout_ms: u64,
+    /// Write timeout on each connection's socket, in milliseconds. A
+    /// response write that cannot make progress for this long fails the
+    /// write and severs the connection rather than blocking a worker on
+    /// a full peer window. 0 disables.
+    pub write_timeout_ms: u64,
+    /// Default per-request deadline in milliseconds, applied when a
+    /// request frame carries a 0 deadline field. The clock starts at
+    /// frame acceptance (queueing spends budget). 0 = no default; such
+    /// requests run unbounded.
+    pub deadline_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -83,8 +127,15 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             queue_depth: 16,
+            idle_timeout_ms: 30_000,
+            write_timeout_ms: 10_000,
+            deadline_ms: 0,
         }
     }
+}
+
+fn ms_opt(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
 }
 
 /// One client connection's server-side state.
@@ -96,13 +147,26 @@ struct Conn {
     sock: TcpStream,
     /// Serialized response writes (workers and overload rejections).
     writer: Mutex<BufWriter<TcpStream>>,
+    /// First storage error on this connection has been logged; later
+    /// ones only count in metrics (a corrupted hot page would otherwise
+    /// log once per request).
+    storage_error_logged: AtomicBool,
     state: Mutex<ConnState>,
+}
+
+/// One accepted request frame awaiting (or undergoing) execution.
+struct Batch {
+    tag: u32,
+    /// Absolute deadline, stamped at frame acceptance. `None` runs
+    /// unbounded.
+    deadline: Option<Instant>,
+    reqs: Vec<Request>,
 }
 
 struct ConnState {
     /// Accepted batches awaiting a worker, FIFO. Bounded by
     /// `queue_depth`.
-    queue: VecDeque<(u32, Vec<Request>)>,
+    queue: VecDeque<Batch>,
     /// True while the connection sits on the run queue or a worker is
     /// processing one of its batches — at most one of either, ever.
     scheduled: bool,
@@ -115,6 +179,10 @@ struct Shared<S: PageStore + 'static> {
     db: Arc<EpochCell<Ccam<S>>>,
     metrics: Arc<MetricsRegistry>,
     queue_depth: usize,
+    idle_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    /// Default request budget when a frame's deadline field is 0.
+    default_deadline: Option<Duration>,
     shutting_down: AtomicBool,
     /// Set after every reader has been joined: no batch can arrive
     /// anymore, so workers may exit once the run queue is drained.
@@ -166,6 +234,9 @@ impl Server {
             db,
             metrics: Arc::new(MetricsRegistry::new()),
             queue_depth: config.queue_depth.max(1),
+            idle_timeout: ms_opt(config.idle_timeout_ms),
+            write_timeout: ms_opt(config.write_timeout_ms),
+            default_deadline: ms_opt(config.deadline_ms),
             shutting_down: AtomicBool::new(false),
             readers_done: AtomicBool::new(false),
             run_queue: Mutex::new(VecDeque::new()),
@@ -179,7 +250,7 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("ccam-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_supervisor(&shared))
             })
             .collect::<std::io::Result<Vec<_>>>()?;
         let acceptor = {
@@ -290,15 +361,21 @@ fn acceptor_loop<S: PageStore + 'static>(shared: &Arc<Shared<S>>, listener: &Tcp
         }
         let Ok(stream) = stream else { continue };
         let _ = stream.set_nodelay(true);
+        // The reader clone gets the idle timeout (slowloris reaping);
+        // the writer clone gets the write timeout (slow-consumer
+        // backpressure fails the write instead of blocking a worker).
+        let _ = stream.set_read_timeout(shared.idle_timeout);
         let (Ok(sock), Ok(wsock)) = (stream.try_clone(), stream.try_clone()) else {
             continue;
         };
+        let _ = wsock.set_write_timeout(shared.write_timeout);
         next_id += 1;
         let id = next_id;
         let conn = Arc::new(Conn {
             id,
             sock,
             writer: Mutex::new(BufWriter::new(wsock)),
+            storage_error_logged: AtomicBool::new(false),
             state: Mutex::new(ConnState {
                 queue: VecDeque::new(),
                 scheduled: false,
@@ -343,28 +420,55 @@ fn reader_loop<S: PageStore + 'static>(
     loop {
         let payload = match read_frame(&mut reader) {
             Ok(Some(p)) => p,
-            // Clean EOF, client reset, or our own shutdown(Read).
-            Ok(None) | Err(_) => return reader_exit(shared, conn),
+            // Clean EOF or our own shutdown(Read).
+            Ok(None) => return reader_exit(shared, conn),
+            // Read timeout: the peer stalled — possibly mid-frame
+            // (slowloris). Sever the socket so the peer observes the
+            // reap and the connection slot is reclaimed.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                shared.metrics.inc_by("serve.idle_reaped", 1);
+                let _ = conn.sock.shutdown(Shutdown::Both);
+                return reader_exit(shared, conn);
+            }
+            // Client reset or other transport failure.
+            Err(_) => return reader_exit(shared, conn),
         };
-        let (tag, batch) = match decode_request_batch(&payload) {
+        let accepted_at = Instant::now();
+        let (tag, deadline_ms, reqs) = match decode_request_batch(&payload) {
             Ok(b) => b,
             Err(_) => {
                 shared.metrics.inc_by("serve.bad_frames", 1);
-                respond_flat(conn, 0, Status::BadRequest, 1);
+                respond_flat(shared, conn, 0, Status::BadRequest, 1);
                 return reader_exit(shared, conn);
             }
         };
         if shared.shutting_down.load(Ordering::SeqCst) {
-            respond_flat(conn, tag, Status::ShuttingDown, batch.len());
+            respond_flat(shared, conn, tag, Status::ShuttingDown, reqs.len());
             return reader_exit(shared, conn);
         }
-        let batch_len = batch.len();
+        // Client budget wins; 0 falls back to the server default. The
+        // clock starts now, so time spent queued counts against it.
+        let budget = match deadline_ms {
+            0 => shared.default_deadline,
+            ms => Some(Duration::from_millis(ms as u64)),
+        };
+        let batch = Batch {
+            tag,
+            deadline: budget.map(|b| accepted_at + b),
+            reqs,
+        };
+        let batch_len = batch.reqs.len();
         let enqueued = {
             let mut st = conn.state.lock();
             if st.queue.len() >= shared.queue_depth {
                 false
             } else {
-                st.queue.push_back((tag, batch));
+                st.queue.push_back(batch);
                 shared.metrics.inc_by("serve.frames_accepted", 1);
                 if !st.scheduled {
                     st.scheduled = true;
@@ -379,7 +483,7 @@ fn reader_loop<S: PageStore + 'static>(
             // Reject immediately — by design this can overtake pending
             // answers, which is why frames carry tags.
             shared.metrics.inc_by("serve.overloaded", batch_len as u64);
-            respond_flat(conn, tag, Status::Overloaded, batch_len);
+            respond_flat(shared, conn, tag, Status::Overloaded, batch_len);
         }
     }
 }
@@ -406,40 +510,57 @@ fn reader_exit<S: PageStore + 'static>(shared: &Shared<S>, conn: &Conn) {
 /// Writes a frame of `count` identical error responses (op echo is
 /// per-request where known; `Stats` stands in when the frame itself was
 /// undecodable and `count` is 1).
-fn respond_flat(conn: &Conn, tag: u32, status: Status, count: usize) {
+fn respond_flat<S: PageStore + 'static>(
+    shared: &Shared<S>,
+    conn: &Conn,
+    tag: u32,
+    status: Status,
+    count: usize,
+) {
     let resps = vec![Response::Error(status, OpCode::Stats); count];
-    let payload = encode_response_batch(tag, &resps);
-    let mut w = conn.writer.lock();
-    let _ = write_frame(&mut *w, &payload);
+    write_response(shared, conn, &encode_response_batch(tag, &resps));
 }
 
-fn worker_loop<S: PageStore + 'static>(shared: &Arc<Shared<S>>) {
+/// Writes one response frame under the connection's writer lock. A
+/// failed or timed-out write severs the connection: the peer is gone or
+/// too slow to keep, and retrying a partially written frame would
+/// desynchronize the stream anyway.
+fn write_response<S: PageStore + 'static>(shared: &Shared<S>, conn: &Conn, payload: &[u8]) {
+    let mut w = conn.writer.lock();
+    if write_frame(&mut *w, payload).is_err() {
+        shared.metrics.inc_by("serve.write_errors", 1);
+        let _ = conn.sock.shutdown(Shutdown::Both);
+    }
+}
+
+/// Runs `worker_loop`, re-entering it if it unwinds. Per-request panics
+/// are already contained in [`execute_batch`]; this outer net catches
+/// unwinds from the surrounding machinery (encoding, scheduling) so a
+/// single panic can never permanently shrink the worker pool — the
+/// same thread resumes pulling work, and `shutdown` joins an `Ok`
+/// handle instead of discovering a corpse.
+fn worker_supervisor<S: PageStore + 'static>(shared: &Arc<Shared<S>>) {
     loop {
-        let conn = {
-            let mut q = shared.run_queue.lock();
-            loop {
-                if let Some(c) = q.pop_front() {
-                    shared.inflight.fetch_add(1, Ordering::SeqCst);
-                    break c;
-                }
-                if shared.readers_done.load(Ordering::SeqCst)
-                    && shared.inflight.load(Ordering::SeqCst) == 0
-                {
-                    // Cascade: wake the other idle workers to exit too.
-                    shared.work_cv.notify_all();
-                    return;
-                }
-                shared.work_cv.wait(&mut q);
-            }
-        };
-        let batch = conn.state.lock().queue.pop_front();
-        if let Some((tag, reqs)) = batch {
-            let resps = execute_batch(shared, &reqs);
-            let payload = encode_response_batch(tag, &resps);
-            let mut w = conn.writer.lock();
-            let _ = write_frame(&mut *w, &payload);
-            drop(w);
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(shared))) {
+            Ok(()) => return, // clean exit: shutdown drain complete
+            Err(_) => shared.metrics.inc_by("serve.worker_panics", 1),
         }
+    }
+}
+
+/// Drop guard for one popped connection: parks or reschedules it, reaps
+/// it when its reader is gone, and decrements `inflight` — *also* on
+/// unwind, so a panicking batch never strands its connection in the
+/// `scheduled` state or wedges the workers' exit check.
+struct FinishConn<'a, S: PageStore + 'static> {
+    shared: &'a Shared<S>,
+    conn: Option<Arc<Conn>>,
+}
+
+impl<S: PageStore + 'static> Drop for FinishConn<'_, S> {
+    fn drop(&mut self) {
+        let shared = self.shared;
+        let conn = self.conn.take().expect("FinishConn dropped twice");
         // Reschedule or park. The park decision happens under the state
         // lock so a reader enqueueing concurrently either sees
         // `scheduled` still true (we will reschedule) or false (it
@@ -476,20 +597,74 @@ fn worker_loop<S: PageStore + 'static>(shared: &Arc<Shared<S>>) {
     }
 }
 
+fn worker_loop<S: PageStore + 'static>(shared: &Arc<Shared<S>>) {
+    loop {
+        let conn = {
+            let mut q = shared.run_queue.lock();
+            loop {
+                if let Some(c) = q.pop_front() {
+                    shared.inflight.fetch_add(1, Ordering::SeqCst);
+                    break c;
+                }
+                if shared.readers_done.load(Ordering::SeqCst)
+                    && shared.inflight.load(Ordering::SeqCst) == 0
+                {
+                    // Cascade: wake the other idle workers to exit too.
+                    shared.work_cv.notify_all();
+                    return;
+                }
+                shared.work_cv.wait(&mut q);
+            }
+        };
+        let finish = FinishConn {
+            shared,
+            conn: Some(conn),
+        };
+        let conn = finish.conn.as_deref().expect("conn set above");
+        let batch = conn.state.lock().queue.pop_front();
+        if let Some(batch) = batch {
+            let resps = execute_batch(shared, conn, &batch);
+            let payload = encode_response_batch(batch.tag, &resps);
+            write_response(shared, conn, &payload);
+        }
+        drop(finish); // park/reschedule/reap + inflight decrement
+    }
+}
+
 /// Executes one batch under a single epoch read guard: every response
 /// in the frame reflects the same committed snapshot.
-fn execute_batch<S: PageStore>(shared: &Shared<S>, reqs: &[Request]) -> Vec<Response> {
+///
+/// Each request is deadline-checked before it runs (a frame that sat
+/// queued past its budget answers `DeadlineExceeded` without touching
+/// storage) and executes under `catch_unwind` — a panic answers
+/// `Internal` for that request and the rest of the batch proceeds.
+fn execute_batch<S: PageStore>(shared: &Shared<S>, conn: &Conn, batch: &Batch) -> Vec<Response> {
     let am = shared.db.read();
     let m = &shared.metrics;
     m.inc_by("serve.batches", 1);
-    m.inc_by("serve.requests", reqs.len() as u64);
-    m.observe("serve.batch_size", reqs.len() as u64);
-    reqs.iter()
+    m.inc_by("serve.requests", batch.reqs.len() as u64);
+    m.observe("serve.batch_size", batch.reqs.len() as u64);
+    batch
+        .reqs
+        .iter()
         .map(|req| {
+            let op = req.op();
+            if let Some(dl) = batch.deadline {
+                if Instant::now() >= dl {
+                    m.inc_by("serve.deadline_exceeded", 1);
+                    return Response::Error(Status::DeadlineExceeded, op);
+                }
+            }
             let start = Instant::now();
-            let resp = execute_one(shared, &am, req);
+            let resp = catch_unwind(AssertUnwindSafe(|| {
+                execute_one(shared, conn, &am, req, batch.deadline)
+            }))
+            .unwrap_or_else(|_| {
+                m.inc_by("serve.worker_panics", 1);
+                Response::Error(Status::Internal, op)
+            });
             let us = start.elapsed().as_micros() as u64;
-            m.observe(latency_metric(req.op()), us);
+            m.observe(latency_metric(op), us);
             resp
         })
         .collect()
@@ -505,35 +680,133 @@ fn latency_metric(op: OpCode) -> &'static str {
     }
 }
 
-fn execute_one<S: PageStore>(shared: &Shared<S>, am: &Ccam<S>, req: &Request) -> Response {
+/// True when the error should route the read through the degraded path
+/// (the page failed verification; everything else still answers).
+fn is_checksum(e: &StorageError) -> bool {
+    e.kind() == "checksum_mismatch"
+}
+
+/// Answers `Internal` for a storage error, counting it per error kind
+/// and logging the first occurrence on this connection (later ones
+/// would repeat the same page's story once per request).
+fn storage_internal<S: PageStore>(
+    shared: &Shared<S>,
+    conn: &Conn,
+    e: &StorageError,
+    op: OpCode,
+) -> Response {
+    shared.metrics.inc_by(internal_metric(e.kind()), 1);
+    if !conn.storage_error_logged.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "ccam-serve: storage error on connection {} ({}): {e}",
+            conn.id,
+            e.kind()
+        );
+    }
+    Response::Error(Status::Internal, op)
+}
+
+/// Per-kind `Internal` counter names, statically interned so the hot
+/// path never allocates a metric label.
+fn internal_metric(kind: &str) -> &'static str {
+    match kind {
+        "io" => "serve.internal_errors.io",
+        "invalid_page" => "serve.internal_errors.invalid_page",
+        "record_too_large" => "serve.internal_errors.record_too_large",
+        "page_full" => "serve.internal_errors.page_full",
+        "invalid_slot" => "serve.internal_errors.invalid_slot",
+        "corrupt" => "serve.internal_errors.corrupt",
+        "checksum_mismatch" => "serve.internal_errors.checksum_mismatch",
+        "bad_page_size" => "serve.internal_errors.bad_page_size",
+        "poisoned" => "serve.internal_errors.poisoned",
+        "no_space" => "serve.internal_errors.no_space",
+        _ => "serve.internal_errors.other",
+    }
+}
+
+/// `Find` retried through the quarantine-skipping path after a checksum
+/// failure: the freshly failed page is quarantined by the attempt, so a
+/// record on any *other* page still answers exactly; a record that may
+/// live on a skipped page answers `Degraded` rather than guessing
+/// `NotFound`.
+fn degraded_find<S: PageStore>(shared: &Shared<S>, am: &Ccam<S>, id: NodeId) -> Response {
+    shared.metrics.inc_by("serve.degraded_reads", 1);
+    match am.file().find_degraded(id) {
+        Ok(d) => match d.value {
+            Some(node) => Response::Record(node),
+            None if d.skipped.is_empty() => Response::Error(Status::NotFound, OpCode::Find),
+            None => Response::Error(Status::Degraded, OpCode::Find),
+        },
+        Err(_) => Response::Error(Status::Degraded, OpCode::Find),
+    }
+}
+
+fn execute_one<S: PageStore>(
+    shared: &Shared<S>,
+    conn: &Conn,
+    am: &Ccam<S>,
+    req: &Request,
+    deadline: Option<Instant>,
+) -> Response {
+    let mut cancel = || deadline.is_some_and(|dl| Instant::now() >= dl);
     match req {
         Request::Find(id) => match am.find(*id) {
             Ok(Some(node)) => Response::Record(node),
             Ok(None) => Response::Error(Status::NotFound, OpCode::Find),
-            Err(_) => Response::Error(Status::Internal, OpCode::Find),
+            Err(e) if is_checksum(&e) => degraded_find(shared, am, *id),
+            Err(e) => storage_internal(shared, conn, &e, OpCode::Find),
         },
         Request::GetSuccessors(id) => match am.get_successors(*id) {
             Ok(nodes) => Response::Records(nodes),
-            Err(_) => Response::Error(Status::Internal, OpCode::GetSuccessors),
+            Err(e) if is_checksum(&e) => match am.get_successors_degraded(*id) {
+                Ok(d) => {
+                    shared.metrics.inc_by("serve.degraded_reads", 1);
+                    Response::RecordsDegraded {
+                        nodes: d.value,
+                        skipped_pages: d.skipped.len() as u32,
+                    }
+                }
+                Err(e) => storage_internal(shared, conn, &e, OpCode::GetSuccessors),
+            },
+            Err(e) => storage_internal(shared, conn, &e, OpCode::GetSuccessors),
         },
-        Request::Route(nodes) => match evaluate_path(am, nodes) {
-            Ok(eval) => Response::RouteEval {
+        Request::Route(nodes) => match evaluate_path_bounded(am, nodes, &mut cancel) {
+            Ok(Some(eval)) => Response::RouteEval {
                 total_cost: eval.total_cost,
                 nodes_visited: eval.nodes_visited as u32,
                 complete: eval.complete,
             },
-            Err(_) => Response::Error(Status::Internal, OpCode::Route),
+            Ok(None) => {
+                shared.metrics.inc_by("serve.deadline_exceeded", 1);
+                Response::Error(Status::DeadlineExceeded, OpCode::Route)
+            }
+            Err(e) if is_checksum(&e) => {
+                // A partial route cost would be silently wrong; say so.
+                shared.metrics.inc_by("serve.degraded_reads", 1);
+                Response::Error(Status::Degraded, OpCode::Route)
+            }
+            Err(e) => storage_internal(shared, conn, &e, OpCode::Route),
         },
-        Request::RangeAggregate(arcs) => match route_unit_aggregate(am, arcs) {
-            Ok(agg) => Response::Aggregate {
-                arcs_found: agg.arcs_found as u32,
-                arcs_missing: agg.arcs_missing as u32,
-                total_cost: agg.total_cost,
-                node_payload_sum: agg.node_payload_sum,
-                nodes_retrieved: agg.nodes_retrieved as u32,
-            },
-            Err(_) => Response::Error(Status::Internal, OpCode::RangeAggregate),
-        },
+        Request::RangeAggregate(arcs) => {
+            match route_unit_aggregate_bounded(am, arcs, &mut cancel) {
+                Ok(Some(agg)) => Response::Aggregate {
+                    arcs_found: agg.arcs_found as u32,
+                    arcs_missing: agg.arcs_missing as u32,
+                    total_cost: agg.total_cost,
+                    node_payload_sum: agg.node_payload_sum,
+                    nodes_retrieved: agg.nodes_retrieved as u32,
+                },
+                Ok(None) => {
+                    shared.metrics.inc_by("serve.deadline_exceeded", 1);
+                    Response::Error(Status::DeadlineExceeded, OpCode::RangeAggregate)
+                }
+                Err(e) if is_checksum(&e) => {
+                    shared.metrics.inc_by("serve.degraded_reads", 1);
+                    Response::Error(Status::Degraded, OpCode::RangeAggregate)
+                }
+                Err(e) => storage_internal(shared, conn, &e, OpCode::RangeAggregate),
+            }
+        }
         Request::Stats => {
             let io = am.stats().snapshot();
             fold_io_gauges(&shared.metrics, &io, shared.db.epoch());

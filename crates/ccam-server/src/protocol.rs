@@ -10,10 +10,13 @@
 //! +----------------+---------------------------------------+
 //! ```
 //!
-//! A payload begins with a version byte ([`PROTOCOL_VERSION`]), a
-//! `u32 LE` client-chosen *tag*, and a `u16 LE` message count, followed
-//! by that many requests (client → server) or responses (server →
-//! client). The server echoes the tag, and clients match response
+//! A payload begins with a version byte ([`PROTOCOL_VERSION`]) and a
+//! `u32 LE` client-chosen *tag*. Request payloads then carry a `u32 LE`
+//! *deadline* in milliseconds (0 = use the server's default budget; the
+//! clock starts when the server accepts the frame, so queueing counts
+//! against it). Both directions end the header with a `u16 LE` message
+//! count, followed by that many requests (client → server) or responses
+//! (server → client). The server echoes the tag, and clients match response
 //! frames to request frames by tag, not arrival order: accepted batches
 //! are answered in per-connection FIFO order, but `Overloaded`
 //! rejections are written immediately and may overtake earlier pending
@@ -50,6 +53,8 @@
 //! | `Overloaded` | 3 | connection queue full — retry later |
 //! | `ShuttingDown` | 4 | server is draining; connection will close |
 //! | `Internal` | 5 | storage error while executing |
+//! | `DeadlineExceeded` | 6 | request budget ran out before/while executing |
+//! | `Degraded` | 7 | answered around quarantined pages (partial body for `GetSuccessors`) |
 //!
 //! `Ok` bodies: `Find` → one length-prefixed (`u32`) node record in the
 //! [`ccam_graph::record`] layout; `GetSuccessors` → `u16` count of such
@@ -59,12 +64,18 @@
 //! → `u32`-length-prefixed UTF-8 JSON from the server's
 //! `MetricsRegistry`.
 //!
+//! `Degraded` is body-less for every op except `GetSuccessors`, where it
+//! carries a partial result: `u32` count of pages skipped as
+//! quarantined, then the `GetSuccessors` body shape (`u16` record
+//! count + records) — the successors that were still reachable.
+//!
 //! # Versioning
 //!
 //! The version byte is checked on every frame; a mismatch yields a
 //! single `BadRequest` response and the connection is closed. Future
 //! revisions bump [`PROTOCOL_VERSION`]; op and status codes are
-//! append-only.
+//! append-only. (v1 → v2 added the request deadline field and the
+//! `DeadlineExceeded`/`Degraded` statuses.)
 
 use std::io::{self, Read, Write};
 
@@ -72,7 +83,7 @@ use ccam_graph::record::{decode_record, encode_record};
 use ccam_graph::{NodeData, NodeId};
 
 /// Version byte carried by every frame payload.
-pub const PROTOCOL_VERSION: u8 = 1;
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on one frame's payload, both directions. Keeps a
 /// malformed or hostile length prefix from ballooning into an
@@ -100,6 +111,12 @@ pub enum Status {
     ShuttingDown = 4,
     /// Storage-layer error during execution.
     Internal = 5,
+    /// The request's time budget ran out before it finished executing.
+    DeadlineExceeded = 6,
+    /// Executed around quarantined pages: the answer may be partial
+    /// (`GetSuccessors` carries what was reachable) or withheld because
+    /// the data needed lives on an unreadable page.
+    Degraded = 7,
 }
 
 impl Status {
@@ -111,6 +128,8 @@ impl Status {
             3 => Status::Overloaded,
             4 => Status::ShuttingDown,
             5 => Status::Internal,
+            6 => Status::DeadlineExceeded,
+            7 => Status::Degraded,
             other => return Err(ProtoError::BadStatus(other)),
         })
     }
@@ -191,6 +210,15 @@ pub enum Response {
     Record(NodeData),
     /// `GetSuccessors` result (possibly empty).
     Records(Vec<NodeData>),
+    /// `GetSuccessors` answered degraded: the successors still reachable
+    /// plus the number of quarantined pages skipped to produce them.
+    /// Carried with [`Status::Degraded`] on the wire.
+    RecordsDegraded {
+        /// Successor records that were reachable.
+        nodes: Vec<NodeData>,
+        /// Quarantined pages skipped while collecting them.
+        skipped_pages: u32,
+    },
     /// `Route` result.
     RouteEval {
         /// Sum of traversed edge costs.
@@ -293,22 +321,26 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
 // encoding
 // ---------------------------------------------------------------------------
 
-fn put_header(out: &mut Vec<u8>, tag: u32, count: usize) {
+fn put_response_header(out: &mut Vec<u8>, tag: u32, count: usize) {
     out.push(PROTOCOL_VERSION);
     out.extend_from_slice(&tag.to_le_bytes());
     out.extend_from_slice(&(count as u16).to_le_bytes());
 }
 
 /// Encodes a request batch into a frame payload. The server echoes
-/// `tag` on the matching response frame.
+/// `tag` on the matching response frame; `deadline_ms` is the request
+/// budget (0 = server default), counted from frame acceptance.
 ///
 /// # Panics
 /// If the batch exceeds [`MAX_BATCH`] or a route/arc list exceeds
 /// `u16::MAX` entries — caller bugs, not peer input.
-pub fn encode_request_batch(tag: u32, reqs: &[Request]) -> Vec<u8> {
+pub fn encode_request_batch(tag: u32, deadline_ms: u32, reqs: &[Request]) -> Vec<u8> {
     assert!(reqs.len() <= MAX_BATCH, "batch of {} requests", reqs.len());
     let mut out = Vec::with_capacity(16 + reqs.len() * 9);
-    put_header(&mut out, tag, reqs.len());
+    out.push(PROTOCOL_VERSION);
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&deadline_ms.to_le_bytes());
+    out.extend_from_slice(&(reqs.len() as u16).to_le_bytes());
     for req in reqs {
         out.push(req.op() as u8);
         match req {
@@ -340,7 +372,7 @@ pub fn encode_request_batch(tag: u32, reqs: &[Request]) -> Vec<u8> {
 /// the request frame it answers.
 pub fn encode_response_batch(tag: u32, resps: &[Response]) -> Vec<u8> {
     let mut out = Vec::with_capacity(16 + resps.len() * 8);
-    put_header(&mut out, tag, resps.len());
+    put_response_header(&mut out, tag, resps.len());
     for resp in resps {
         match resp {
             Response::Record(node) => {
@@ -350,14 +382,37 @@ pub fn encode_response_batch(tag: u32, resps: &[Response]) -> Vec<u8> {
                 out.extend_from_slice(&(rec.len() as u32).to_le_bytes());
                 out.extend_from_slice(&rec);
             }
+            // A record's successor list is itself u16-counted, so a
+            // legitimate GetSuccessors result always fits the u16 count;
+            // anything larger is substituted with `Internal` — an assert
+            // here would be a remotely triggerable panic in a worker
+            // thread, and truncating the count would emit a frame the
+            // client cannot decode.
+            Response::Records(nodes) if nodes.len() > u16::MAX as usize => {
+                out.push(Status::Internal as u8);
+                out.push(OpCode::GetSuccessors as u8);
+            }
+            Response::RecordsDegraded { nodes, .. } if nodes.len() > u16::MAX as usize => {
+                out.push(Status::Internal as u8);
+                out.push(OpCode::GetSuccessors as u8);
+            }
             Response::Records(nodes) => {
                 out.push(Status::Ok as u8);
                 out.push(OpCode::GetSuccessors as u8);
-                // A record's successor list is itself u16-counted, so a
-                // legitimate GetSuccessors result always fits; anything
-                // larger must fail loudly rather than truncate the count
-                // and emit a frame the client cannot decode.
-                assert!(nodes.len() <= u16::MAX as usize);
+                out.extend_from_slice(&(nodes.len() as u16).to_le_bytes());
+                for node in nodes {
+                    let rec = encode_record(node);
+                    out.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&rec);
+                }
+            }
+            Response::RecordsDegraded {
+                nodes,
+                skipped_pages,
+            } => {
+                out.push(Status::Degraded as u8);
+                out.push(OpCode::GetSuccessors as u8);
+                out.extend_from_slice(&skipped_pages.to_le_bytes());
                 out.extend_from_slice(&(nodes.len() as u16).to_le_bytes());
                 for node in nodes {
                     let rec = encode_record(node);
@@ -400,6 +455,13 @@ pub fn encode_response_batch(tag: u32, resps: &[Response]) -> Vec<u8> {
             Response::Error(status, op) => {
                 out.push(*status as u8);
                 out.push(*op as u8);
+                // Degraded GetSuccessors always carries a body on the
+                // wire; an Error-shaped one encodes as empty so the
+                // decoder stays total.
+                if *status == Status::Degraded && *op == OpCode::GetSuccessors {
+                    out.extend_from_slice(&0u32.to_le_bytes());
+                    out.extend_from_slice(&0u16.to_le_bytes());
+                }
             }
         }
     }
@@ -441,16 +503,34 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn header(&mut self) -> Result<(u32, usize), ProtoError> {
+    fn version(&mut self) -> Result<(), ProtoError> {
         let version = self.u8()?;
         if version != PROTOCOL_VERSION {
             return Err(ProtoError::BadVersion(version));
         }
-        let tag = self.u32()?;
+        Ok(())
+    }
+
+    fn count(&mut self) -> Result<usize, ProtoError> {
         let count = self.u16()? as usize;
         if count > MAX_BATCH {
             return Err(ProtoError::BatchTooLarge(count));
         }
+        Ok(count)
+    }
+
+    fn request_header(&mut self) -> Result<(u32, u32, usize), ProtoError> {
+        self.version()?;
+        let tag = self.u32()?;
+        let deadline_ms = self.u32()?;
+        let count = self.count()?;
+        Ok((tag, deadline_ms, count))
+    }
+
+    fn response_header(&mut self) -> Result<(u32, usize), ProtoError> {
+        self.version()?;
+        let tag = self.u32()?;
+        let count = self.count()?;
         Ok((tag, count))
     }
 
@@ -472,10 +552,11 @@ impl<'a> Cursor<'a> {
 }
 
 /// Decodes a request-batch frame payload (server side), returning the
-/// client's tag and the requests.
-pub fn decode_request_batch(buf: &[u8]) -> Result<(u32, Vec<Request>), ProtoError> {
+/// client's tag, requested deadline in milliseconds (0 = server
+/// default), and the requests.
+pub fn decode_request_batch(buf: &[u8]) -> Result<(u32, u32, Vec<Request>), ProtoError> {
     let mut c = Cursor { buf, at: 0 };
-    let (tag, count) = c.header()?;
+    let (tag, deadline_ms, count) = c.request_header()?;
     let mut reqs = Vec::with_capacity(count);
     for _ in 0..count {
         let op = OpCode::from_byte(c.u8()?)?;
@@ -502,18 +583,31 @@ pub fn decode_request_batch(buf: &[u8]) -> Result<(u32, Vec<Request>), ProtoErro
         });
     }
     c.finish()?;
-    Ok((tag, reqs))
+    Ok((tag, deadline_ms, reqs))
 }
 
 /// Decodes a response-batch frame payload (client side), returning the
 /// echoed tag and the responses.
 pub fn decode_response_batch(buf: &[u8]) -> Result<(u32, Vec<Response>), ProtoError> {
     let mut c = Cursor { buf, at: 0 };
-    let (tag, count) = c.header()?;
+    let (tag, count) = c.response_header()?;
     let mut resps = Vec::with_capacity(count);
     for _ in 0..count {
         let status = Status::from_byte(c.u8()?)?;
         let op = OpCode::from_byte(c.u8()?)?;
+        if status == Status::Degraded && op == OpCode::GetSuccessors {
+            let skipped_pages = c.u32()?;
+            let n = c.u16()? as usize;
+            let mut nodes = Vec::with_capacity(n);
+            for _ in 0..n {
+                nodes.push(c.record()?);
+            }
+            resps.push(Response::RecordsDegraded {
+                nodes,
+                skipped_pages,
+            });
+            continue;
+        }
         if status != Status::Ok {
             resps.push(Response::Error(status, op));
             continue;
@@ -581,8 +675,17 @@ mod tests {
             Request::RangeAggregate(vec![(NodeId(1), NodeId(2))]),
             Request::Stats,
         ];
-        let buf = encode_request_batch(0xDEAD_BEEF, &reqs);
-        assert_eq!(decode_request_batch(&buf).unwrap(), (0xDEAD_BEEF, reqs));
+        let buf = encode_request_batch(0xDEAD_BEEF, 0, &reqs);
+        assert_eq!(decode_request_batch(&buf).unwrap(), (0xDEAD_BEEF, 0, reqs));
+    }
+
+    #[test]
+    fn request_deadline_round_trips() {
+        let reqs = vec![Request::Find(NodeId(1))];
+        let buf = encode_request_batch(9, 2_500, &reqs);
+        let (tag, deadline_ms, decoded) = decode_request_batch(&buf).unwrap();
+        assert_eq!((tag, deadline_ms), (9, 2_500));
+        assert_eq!(decoded, reqs);
     }
 
     #[test]
@@ -605,9 +708,57 @@ mod tests {
             Response::StatsJson("{\"x\":1}".to_string()),
             Response::Error(Status::NotFound, OpCode::Find),
             Response::Error(Status::Overloaded, OpCode::Route),
+            Response::Error(Status::DeadlineExceeded, OpCode::Route),
+            Response::Error(Status::Degraded, OpCode::Find),
+            Response::RecordsDegraded {
+                nodes: vec![node(8)],
+                skipped_pages: 3,
+            },
         ];
         let buf = encode_response_batch(7, &resps);
         assert_eq!(decode_response_batch(&buf).unwrap(), (7, resps));
+    }
+
+    #[test]
+    fn degraded_get_successors_error_decodes_as_empty_partial() {
+        // Error(Degraded, GetSuccessors) is encoded with an empty body so
+        // the Degraded+GetSuccessors wire shape is uniform; it therefore
+        // decodes as an empty RecordsDegraded, not back to Error.
+        let buf = encode_response_batch(
+            1,
+            &[Response::Error(Status::Degraded, OpCode::GetSuccessors)],
+        );
+        let (_, resps) = decode_response_batch(&buf).unwrap();
+        assert_eq!(
+            resps,
+            vec![Response::RecordsDegraded {
+                nodes: vec![],
+                skipped_pages: 0,
+            }]
+        );
+    }
+
+    #[test]
+    fn oversized_records_response_degrades_to_internal_not_panic() {
+        // > u16::MAX successors cannot be counted on the wire; the
+        // encoder substitutes Internal instead of asserting (a panic here
+        // would be remotely triggerable inside a worker thread).
+        let resps = vec![
+            Response::Records(vec![node(1); u16::MAX as usize + 1]),
+            Response::RecordsDegraded {
+                nodes: vec![node(2); u16::MAX as usize + 1],
+                skipped_pages: 5,
+            },
+        ];
+        let buf = encode_response_batch(3, &resps);
+        let (_, decoded) = decode_response_batch(&buf).unwrap();
+        assert_eq!(
+            decoded,
+            vec![
+                Response::Error(Status::Internal, OpCode::GetSuccessors),
+                Response::Error(Status::Internal, OpCode::GetSuccessors),
+            ]
+        );
     }
 
     #[test]
@@ -640,13 +791,13 @@ mod tests {
 
     #[test]
     fn bad_version_and_trailing_bytes_are_rejected() {
-        let mut buf = encode_request_batch(1, &[Request::Stats]);
+        let mut buf = encode_request_batch(1, 0, &[Request::Stats]);
         buf[0] = 9;
         assert_eq!(
             decode_request_batch(&buf).unwrap_err(),
             ProtoError::BadVersion(9)
         );
-        let mut buf = encode_request_batch(1, &[Request::Stats]);
+        let mut buf = encode_request_batch(1, 0, &[Request::Stats]);
         buf.push(0);
         assert_eq!(
             decode_request_batch(&buf).unwrap_err(),
@@ -656,7 +807,7 @@ mod tests {
 
     #[test]
     fn truncated_request_is_rejected() {
-        let buf = encode_request_batch(3, &[Request::Find(NodeId(1))]);
+        let buf = encode_request_batch(3, 1_000, &[Request::Find(NodeId(1))]);
         for cut in 0..buf.len() {
             // Every strict prefix must fail cleanly, never panic.
             assert!(decode_request_batch(&buf[..cut]).is_err());
@@ -667,7 +818,8 @@ mod tests {
     fn oversized_batch_count_is_rejected() {
         let mut buf = Vec::new();
         buf.push(PROTOCOL_VERSION);
-        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // tag
+        buf.extend_from_slice(&0u32.to_le_bytes()); // deadline_ms
         buf.extend_from_slice(&(MAX_BATCH as u16 + 1).to_le_bytes());
         assert_eq!(
             decode_request_batch(&buf).unwrap_err(),

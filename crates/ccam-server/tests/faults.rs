@@ -1,0 +1,344 @@
+//! Fault-tolerance tests over a real loopback socket: slowloris
+//! reaping, mid-frame disconnects, request deadlines, worker panic
+//! isolation, and degraded reads around corrupted pages.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ccam_core::epoch::EpochCell;
+use ccam_core::{AccessMethod, Ccam, CcamBuilder};
+use ccam_graph::roadmap::{road_map, RoadMapConfig};
+use ccam_graph::{Network, NodeId};
+use ccam_server::client::Client;
+use ccam_server::protocol::{OpCode, Request, Response, Status};
+use ccam_server::{Server, ServerConfig, ServerHandle};
+use ccam_storage::{CorruptStore, MemPageStore, PageId, PageStore, StorageResult};
+
+fn test_net() -> Network {
+    road_map(&RoadMapConfig {
+        grid_w: 10,
+        grid_h: 10,
+        removed_nodes: 2,
+        target_segments: 150,
+        target_directed: 265,
+        cell: 64,
+        jitter: 24,
+        seed: 5,
+    })
+}
+
+fn start_server(config: ServerConfig) -> (ServerHandle<MemPageStore>, Network) {
+    let net = test_net();
+    let am = CcamBuilder::new(1024).build_static(&net).unwrap();
+    let db = Arc::new(EpochCell::new(am));
+    (Server::start(db, config).unwrap(), net)
+}
+
+/// Polls `cond` until true or the timeout elapses; returns success.
+fn wait_for(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+/// A slowloris peer — a connection that writes half a frame and then
+/// stalls — must be reaped by the idle timeout: its reader exits, the
+/// socket is severed (the peer observes EOF/reset), and the connection
+/// slot is reclaimed. Meanwhile a well-behaved client on the same
+/// server keeps getting answers; the staller pins nothing.
+#[test]
+fn stalled_half_frame_is_reaped_without_blocking_others() {
+    let (handle, net) = start_server(ServerConfig {
+        idle_timeout_ms: 200,
+        ..ServerConfig::default()
+    });
+    let a = net.node_ids()[0];
+
+    // The staller: claim a 64-byte frame, deliver only 8 bytes.
+    let mut staller = TcpStream::connect(handle.local_addr()).unwrap();
+    staller.write_all(&64u32.to_le_bytes()).unwrap();
+    staller.write_all(&[0u8; 8]).unwrap();
+    staller.flush().unwrap();
+
+    // A healthy client is served while the staller sits half-written.
+    let mut good = Client::connect(handle.local_addr()).unwrap();
+    for _ in 0..5 {
+        let resps = good.call(&[Request::Find(a)]).unwrap();
+        assert!(matches!(resps[0], Response::Record(_)));
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The reap severs the staller's socket: its read unblocks with EOF
+    // or a reset well within a few idle-timeout periods.
+    staller
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut sink = [0u8; 16];
+    match staller.read(&mut sink) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("staller unexpectedly received {n} bytes"),
+    }
+    assert!(handle.metrics().counter("serve.idle_reaped") >= 1);
+
+    // The staller's connection slot is reclaimed; only `good` remains.
+    drop(good);
+    assert!(
+        wait_for(Duration::from_secs(10), || handle.active_connections() == 0),
+        "reaped/closed connections leaked"
+    );
+    handle.shutdown().unwrap();
+}
+
+/// A client that vanishes mid-conversation — pipelined request frames,
+/// responses discarded unread, socket dropped (close with unread data
+/// sends a TCP reset) — must not wedge a worker or the server: writes
+/// to the dead peer fail and sever the connection, other clients keep
+/// working, and shutdown stays clean.
+#[test]
+fn mid_frame_disconnect_during_response_write_is_survived() {
+    let (handle, net) = start_server(ServerConfig {
+        workers: 2,
+        write_timeout_ms: 500,
+        ..ServerConfig::default()
+    });
+    let ids = net.node_ids();
+    let heavy: Vec<Request> = ids.iter().map(|&id| Request::GetSuccessors(id)).collect();
+
+    for _ in 0..4 {
+        let mut rude = Client::connect(handle.local_addr()).unwrap();
+        for tag in 0..8 {
+            let payload = ccam_server::protocol::encode_request_batch(tag, 0, &heavy);
+            rude.send_raw(&payload).unwrap();
+        }
+        // Give the server a moment to start answering, then vanish with
+        // the responses unread.
+        std::thread::sleep(Duration::from_millis(30));
+        drop(rude);
+    }
+
+    let mut good = Client::connect(handle.local_addr()).unwrap();
+    let resps = good.call(&heavy).unwrap();
+    assert_eq!(resps.len(), heavy.len());
+    drop(good);
+
+    assert!(
+        wait_for(Duration::from_secs(10), || handle.active_connections() == 0),
+        "dead connections leaked"
+    );
+    handle.shutdown().unwrap();
+}
+
+/// A pathological `Route` under a tiny client-supplied deadline answers
+/// `DeadlineExceeded` instead of holding a worker for the whole walk.
+#[test]
+fn pathological_route_respects_client_deadline() {
+    let (handle, net) = start_server(ServerConfig::default());
+
+    // Find a bidirectional arc and ping-pong over it: a long route of
+    // real edges, so the evaluation would genuinely run to the end.
+    let (a, b) = net
+        .nodes()
+        .find_map(|n| {
+            n.successors
+                .iter()
+                .map(|e| e.to)
+                .find(|&to| {
+                    net.nodes()
+                        .find(|m| m.id == to)
+                        .is_some_and(|m| m.successors.iter().any(|e| e.to == n.id))
+                })
+                .map(|to| (n.id, to))
+        })
+        .expect("road map has a two-way street");
+    let mut route = Vec::with_capacity(50_000);
+    for i in 0..50_000 {
+        route.push(if i % 2 == 0 { a } else { b });
+    }
+
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.set_deadline_ms(1);
+    let resps = client.call(&[Request::Route(route.clone())]).unwrap();
+    assert_eq!(
+        resps[0],
+        Response::Error(Status::DeadlineExceeded, OpCode::Route)
+    );
+    assert!(handle.metrics().counter("serve.deadline_exceeded") >= 1);
+
+    // The same route without a deadline completes.
+    client.set_deadline_ms(0);
+    let resps = client.call(&[Request::Route(route)]).unwrap();
+    assert!(
+        matches!(resps[0], Response::RouteEval { complete: true, .. }),
+        "unbounded route should evaluate fully, got {:?}",
+        resps[0]
+    );
+    handle.shutdown().unwrap();
+}
+
+/// A store whose reads panic while `armed` — stands in for a bug in the
+/// storage stack surfacing as an unwind inside a worker.
+struct PanickingStore {
+    inner: MemPageStore,
+    armed: Arc<AtomicBool>,
+}
+
+impl PageStore for PanickingStore {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        self.inner.allocate()
+    }
+    fn read(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        if self.armed.load(Ordering::SeqCst) {
+            panic!("injected storage panic reading {id:?}");
+        }
+        self.inner.read(id, buf)
+    }
+    fn write(&mut self, id: PageId, buf: &[u8]) -> StorageResult<()> {
+        self.inner.write(id, buf)
+    }
+    fn free(&mut self, id: PageId) -> StorageResult<()> {
+        self.inner.free(id)
+    }
+    fn is_live(&self, id: PageId) -> bool {
+        self.inner.is_live(id)
+    }
+    fn sync(&mut self) -> StorageResult<()> {
+        self.inner.sync()
+    }
+    fn live_pages(&self) -> Vec<PageId> {
+        self.inner.live_pages()
+    }
+    fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
+        self.inner.ensure_allocated(id)
+    }
+}
+
+/// A request that panics inside the storage stack answers `Internal`
+/// for that request only; the server counts the panic, keeps answering
+/// subsequent requests on the same connection, and still shuts down
+/// cleanly (no corpse discovered at join time).
+#[test]
+fn worker_panic_is_isolated_and_the_pool_survives() {
+    let net = test_net();
+    let armed = Arc::new(AtomicBool::new(false));
+    let store = PanickingStore {
+        inner: MemPageStore::new(1024).unwrap(),
+        armed: Arc::clone(&armed),
+    };
+    let am = CcamBuilder::new(1024).build_static_on(store, &net).unwrap();
+    let db = Arc::new(EpochCell::new(am));
+    let handle = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let a = net.node_ids()[0];
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // Sanity: the database answers before the fault is armed.
+    let resps = client.call(&[Request::Find(a)]).unwrap();
+    assert!(matches!(resps[0], Response::Record(_)));
+
+    // Arm, and force the next read to the store (not the buffer pool).
+    db.read().file().pool().clear().unwrap();
+    armed.store(true, Ordering::SeqCst);
+    let resps = client
+        .call(&[Request::Find(a), Request::Stats, Request::Find(a)])
+        .unwrap();
+    assert_eq!(resps[0], Response::Error(Status::Internal, OpCode::Find));
+    // The panic is contained per-request: the rest of the batch ran.
+    assert!(matches!(resps[1], Response::StatsJson(_)));
+    assert_eq!(resps[2], Response::Error(Status::Internal, OpCode::Find));
+    assert!(handle.metrics().counter("serve.worker_panics") >= 1);
+
+    // Disarm: the same connection and worker pool keep serving.
+    armed.store(false, Ordering::SeqCst);
+    let resps = client.call(&[Request::Find(a)]).unwrap();
+    assert!(matches!(resps[0], Response::Record(_)));
+    handle.shutdown().unwrap();
+}
+
+/// Reads that hit a corrupted (checksum-failing) page degrade instead
+/// of erroring: `Find` answers `Degraded` when the record may live on
+/// the quarantined page, `GetSuccessors` returns the partial result it
+/// could assemble, and healing the page restores exact answers.
+#[test]
+fn corrupted_pages_degrade_reads_and_heal() {
+    let net = test_net();
+    let (store, corruption) = CorruptStore::new(MemPageStore::new(1024).unwrap(), 77);
+    let am = CcamBuilder::new(1024).build_static_on(store, &net).unwrap();
+    let target = net.node_ids()[10];
+    let page = am
+        .file()
+        .page_of(target)
+        .unwrap()
+        .expect("target node is stored");
+    // A predecessor of the target on a *different* page, so its own
+    // record stays readable while its successor's page is corrupt.
+    let neighbor = net
+        .nodes()
+        .find(|n| {
+            n.successors.iter().any(|e| e.to == target)
+                && am.file().page_of(n.id).unwrap() != Some(page)
+        })
+        .map(|n| n.id);
+
+    let db = Arc::new(EpochCell::new(am));
+    let handle = Server::start(Arc::clone(&db), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // Flush + drop cached copies first — a dirty page written back by
+    // the flush would heal the injected corruption — then corrupt.
+    db.read().file().pool().clear().unwrap();
+    corruption.mark_corrupt(page);
+
+    let resps = client.call(&[Request::Find(target)]).unwrap();
+    assert_eq!(resps[0], Response::Error(Status::Degraded, OpCode::Find));
+    assert!(handle.metrics().counter("serve.degraded_reads") >= 1);
+
+    if let Some(neighbor) = neighbor {
+        db.read().file().pool().clear().unwrap();
+        let resps = client.call(&[Request::GetSuccessors(neighbor)]).unwrap();
+        match &resps[0] {
+            Response::RecordsDegraded {
+                nodes,
+                skipped_pages,
+            } => {
+                assert!(*skipped_pages >= 1, "corrupt page must be reported");
+                assert!(
+                    nodes.iter().all(|n| n.id != target),
+                    "the unreadable record cannot appear in the partial answer"
+                );
+            }
+            other => panic!("expected a degraded partial answer, got {other:?}"),
+        }
+    }
+
+    // Heal: clear the injected corruption and the quarantine marks —
+    // reads are exact again on the same running server.
+    corruption.clear_corrupt(page);
+    db.read().file().clear_quarantined();
+    db.read().file().pool().clear().unwrap();
+    let resps = client.call(&[Request::Find(target)]).unwrap();
+    match &resps[0] {
+        Response::Record(n) => assert_eq!(n.id, target),
+        other => panic!("healed read must be exact, got {other:?}"),
+    }
+    handle.shutdown().unwrap();
+}

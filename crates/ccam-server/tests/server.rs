@@ -170,6 +170,7 @@ fn overload_is_rejected_with_overloaded_not_a_hang() {
         addr: "127.0.0.1:0".to_string(),
         workers: 1,
         queue_depth: 1,
+        ..ServerConfig::default()
     });
     let ids = net.node_ids();
     let heavy: Vec<Request> = ids.iter().map(|&id| Request::GetSuccessors(id)).collect();
@@ -178,7 +179,7 @@ fn overload_is_rejected_with_overloaded_not_a_hang() {
     let mut client = Client::connect(handle.local_addr()).unwrap();
     let total_frames = 32;
     for tag in 0..total_frames {
-        let payload = ccam_server::protocol::encode_request_batch(tag, &heavy);
+        let payload = ccam_server::protocol::encode_request_batch(tag, 0, &heavy);
         client.send_raw(&payload).unwrap();
     }
     let mut overloaded = 0usize;
@@ -223,6 +224,7 @@ fn batches_are_snapshot_consistent_across_commits() {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             queue_depth: 8,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -280,6 +282,7 @@ fn graceful_shutdown_drains_pending_batches() {
         addr: "127.0.0.1:0".to_string(),
         workers: 1,
         queue_depth: 16,
+        ..ServerConfig::default()
     });
     let ids = net.node_ids();
     let heavy: Vec<Request> = ids.iter().map(|&id| Request::GetSuccessors(id)).collect();
@@ -289,7 +292,7 @@ fn graceful_shutdown_drains_pending_batches() {
     let mut client = Client::connect(handle.local_addr()).unwrap();
     let frames = 8u32;
     for tag in 0..frames {
-        let payload = ccam_server::protocol::encode_request_batch(tag, &heavy);
+        let payload = ccam_server::protocol::encode_request_batch(tag, 0, &heavy);
         client.send_raw(&payload).unwrap();
     }
     // Wait until the reader has *accepted* all frames — shutdown only

@@ -56,6 +56,26 @@ pub enum StorageError {
     NoSpace,
 }
 
+impl StorageError {
+    /// Stable machine-readable name of this error's kind, for per-kind
+    /// metrics and logs (`serve.internal_errors.<kind>` and friends).
+    /// One lowercase token per variant; append-only.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StorageError::Io(_) => "io",
+            StorageError::InvalidPage(_) => "invalid_page",
+            StorageError::RecordTooLarge { .. } => "record_too_large",
+            StorageError::PageFull { .. } => "page_full",
+            StorageError::InvalidSlot(_) => "invalid_slot",
+            StorageError::Corrupt(_) => "corrupt",
+            StorageError::ChecksumMismatch { .. } => "checksum_mismatch",
+            StorageError::BadPageSize(_) => "bad_page_size",
+            StorageError::Poisoned => "poisoned",
+            StorageError::NoSpace => "no_space",
+        }
+    }
+}
+
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -135,6 +155,22 @@ mod tests {
         let short = std::io::Error::new(std::io::ErrorKind::WriteZero, "short write");
         assert!(matches!(StorageError::from(short), StorageError::NoSpace));
         assert!(StorageError::NoSpace.to_string().contains("no space"));
+    }
+
+    #[test]
+    fn kind_names_are_stable_tokens() {
+        assert_eq!(StorageError::NoSpace.kind(), "no_space");
+        assert_eq!(StorageError::Poisoned.kind(), "poisoned");
+        assert_eq!(StorageError::Io(std::io::Error::other("x")).kind(), "io");
+        assert_eq!(
+            StorageError::ChecksumMismatch {
+                page: PageId(1),
+                stored: 0,
+                computed: 1,
+            }
+            .kind(),
+            "checksum_mismatch"
+        );
     }
 
     #[test]

@@ -57,7 +57,8 @@ pub use slotted::{SlotId, SlottedPage};
 pub use stats::{IoSnapshot, IoStats, OpSpan};
 pub use store::{FilePageStore, MemPageStore, PageStore, WalInfo};
 pub use testing::{
-    CorruptStore, CorruptionController, CountingStore, CrashController, CrashStore,
-    DiskFullController, FlakyStore, FullDiskStore, SweepRng, TornWrite,
+    ChaosConfig, ChaosController, ChaosStore, CorruptStore, CorruptionController, CountingStore,
+    CrashController, CrashStore, DiskFullController, FlakyStore, FullDiskStore, SweepRng,
+    TornWrite,
 };
 pub use wal::{wal_sidecar, LogRecord, Wal};

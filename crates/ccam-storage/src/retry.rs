@@ -20,8 +20,19 @@
 //! surfaced after the attempt budget, at which point scrub/quarantine —
 //! see [`crate::integrity`] — takes over). Logical errors such as
 //! [`StorageError::InvalidPage`] fail immediately.
+//!
+//! # Jitter
+//!
+//! With [`RetryPolicy::jitter_seed`] set, each delay is drawn uniformly
+//! from `[backoff/2, backoff]` using a seeded xorshift stream private to
+//! the store. Concurrent workers retrying the same faulted page then
+//! spread out instead of hammering it in lockstep (a retry storm re-fails
+//! for all of them at once); with the seed unset the schedule stays
+//! exactly the deterministic doubled sequence the tests assert.
 
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::PageId;
@@ -37,6 +48,10 @@ pub struct RetryPolicy {
     pub base_delay_ticks: u64,
     /// Ceiling on any single backoff delay.
     pub max_delay_ticks: u64,
+    /// `Some(seed)` jitters each delay uniformly into
+    /// `[backoff/2, backoff]` from a seeded stream; `None` keeps the
+    /// exact deterministic exponential sequence.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -46,6 +61,7 @@ impl Default for RetryPolicy {
             max_attempts: 3,
             base_delay_ticks: 1,
             max_delay_ticks: 64,
+            jitter_seed: None,
         }
     }
 }
@@ -57,6 +73,15 @@ impl RetryPolicy {
             max_attempts: 1,
             base_delay_ticks: 0,
             max_delay_ticks: 0,
+            jitter_seed: None,
+        }
+    }
+
+    /// The same policy with jitter enabled under `seed`.
+    pub fn with_jitter(self, seed: u64) -> Self {
+        RetryPolicy {
+            jitter_seed: Some(seed),
+            ..self
         }
     }
 
@@ -92,6 +117,10 @@ pub struct RetryStore<S: PageStore> {
     policy: RetryPolicy,
     stats: Arc<IoStats>,
     sleeper: Box<Sleeper>,
+    /// xorshift64* state for jittered delays; `None` when the policy has
+    /// no jitter seed. Shared across readers so concurrent retries draw
+    /// from one interleaved stream (which is what desynchronizes them).
+    jitter: Option<Mutex<u64>>,
 }
 
 impl<S: PageStore> RetryStore<S> {
@@ -113,7 +142,26 @@ impl<S: PageStore> RetryStore<S> {
             policy,
             stats: IoStats::new_shared(),
             sleeper: Box::new(sleeper),
+            // xorshift needs a nonzero state.
+            jitter: policy.jitter_seed.map(|seed| Mutex::new(seed | 1)),
         }
+    }
+
+    /// The delay before retry `retry` (1-based): the policy's backoff,
+    /// jittered into `[backoff/2, backoff]` when a jitter seed is set.
+    fn delay(&self, retry: u32) -> u64 {
+        let full = self.policy.backoff(retry);
+        let Some(state) = &self.jitter else {
+            return full;
+        };
+        let mut s = state.lock();
+        let mut x = *s;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *s = x;
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        full / 2 + r % (full / 2 + 1)
     }
 
     /// The policy this store retries under.
@@ -148,7 +196,7 @@ impl<S: PageStore> RetryStore<S> {
                         "transient fault ({err}), attempt {attempt}/{}",
                         self.policy.max_attempts
                     );
-                    (self.sleeper)(self.policy.backoff(attempt));
+                    (self.sleeper)(self.delay(attempt));
                     self.stats.record_retry();
                     attempt += 1;
                 }
@@ -173,7 +221,7 @@ impl<S: PageStore> RetryStore<S> {
                         "transient fault ({err}), attempt {attempt}/{}",
                         self.policy.max_attempts
                     );
-                    (self.sleeper)(self.policy.backoff(attempt));
+                    (self.sleeper)(self.delay(attempt));
                     self.stats.record_retry();
                     attempt += 1;
                 }
@@ -262,6 +310,7 @@ mod tests {
             max_attempts: 10,
             base_delay_ticks: 3,
             max_delay_ticks: 20,
+            jitter_seed: None,
         };
         assert_eq!(p.backoff(1), 3);
         assert_eq!(p.backoff(2), 6);
@@ -284,6 +333,7 @@ mod tests {
                 max_attempts: 4,
                 base_delay_ticks: 1,
                 max_delay_ticks: 8,
+                jitter_seed: None,
             },
             move |_| {
                 if fails.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1 >= 2 {
@@ -323,6 +373,59 @@ mod tests {
         assert_eq!(s.stats().snapshot().retries, 0);
     }
 
+    /// Runs one store to delay exhaustion and returns the recorded
+    /// jittered delay sequence for `policy`.
+    fn recorded_delays(policy: RetryPolicy) -> Vec<u64> {
+        let delays: std::sync::Arc<Mutex<Vec<u64>>> = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let d = std::sync::Arc::clone(&delays);
+        let (flaky, switch) = FlakyStore::new(MemPageStore::new(64).unwrap());
+        let mut s = RetryStore::with_sleeper(flaky, policy, move |t| d.lock().push(t));
+        let p = s.allocate().unwrap();
+        switch.arm_after(0);
+        let mut buf = [0u8; 64];
+        assert!(s.read(p, &mut buf).is_err());
+        let out = delays.lock().clone();
+        out
+    }
+
+    #[test]
+    fn jittered_delays_stay_within_half_to_full_backoff() {
+        let policy = RetryPolicy {
+            max_attempts: 12,
+            base_delay_ticks: 8,
+            max_delay_ticks: 1024,
+            jitter_seed: Some(7),
+        };
+        let delays = recorded_delays(policy);
+        assert_eq!(delays.len(), 11);
+        let mut saw_jitter = false;
+        for (i, &d) in delays.iter().enumerate() {
+            let full = policy.backoff(i as u32 + 1);
+            assert!(
+                d >= full / 2 && d <= full,
+                "delay {d} outside [{}, {full}]",
+                full / 2
+            );
+            saw_jitter |= d != full;
+        }
+        assert!(saw_jitter, "12 draws never jittered below full backoff");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_differs_across_seeds() {
+        let base = RetryPolicy {
+            max_attempts: 8,
+            base_delay_ticks: 16,
+            max_delay_ticks: 4096,
+            jitter_seed: None,
+        };
+        let a = recorded_delays(base.with_jitter(1));
+        let b = recorded_delays(base.with_jitter(1));
+        let c = recorded_delays(base.with_jitter(2));
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        assert_ne!(a, c, "different seeds should desynchronize");
+    }
+
     #[test]
     fn sleeper_sees_the_exact_backoff_sequence() {
         let delays: std::sync::Arc<Mutex<Vec<u64>>> = std::sync::Arc::new(Mutex::new(Vec::new()));
@@ -334,6 +437,7 @@ mod tests {
                 max_attempts: 5,
                 base_delay_ticks: 2,
                 max_delay_ticks: 6,
+                jitter_seed: None,
             },
             move |t| d.lock().push(t),
         );

@@ -256,7 +256,8 @@ fn usage() -> String {
      ccam checkpoint <db>\n  \
      ccam replay <db> <trace.txt>\n  \
      ccam profile <db> [--ops N] [--routes N] [--len L] [--seed N] [--updates] [--json]\n  \
-     ccam serve <db> [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-seconds S]\n\
+     ccam serve <db> [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-seconds S]\n  \
+     [--deadline-ms MS] [--idle-timeout-ms MS] [--write-timeout-ms MS]\n\
      database commands also accept: [--retry [N]] [--verify-checksums] [--metrics-json <path>]\n  \
      [--max-wal-bytes N] (WAL databases: auto-checkpoint past N live log bytes)\n\
      find/succ also accept: [--explain] (print the page-access trace)"
@@ -956,7 +957,18 @@ fn profile(args: &[String], opts: &OpenOptions) -> Result<(), String> {
 /// histograms, I/O gauges) after the drain — the same document the
 /// `Stats` protocol op returns live.
 fn serve(args: &[String], opts: &OpenOptions) -> Result<(), String> {
-    let (pos, flags) = parse_flags(args, &["addr", "workers", "queue-depth", "max-seconds"]);
+    let (pos, flags) = parse_flags(
+        args,
+        &[
+            "addr",
+            "workers",
+            "queue-depth",
+            "max-seconds",
+            "deadline-ms",
+            "idle-timeout-ms",
+            "write-timeout-ms",
+        ],
+    );
     let [db_path] = pos.as_slice() else {
         return Err("serve needs <db>".into());
     };
@@ -975,6 +987,23 @@ fn serve(args: &[String], opts: &OpenOptions) -> Result<(), String> {
             .map(|s| parse_u64(s, "--queue-depth"))
             .transpose()?
             .unwrap_or(16) as usize,
+        // A serving default, unlike the library's unbounded one: a
+        // pathological route must not pin a worker forever.
+        deadline_ms: flags
+            .get("deadline-ms")
+            .map(|s| parse_u64(s, "--deadline-ms"))
+            .transpose()?
+            .unwrap_or(2_000),
+        idle_timeout_ms: flags
+            .get("idle-timeout-ms")
+            .map(|s| parse_u64(s, "--idle-timeout-ms"))
+            .transpose()?
+            .unwrap_or(30_000),
+        write_timeout_ms: flags
+            .get("write-timeout-ms")
+            .map(|s| parse_u64(s, "--write-timeout-ms"))
+            .transpose()?
+            .unwrap_or(10_000),
     };
     let max_seconds = flags
         .get("max-seconds")

@@ -46,6 +46,7 @@ proptest! {
                 max_attempts: 8,
                 base_delay_ticks: 1,
                 max_delay_ticks: 4,
+                jitter_seed: None,
             },
         );
         let net = grid_network(8, 8, 1.0);
