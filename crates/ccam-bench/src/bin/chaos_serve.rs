@@ -14,8 +14,17 @@
 //!   backoff) over `ChaosStore` (seeded transient I/O glitches, latency
 //!   stalls, per-page corruption, ENOSPC pulses) over `MemPageStore`.
 //!   The store is armed only after a clean build. Mid-run, one data
-//!   page is corrupted (forcing degraded reads) and later healed; a
-//!   disk-full pulse proves reads don't depend on writability.
+//!   page is corrupted and the damage *republished* through the writer
+//!   path — served reads come from pinned snapshots, so store faults
+//!   only reach clients via a commit — forcing degraded reads until a
+//!   later heal+republish; a disk-full pulse proves reads don't depend
+//!   on writability.
+//! * **Writer chaos** — a writer transaction panics mid-flight, which
+//!   poisons the `EpochCell`: the whole poisoned window must answer
+//!   typed `Internal` errors (charged as injected, never against the
+//!   budget) until `recover()` republishes the committed generation.
+//!   A second, benign abort (guard dropped without commit) must be
+//!   completely invisible to clients.
 //! * **Network chaos** — alongside closed-loop good clients: a
 //!   *staller* that writes half a frame and freezes (must be reaped by
 //!   the idle timeout), a *half-closer* that sends a valid frame and
@@ -37,13 +46,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ccam_core::epoch::EpochCell;
-use ccam_core::{AccessMethod, CcamBuilder};
+use ccam_core::{AccessMethod, Ccam, CcamBuilder};
 use ccam_graph::roadmap::{road_map, RoadMapConfig};
 use ccam_graph::{Network, NodeId};
 use ccam_server::client::{Backoff, Client};
 use ccam_server::protocol::{Request, Response, Status};
 use ccam_server::{Server, ServerConfig};
-use ccam_storage::{ChaosConfig, ChaosStore, MemPageStore, RetryPolicy, RetryStore};
+use ccam_storage::{ChaosConfig, ChaosStore, MemPageStore, PageStore, RetryPolicy, RetryStore};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -283,6 +292,24 @@ fn run_vanisher(addr: std::net::SocketAddr, w: &Workload) {
     // Drop: responses unread in the socket buffer → RST on close.
 }
 
+/// Push the store's current (possibly faulted or healed) state into a
+/// fresh published snapshot. Served reads are pinned to the last
+/// committed generation, so a storage fault never reaches clients until
+/// a writer commits past it — which is exactly what this does. Retries:
+/// the capture itself reads through the armed chaos store.
+fn republish<S: PageStore>(db: &EpochCell<Ccam<S>>) -> bool {
+    for _ in 0..10 {
+        if let Ok(w) = db.write() {
+            w.file().pool().clear().ok();
+            if w.commit().is_ok() {
+                return true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -336,7 +363,9 @@ fn main() {
         .ok()
         .flatten()
         .unwrap_or_else(|| die("target node has no page"));
-    let db = Arc::new(EpochCell::new(am));
+    let db = Arc::new(
+        EpochCell::new(am).unwrap_or_else(|e| die(&format!("publish initial snapshot: {e}"))),
+    );
 
     let idle_timeout = Duration::from_millis(700);
     let handle = Server::start(
@@ -365,6 +394,7 @@ fn main() {
     let stop = AtomicBool::new(false);
     let half_close_ok = AtomicU64::new(0);
     let half_close_runs = AtomicU64::new(0);
+    let writer_recovered = AtomicBool::new(false);
 
     let (tallies, staller_reaped) = std::thread::scope(|s| {
         let good: Vec<_> = (0..cfg.connections)
@@ -388,31 +418,61 @@ fn main() {
             }
         });
 
-        // Mid-run targeted faults, healed before the run ends.
+        // Mid-run targeted faults, healed before the run ends. Served
+        // reads come from pinned snapshots now, so mutating the store
+        // is invisible to clients until the damage is committed into a
+        // new published generation — each phase republishes explicitly.
         let controller = &controller;
         let db = &db;
+        let writer_recovered = &writer_recovered;
         s.spawn(move || {
-            let phase = Duration::from_secs(cfg.seconds) / 4;
+            let phase = Duration::from_secs(cfg.seconds) / 5;
             std::thread::sleep(phase);
-            // Corrupt one data page: reads of it must degrade, not 500.
-            // Flush first (a dirty page written back later would heal
-            // the corruption), mark, then keep evicting for the whole
-            // phase — under live traffic a single eviction races the
-            // workers, who can fault the page back in clean between
-            // the clear and the mark and pin the pre-fault copy in
-            // cache forever.
-            db.read().file().pool().clear().ok();
+            // Phase 1 — corrupt one data page and republish: reads of
+            // it must degrade, not 500. The capture re-reads the page
+            // from the store (cache evicted first) and pins it as
+            // unreadable in the new generation; no eviction race with
+            // the workers is possible because they never touch the
+            // store, only the snapshot.
             controller.corruption.mark_corrupt(target_page);
-            // ENOSPC pulse: the read path owes nothing to writability.
-            controller.disk.fill_after(0, false);
-            let heal_at = Instant::now() + phase;
-            while Instant::now() < heal_at {
-                db.read().file().pool().clear().ok();
-                std::thread::sleep(Duration::from_millis(20));
+            if !republish(db) {
+                eprintln!("chaos_serve: could not republish corrupted view");
             }
+            std::thread::sleep(phase);
+            // Phase 2 — ENOSPC pulse: the snapshot read path owes
+            // nothing to writability.
+            controller.disk.fill_after(0, false);
+            std::thread::sleep(phase);
             controller.disk.drain();
+            // Phase 3 — writer panic mid-transaction: the cell is
+            // poisoned, the whole window answers typed Internal
+            // errors (charged as injected), and recover() reopens
+            // serving on the committed generation.
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _w = db.write().expect("writer lock before injected panic");
+                panic!("chaos_serve: injected writer panic");
+            }))
+            .is_err();
+            std::thread::sleep(Duration::from_millis(100));
+            if panicked && db.recover().is_ok() {
+                writer_recovered.store(true, Ordering::Relaxed);
+            }
+            // Phase 4 — benign abort: a guard dropped without commit
+            // must not bump the epoch or disturb a single client.
+            let epoch_before = db.epoch();
+            if let Ok(w) = db.write() {
+                drop(w);
+            }
+            assert_eq!(db.epoch(), epoch_before, "benign abort bumped the epoch");
+            // Heal: clear the corruption and republish a clean view.
             controller.corruption.clear_corrupt(target_page);
-            db.read().file().clear_quarantined();
+            if let Ok(w) = db.write() {
+                w.file().clear_quarantined();
+                w.file().pool().clear().ok();
+                if w.commit().is_err() {
+                    eprintln!("chaos_serve: could not republish healed view");
+                }
+            }
         });
 
         let tallies: Vec<Tally> = good
@@ -447,10 +507,14 @@ fn main() {
     let worker_panics = metrics.counter("serve.worker_panics");
     let degraded_reads = metrics.counter("serve.degraded_reads");
     let idle_reaped = metrics.counter("serve.idle_reaped");
+    let snapshot_pins = metrics.counter("serve.snapshot_pins");
+    let poisoned_internals = metrics.counter("serve.internal_errors.poisoned");
+    let recovered = writer_recovered.load(Ordering::Relaxed);
     // Internal responses are charged against the store's own injected
-    // faults first; only the excess (plus protocol-level surprises)
-    // counts against the error budget.
-    let non_injected = t.internal.saturating_sub(injected) + t.unexpected;
+    // faults and the injected writer-panic (poisoned) window first;
+    // only the excess (plus protocol-level surprises) counts against
+    // the error budget.
+    let non_injected = t.internal.saturating_sub(injected + poisoned_internals) + t.unexpected;
     let budget = (total.max(1) * cfg.error_budget_per_1024) / 1024;
 
     let mut violations: Vec<String> = Vec::new();
@@ -466,6 +530,12 @@ fn main() {
     if degraded_reads == 0 {
         violations.push("no degraded reads despite page corruption".to_string());
     }
+    if !recovered {
+        violations.push("writer panic was not recovered".to_string());
+    }
+    if poisoned_internals == 0 {
+        violations.push("poisoned window produced no typed Internal responses".to_string());
+    }
     if non_injected > budget {
         violations.push(format!(
             "{non_injected} non-injected errors exceed budget {budget} ({}/1024 of {total})",
@@ -477,7 +547,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"chaos_serve\",\n  \"config\": {{\n    \"seed\": {},\n    \"seconds\": {},\n    \"connections\": {},\n    \"workers\": {},\n    \"queue_depth\": {}\n  }},\n  \"results\": {{\n    \"qps\": {:.1},\n    \"ok\": {},\n    \"overloaded\": {},\n    \"deadline_exceeded\": {},\n    \"degraded\": {},\n    \"internal\": {},\n    \"unexpected\": {},\n    \"reconnects\": {},\n    \"p50_us\": {},\n    \"p99_us\": {},\n    \"injected_faults\": {},\n    \"injected_stalls\": {},\n    \"non_injected_errors\": {},\n    \"worker_panics\": {},\n    \"degraded_reads\": {},\n    \"idle_reaped\": {},\n    \"half_close_answered\": {},\n    \"half_close_runs\": {},\n    \"staller_reaped\": {},\n    \"graceful_drain\": {},\n    \"slo_violations\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"chaos_serve\",\n  \"config\": {{\n    \"seed\": {},\n    \"seconds\": {},\n    \"connections\": {},\n    \"workers\": {},\n    \"queue_depth\": {}\n  }},\n  \"results\": {{\n    \"qps\": {:.1},\n    \"ok\": {},\n    \"overloaded\": {},\n    \"deadline_exceeded\": {},\n    \"degraded\": {},\n    \"internal\": {},\n    \"unexpected\": {},\n    \"reconnects\": {},\n    \"p50_us\": {},\n    \"p99_us\": {},\n    \"injected_faults\": {},\n    \"injected_stalls\": {},\n    \"non_injected_errors\": {},\n    \"worker_panics\": {},\n    \"degraded_reads\": {},\n    \"idle_reaped\": {},\n    \"snapshot_pins\": {},\n    \"poisoned_internals\": {},\n    \"writer_recovered\": {},\n    \"half_close_answered\": {},\n    \"half_close_runs\": {},\n    \"staller_reaped\": {},\n    \"graceful_drain\": {},\n    \"slo_violations\": {}\n  }}\n}}\n",
         cfg.seed,
         cfg.seconds,
         cfg.connections,
@@ -499,6 +569,9 @@ fn main() {
         worker_panics,
         degraded_reads,
         idle_reaped,
+        snapshot_pins,
+        poisoned_internals,
+        recovered,
         half_close_ok.load(Ordering::Relaxed),
         half_close_runs.load(Ordering::Relaxed),
         staller_reaped,

@@ -20,7 +20,7 @@ use ccam_graph::{Network, NodeData, NodeId};
 use ccam_partition::{
     cluster_nodes_into_pages_with, refine_m_way, ClusterOptions, PartGraph, Partitioner,
 };
-use ccam_storage::{StorageError, StorageResult};
+use ccam_storage::{PageId, StorageError, StorageResult};
 
 use crate::am::common::{
     self, insert_with_overflow_split, merge_on_underflow, patch_neighbors_on_delete,
@@ -600,6 +600,109 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
     fn delete_edge_impl(&mut self, from: NodeId, to: NodeId) -> StorageResult<Option<u32>> {
         let r = self.delete_edge_inner(from, to);
         self.finish_txn(r)
+    }
+}
+
+impl<S: ccam_storage::PageStore> Ccam<S> {
+    /// Asks the backing store to keep multi-version committed page
+    /// images (`WalStore::enable_snapshots`), making every subsequent
+    /// snapshot capture a cheap generation pin instead of a deep copy.
+    /// Commits first so the store is at a batch boundary. Returns false
+    /// when the store has no native versioning (captures then deep-copy
+    /// the committed pages instead — still correct, just O(data)).
+    pub fn enable_snapshots(&mut self) -> StorageResult<bool> {
+        self.file.commit()?;
+        Ok(self
+            .file
+            .pool()
+            .with_store_mut(|s| s.enable_snapshots())?
+            .is_some())
+    }
+}
+
+/// Snapshot capture for the serving layer: the view is a read-only CCAM
+/// over one pinned committed generation ([`ccam_storage::SnapshotStore`]).
+/// All [`AccessMethod`] read operations run unmodified against it; its
+/// quarantine set is rebuilt from the generation's own unreadable pages,
+/// so degraded reads keep working over snapshots.
+impl<S: ccam_storage::PageStore> crate::epoch::Snapshotable for Ccam<S> {
+    type View = Ccam<ccam_storage::SnapshotStore>;
+
+    fn capture(&self) -> StorageResult<Self::View> {
+        // Flush + sync first: over a `WalStore` this is the commit point
+        // that publishes the batch as a new generation; over plain
+        // stores it writes dirty frames back so the copy below sees the
+        // committed bytes.
+        self.file.commit()?;
+        let store = match self.file.pool().with_store(|s| s.page_versions()) {
+            Some(versions) => ccam_storage::SnapshotStore::pin(&versions),
+            None => {
+                // No native versioning: freeze a one-shot deep copy of
+                // the committed pages (tolerating unreadable ones, which
+                // the view quarantines like the device path would).
+                let page_size = self.file.page_size();
+                let live = self
+                    .file
+                    .pool()
+                    .with_store(ccam_storage::PageStore::live_pages);
+                let mut images = Vec::with_capacity(live.len());
+                let mut buf = vec![0u8; page_size];
+                for p in live {
+                    match self.file.pool().read_uncounted(p, &mut buf) {
+                        Ok(()) => images.push((
+                            p.0,
+                            ccam_storage::PageImage::Bytes(buf.clone().into_boxed_slice()),
+                        )),
+                        Err(StorageError::ChecksumMismatch { .. }) => {
+                            images.push((p.0, ccam_storage::PageImage::Unreadable));
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                let versions = ccam_storage::PageVersions::from_images(page_size, images);
+                ccam_storage::SnapshotStore::pin(&versions)
+            }
+        };
+        let mut file = NetworkFile::open(store)?;
+        // `open`'s tolerant scan quarantines unreadable pages but cannot
+        // index the records on them. The writer's index still knows which
+        // ids live there: graft those entries so a lookup on the view
+        // routes to the quarantined page — and takes the degraded path —
+        // instead of reporting a confident miss.
+        let quarantined: std::collections::BTreeSet<PageId> =
+            file.quarantined_pages().into_iter().collect();
+        if !quarantined.is_empty() {
+            for (id, page) in self.file.index_range(0, u64::MAX)? {
+                let page = PageId(page as u32);
+                if quarantined.contains(&page) {
+                    file.adopt_index_entry(NodeId(id), page)?;
+                }
+            }
+        }
+        Ok(Ccam {
+            file,
+            partitioner: self.partitioner,
+            policy: self.policy,
+            // The view is read-only: clustering weights and lazy-policy
+            // counters only matter to mutations.
+            weights: HashMap::new(),
+            update_counts: HashMap::new(),
+            name: self.name.clone(),
+        })
+    }
+
+    fn restore_committed(&mut self) -> StorageResult<()> {
+        // Over a rollback-capable (WAL) store this discards the torn
+        // transaction entirely; over plain stores it at least re-coheres
+        // the index and quarantine set with what the store holds.
+        self.file.abort()?;
+        self.file.rebuild_index()?;
+        self.update_counts.clear();
+        Ok(())
+    }
+
+    fn stats_handle(&self) -> Option<std::sync::Arc<ccam_storage::IoStats>> {
+        Some(self.file.stats())
     }
 }
 

@@ -1,4 +1,4 @@
-//! Single-writer / multi-reader epochs over an access method.
+//! Single-writer / multi-version snapshot epochs over an access method.
 //!
 //! The serving layer shares one open [`crate::am::Ccam`] between many
 //! reader threads while a maintenance writer applies inserts, deletes
@@ -8,111 +8,283 @@
 //!
 //! # The design this crate ships (and tests)
 //!
-//! Of the two candidate designs — (a) readers pin the pre-commit state
-//! through the no-steal `WalStore` overlay while the writer installs, or
-//! (b) readers block for the writer's install window — this module
-//! implements **(b): readers block for the writer's whole critical
-//! section**, via a reader/writer lock plus a monotone epoch counter:
+//! Of the two candidate designs — (a) readers pin the last committed
+//! state while the writer mutates, or (b) readers block for the writer's
+//! whole critical section — this module implements **(a): MVCC-lite
+//! pinned snapshots**. (Design (b), a reader/writer lock around the
+//! whole `Ccam`, shipped first and stalled every reader for the length
+//! of a reorganization; it also let a panicking writer bump the epoch
+//! and expose a torn state, since `parking_lot` locks do not poison.)
 //!
-//! * [`EpochCell::read`] takes the shared side. Any number of readers
-//!   run concurrently; each sees the epoch current when it entered.
-//! * [`EpochCell::write`] takes the exclusive side. The writer performs
-//!   a whole logical transaction — mutate, reorganize, *commit* — under
-//!   the guard; dropping the guard bumps the epoch and releases readers.
+//! * [`EpochCell::read`] returns a [`Snapshot`]: an `Arc` of the last
+//!   *published* read-only view. Taking it costs one `RwLock` read
+//!   acquisition and an `Arc` clone — no lock is held while the query
+//!   runs, so readers never wait on a writer and a writer never waits
+//!   on readers.
+//! * [`EpochCell::write`] keeps single-writer exclusivity over the
+//!   mutable value. The writer mutates freely; readers cannot observe
+//!   any of it, because they only ever dereference the published view.
+//! * [`EpochWriteGuard::commit`] captures a fresh view from the
+//!   (committed) writer state via [`Snapshotable::capture`], publishes
+//!   it atomically, and bumps the epoch. **The epoch bumps only on
+//!   successful commit.**
 //!
-//! Why (b): the access method commits through the buffer pool's
-//! `flush_all` (the `WalStore` commit point), so "the pre-commit state"
-//! is partly dirty frames — pinning it for concurrent readers would mean
-//! versioning every frame the writer touches. Blocking instead makes
-//! the guarantee structural: readers *cannot* run during the install
-//! window, so every read executes strictly between committed states.
-//! The cost is reader latency bounded by the writer's longest
-//! transaction — acceptable for a read-mostly serving workload where
-//! writes are maintenance operations, and measured by the
-//! reads-during-commit stress test rather than assumed.
+//! # Version lifecycle
+//!
+//! For a WAL-backed store with `WalStore::enable_snapshots` on, capture
+//! pins a *generation* of the store's multi-version page images
+//! (`ccam_storage::snapshot`): the view reads those frozen images and
+//! the pin is released when the last `Snapshot` holding the view drops,
+//! letting superseded page images be collected. For plain stores,
+//! capture freezes a one-shot deep copy. Either way a published view is
+//! immutable: snapshots taken before a commit keep reading their own
+//! generation for as long as they live.
+//!
+//! # Commit / abort / panic state machine
+//!
+//! ```text
+//!   write() ──► mutating ──ok──► commit() ──capture ok──► published, epoch+1
+//!                  │                  └─capture err─────► Err (view unchanged,
+//!                  │                                      writer reusable)
+//!                  ├── guard dropped (abort) ───────────► view + epoch unchanged
+//!                  └── panic (unwind) ──────────────────► cell POISONED
+//! ```
+//!
+//! A dropped-without-commit guard is a benign abort: the access-method
+//! layer has already rolled the writer back to its committed state, the
+//! published view never changed, and the epoch does not move. A *panic*
+//! mid-transaction may leave the writer value torn, so it poisons the
+//! cell: `read()` and `write()` fail with `StorageError::Poisoned`
+//! (the server answers `Internal`) until [`EpochCell::recover`] restores
+//! the committed state via [`Snapshotable::restore_committed`] and
+//! republishes. Snapshots already taken stay valid through poisoning —
+//! they are immutable committed data.
 //!
 //! The epoch counter is observability, not synchronization: a reader
 //! that records [`EpochCell::epoch`] before and after a batch can tell
-//! whether a commit intervened (`serve` uses this to label whole batches
-//! as snapshot-consistent — a batch runs under one read guard, so both
-//! observations are equal by construction).
+//! whether a commit intervened, and [`Snapshot::epoch`] names the
+//! committed generation a snapshot serves.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use ccam_storage::{IoStats, StorageError, StorageResult};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 
-/// A single-writer / multi-reader cell with a monotone commit epoch.
-/// See the module docs for the snapshot-consistency contract.
-pub struct EpochCell<T> {
-    inner: RwLock<T>,
-    epoch: AtomicU64,
-}
+/// A value that can publish immutable committed views of itself.
+///
+/// `capture` is called at commit time, after the value's own
+/// transactional machinery has made the state durable; it must first
+/// ensure the committed state is visible (e.g. flush + sync), then
+/// build a read-only view of exactly that state.
+pub trait Snapshotable {
+    /// The immutable read-only view readers share.
+    type View: Send + Sync + 'static;
 
-impl<T> EpochCell<T> {
-    /// Wraps `value` at epoch 0.
-    pub fn new(value: T) -> Self {
-        EpochCell {
-            inner: RwLock::new(value),
-            epoch: AtomicU64::new(0),
-        }
+    /// Builds a view of the current committed state.
+    fn capture(&self) -> StorageResult<Self::View>;
+
+    /// Restores the committed state after a panic left the value
+    /// possibly torn (used by [`EpochCell::recover`]). The default
+    /// assumes the value cannot tear.
+    fn restore_committed(&mut self) -> StorageResult<()> {
+        Ok(())
     }
 
-    /// Shared read access. Concurrent with other readers; blocks while a
-    /// writer holds the cell (and only then). Everything done under one
-    /// guard observes a single committed state.
-    pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read()
+    /// The value's I/O counters, if it has any — lets the cell expose
+    /// them without locking the writer (a long reorganization holds the
+    /// writer lock, and metrics must not block on it).
+    fn stats_handle(&self) -> Option<Arc<IoStats>> {
+        None
+    }
+}
+
+struct Published<V> {
+    view: Arc<V>,
+    epoch: u64,
+}
+
+/// A single-writer cell publishing immutable snapshots of `T` with a
+/// monotone commit epoch. See the module docs for the design.
+pub struct EpochCell<T: Snapshotable> {
+    writer: Mutex<T>,
+    published: RwLock<Published<T::View>>,
+    epoch: AtomicU64,
+    poisoned: AtomicBool,
+    io: Option<Arc<IoStats>>,
+}
+
+impl<T: Snapshotable> EpochCell<T> {
+    /// Wraps `value` at epoch 0, capturing and publishing its initial
+    /// committed view.
+    pub fn new(value: T) -> StorageResult<Self> {
+        let view = Arc::new(value.capture()?);
+        let io = value.stats_handle();
+        Ok(EpochCell {
+            writer: Mutex::new(value),
+            published: RwLock::new(Published { view, epoch: 0 }),
+            epoch: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            io,
+        })
+    }
+
+    /// Pins the last published snapshot. Cheap (one `Arc` clone) and
+    /// never blocked by a writer's critical section; the snapshot stays
+    /// valid — and keeps reading its own committed generation — for as
+    /// long as it is held, across any number of later commits.
+    ///
+    /// Fails with [`StorageError::Poisoned`] after a writer panicked
+    /// mid-transaction (see [`EpochCell::recover`]).
+    pub fn read(&self) -> StorageResult<Snapshot<T::View>> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(StorageError::Poisoned);
+        }
+        let p = self.published.read();
+        Ok(Snapshot {
+            view: Arc::clone(&p.view),
+            epoch: p.epoch,
+        })
     }
 
     /// Exclusive write access. The caller runs a whole logical
-    /// transaction (mutate + commit) under the guard; dropping it bumps
-    /// the epoch, marking a new committed state.
-    pub fn write(&self) -> EpochWriteGuard<'_, T> {
-        EpochWriteGuard {
-            guard: Some(self.inner.write()),
-            epoch: &self.epoch,
+    /// transaction (mutate + commit) under the guard and then calls
+    /// [`EpochWriteGuard::commit`] to publish; dropping the guard
+    /// without committing aborts (readers keep the previous view and
+    /// the epoch does not move).
+    pub fn write(&self) -> StorageResult<EpochWriteGuard<'_, T>> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(StorageError::Poisoned);
         }
+        Ok(EpochWriteGuard {
+            guard: Some(self.writer.lock()),
+            cell: self,
+            committed: false,
+        })
     }
 
-    /// The number of write transactions committed so far. Two equal
-    /// observations bracket a span in which no writer installed.
+    /// Clears poison after a writer panic: restores the committed state
+    /// ([`Snapshotable::restore_committed`]), captures and publishes a
+    /// fresh view, and re-opens the cell. Returns the new epoch.
+    pub fn recover(&self) -> StorageResult<u64> {
+        let mut writer = self.writer.lock();
+        writer.restore_committed()?;
+        let view = Arc::new(writer.capture()?);
+        let epoch = self.publish(view);
+        self.poisoned.store(false, Ordering::Release);
+        Ok(epoch)
+    }
+
+    /// True after a writer panicked mid-transaction and before
+    /// [`EpochCell::recover`] succeeded.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// The number of commits published so far. Two equal observations
+    /// bracket a span in which no writer committed.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
     }
 
-    /// Consumes the cell, returning the inner value.
+    /// The wrapped value's I/O counters, without touching the writer
+    /// lock (usable while a long transaction is in flight).
+    pub fn io_stats(&self) -> Option<Arc<IoStats>> {
+        self.io.clone()
+    }
+
+    /// Consumes the cell, returning the inner (writer) value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner()
+        self.writer.into_inner()
+    }
+
+    fn publish(&self, view: Arc<T::View>) -> u64 {
+        let mut p = self.published.write();
+        let epoch = p.epoch + 1;
+        *p = Published { view, epoch };
+        // Inside the lock so `epoch()` can never run ahead of the view
+        // a concurrent `read()` would pin.
+        self.epoch.store(epoch, Ordering::Release);
+        epoch
     }
 }
 
-/// Write guard for [`EpochCell::write`]: exclusive access that bumps the
-/// epoch when dropped.
-pub struct EpochWriteGuard<'a, T> {
-    /// `Option` so `Drop` can bump the epoch *before* releasing the
-    /// lock (a reader waking on the lock must observe the new count).
-    guard: Option<RwLockWriteGuard<'a, T>>,
-    epoch: &'a AtomicU64,
+/// A pinned, immutable committed view (see [`EpochCell::read`]).
+pub struct Snapshot<V> {
+    view: Arc<V>,
+    epoch: u64,
 }
 
-impl<T> std::ops::Deref for EpochWriteGuard<'_, T> {
+impl<V> Snapshot<V> {
+    /// The commit epoch this snapshot serves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl<V> Clone for Snapshot<V> {
+    fn clone(&self) -> Self {
+        Snapshot {
+            view: Arc::clone(&self.view),
+            epoch: self.epoch,
+        }
+    }
+}
+
+impl<V> std::ops::Deref for Snapshot<V> {
+    type Target = V;
+    fn deref(&self) -> &V {
+        &self.view
+    }
+}
+
+/// Write guard for [`EpochCell::write`]: exclusive access that
+/// publishes only on explicit [`EpochWriteGuard::commit`]. Dropping it
+/// without committing aborts; unwinding through it poisons the cell.
+pub struct EpochWriteGuard<'a, T: Snapshotable> {
+    /// `Option` so `commit` can release the lock after publishing
+    /// without running the poison check in `Drop`.
+    guard: Option<MutexGuard<'a, T>>,
+    cell: &'a EpochCell<T>,
+    committed: bool,
+}
+
+impl<T: Snapshotable> EpochWriteGuard<'_, T> {
+    /// Captures the writer's committed state, publishes it as the next
+    /// snapshot, bumps the epoch and releases the guard. Returns the
+    /// new epoch.
+    ///
+    /// On capture failure the previous view stays published, the epoch
+    /// does not move, and the cell is *not* poisoned (the writer state
+    /// is still its committed self; the caller may retry).
+    pub fn commit(mut self) -> StorageResult<u64> {
+        let view = Arc::new(self.guard.as_ref().expect("guard live").capture()?);
+        let epoch = self.cell.publish(view);
+        self.committed = true;
+        Ok(epoch)
+    }
+}
+
+impl<T: Snapshotable> std::ops::Deref for EpochWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
         self.guard.as_ref().expect("guard live")
     }
 }
 
-impl<T> std::ops::DerefMut for EpochWriteGuard<'_, T> {
+impl<T: Snapshotable> std::ops::DerefMut for EpochWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         self.guard.as_mut().expect("guard live")
     }
 }
 
-impl<T> Drop for EpochWriteGuard<'_, T> {
+impl<T: Snapshotable> Drop for EpochWriteGuard<'_, T> {
     fn drop(&mut self) {
-        // Bump first, then release: a reader entering after the release
-        // must see the new epoch.
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        if !self.committed && std::thread::panicking() {
+            // The writer may be torn; fail readers fast rather than
+            // serving an ever-staler snapshot while maintenance is dead.
+            self.cell.poisoned.store(true, Ordering::Release);
+        }
         self.guard = None;
     }
 }
@@ -120,47 +292,84 @@ impl<T> Drop for EpochWriteGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+
+    /// Test double: a pair whose invariant is `a == b`, with a
+    /// "repair" that re-establishes it from the first element.
+    #[derive(Clone)]
+    struct Pair(u64, u64);
+
+    impl Snapshotable for Pair {
+        type View = Pair;
+        fn capture(&self) -> StorageResult<Self::View> {
+            Ok(self.clone())
+        }
+        fn restore_committed(&mut self) -> StorageResult<()> {
+            self.1 = self.0;
+            Ok(())
+        }
+    }
 
     #[test]
-    fn epoch_counts_write_transactions() {
-        let cell = EpochCell::new(0u64);
+    fn epoch_counts_committed_transactions_only() {
+        let cell = EpochCell::new(Pair(0, 0)).unwrap();
         assert_eq!(cell.epoch(), 0);
-        *cell.write() += 1;
+        let mut g = cell.write().unwrap();
+        g.0 = 1;
+        g.1 = 1;
+        assert_eq!(cell.epoch(), 0); // not bumped until commit
+        assert_eq!(g.commit().unwrap(), 1);
         assert_eq!(cell.epoch(), 1);
+
+        // Abort: drop without commit — no bump, readers keep the old view.
         {
-            let mut g = cell.write();
-            *g += 1;
-            // Not bumped until the guard drops.
-            assert_eq!(cell.epoch(), 1);
+            let mut g = cell.write().unwrap();
+            g.0 = 99;
+            g.1 = 99;
         }
-        assert_eq!(cell.epoch(), 2);
-        assert_eq!(*cell.read(), 2);
+        assert_eq!(cell.epoch(), 1);
+        assert_eq!(cell.read().unwrap().0, 1);
+    }
+
+    #[test]
+    fn snapshots_pin_their_generation_across_commits() {
+        let cell = EpochCell::new(Pair(1, 1)).unwrap();
+        let old = cell.read().unwrap();
+        let mut g = cell.write().unwrap();
+        g.0 = 2;
+        g.1 = 2;
+        g.commit().unwrap();
+        // The pinned snapshot still serves its own committed generation.
+        assert_eq!(old.0, 1);
+        assert_eq!(old.epoch(), 0);
+        let new = cell.read().unwrap();
+        assert_eq!(new.0, 2);
+        assert_eq!(new.epoch(), 1);
     }
 
     #[test]
     fn readers_never_see_a_torn_write() {
-        // The writer breaks an invariant (a != b) mid-transaction and
-        // restores it before releasing; readers must never catch it.
-        let cell = Arc::new(EpochCell::new((0u64, 0u64)));
-        let stop = Arc::new(AtomicU64::new(0));
+        // The writer breaks the invariant (a != b) mid-transaction;
+        // readers resolve published snapshots only and can never catch it.
+        let cell = std::sync::Arc::new(EpochCell::new(Pair(0, 0)).unwrap());
+        let stop = std::sync::Arc::new(AtomicU64::new(0));
         std::thread::scope(|s| {
             for _ in 0..4 {
-                let cell = Arc::clone(&cell);
-                let stop = Arc::clone(&stop);
+                let cell = std::sync::Arc::clone(&cell);
+                let stop = std::sync::Arc::clone(&stop);
                 s.spawn(move || {
                     while stop.load(Ordering::Relaxed) == 0 {
-                        let g = cell.read();
+                        let g = cell.read().unwrap();
                         assert_eq!(g.0, g.1, "torn state observed");
                     }
                 });
             }
             for i in 1..500u64 {
-                let mut g = cell.write();
+                let mut g = cell.write().unwrap();
                 g.0 = i;
-                // Readers are blocked here — the torn (i, i-1) state is
-                // invisible outside the guard.
+                // The torn (i, i-1) state exists only in the writer
+                // value, which no reader dereferences.
                 g.1 = i;
+                g.commit().unwrap();
             }
             stop.store(1, Ordering::Relaxed);
         });
@@ -168,10 +377,45 @@ mod tests {
     }
 
     #[test]
+    fn panicking_writer_poisons_and_recover_reopens() {
+        let cell = std::sync::Arc::new(EpochCell::new(Pair(5, 5)).unwrap());
+        let pre_panic = cell.read().unwrap();
+
+        let cell2 = std::sync::Arc::clone(&cell);
+        let r = std::thread::spawn(move || {
+            let mut g = cell2.write().unwrap();
+            g.0 = 6; // torn: invariant broken…
+            panic!("injected writer panic"); // …and never restored
+        })
+        .join();
+        assert!(r.is_err());
+
+        // New reads and writes fail typed; pinned snapshots stay valid.
+        assert!(cell.is_poisoned());
+        assert!(matches!(cell.read(), Err(StorageError::Poisoned)));
+        assert!(matches!(cell.write(), Err(StorageError::Poisoned)));
+        assert_eq!(pre_panic.0, 5);
+        assert_eq!(cell.epoch(), 0);
+
+        // Recover: committed state restored, fresh view published.
+        cell.recover().unwrap();
+        assert!(!cell.is_poisoned());
+        let g = cell.read().unwrap();
+        assert_eq!(g.0, g.1, "recover must republish a consistent state");
+
+        // The cell is fully usable again.
+        let mut w = cell.write().unwrap();
+        w.0 = 7;
+        w.1 = 7;
+        w.commit().unwrap();
+        assert_eq!(cell.read().unwrap().0, 7);
+    }
+
+    #[test]
     fn equal_epochs_bracket_a_quiescent_span() {
-        let cell = EpochCell::new(7u32);
+        let cell = EpochCell::new(Pair(7, 7)).unwrap();
         let before = cell.epoch();
-        let v = *cell.read();
+        let v = cell.read().unwrap().0;
         let after = cell.epoch();
         assert_eq!(before, after);
         assert_eq!(v, 7);

@@ -401,6 +401,15 @@ impl<S: PageStore> NetworkFile<S> {
         self.index.range(lo, hi)
     }
 
+    /// Re-inserts an index entry for a record that could not be scanned
+    /// because its page is quarantined. A snapshot capture grafts the
+    /// writer's index knowledge into the freshly opened view so lookups
+    /// still route to the unreadable page — and take the degraded path —
+    /// instead of reporting a confident miss.
+    pub fn adopt_index_entry(&mut self, id: NodeId, page: PageId) -> StorageResult<()> {
+        self.index_insert(id, page)
+    }
+
     /// I/O counters of the secondary index's own buffer pool (separate
     /// from the data-page counts the paper reports; see
     /// [`Self::set_index_buffer_capacity`]).

@@ -183,7 +183,7 @@ impl Backoff {
         x ^= x >> 27;
         self.rng = x;
         let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
-        let cap_us = cap.as_micros() as u64;
+        let cap_us = u64::try_from(cap.as_micros()).unwrap_or(u64::MAX);
         Duration::from_micros(cap_us / 2 + r % (cap_us / 2 + 1))
     }
 }
@@ -198,11 +198,13 @@ mod tests {
         let max = Duration::from_millis(80);
         let mut b = Backoff::new(8, base, max, 42);
         for attempt in 0..10 {
-            let cap = base
-                .saturating_mul(1u32 << attempt.min(16))
-                .min(max)
-                .as_micros() as u64;
-            let d = b.delay(attempt).as_micros() as u64;
+            let cap = u64::try_from(
+                base.saturating_mul(1u32 << attempt.min(16))
+                    .min(max)
+                    .as_micros(),
+            )
+            .unwrap();
+            let d = u64::try_from(b.delay(attempt).as_micros()).unwrap();
             assert!(
                 d >= cap / 2 && d <= cap,
                 "attempt {attempt}: {d} vs cap {cap}"

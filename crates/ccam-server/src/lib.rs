@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(clippy::cast_possible_truncation)]
 
 //! The TCP serving layer over the CCAM access method.
 //!
@@ -15,7 +16,7 @@
 //!                  │ full? write Overloaded immediately     │
 //!                  ▼                                        ▼
 //!              conn writer ◄────────────── worker pool (N threads)
-//!                                   batch runs under EpochCell::read()
+//!                              batch runs on one pinned Snapshot
 //! ```
 //!
 //! * One **reader thread per connection** decodes frames and appends
@@ -25,12 +26,14 @@
 //!   bound, and a slow consumer only ever penalizes itself.
 //! * A connection with pending batches is scheduled at most once on the
 //!   global run queue. A worker pops a connection, takes **one** batch,
-//!   executes the whole batch under a single [`EpochCell::read`] guard
-//!   — so every response in a frame reflects one committed snapshot —
-//!   writes the response frame, and re-schedules the connection if more
-//!   batches are pending. One-batch-at-a-time per connection keeps
-//!   accepted batches FIFO per connection and shares workers fairly
-//!   across connections.
+//!   pins a [`Snapshot`] via [`EpochCell::read`] and executes the whole
+//!   batch against it — so every response in a frame reflects one
+//!   committed snapshot, and a maintenance commit (or a full
+//!   reorganization) mid-batch neither stalls the batch nor changes
+//!   what it observes. The worker then writes the response frame and
+//!   re-schedules the connection if more batches are pending.
+//!   One-batch-at-a-time per connection keeps accepted batches FIFO per
+//!   connection and shares workers fairly across connections.
 //! * **Graceful shutdown** ([`ServerHandle::shutdown`]) stops accepting,
 //!   half-closes every connection's read side, joins the readers (no
 //!   new work can arrive), then lets the workers drain every queued
@@ -61,12 +64,20 @@
 //!   erroring: reads route around quarantined pages
 //!   (`Status::Degraded`, partial bodies for `GetSuccessors`); every
 //!   other storage error is answered `Internal` and counted per error
-//!   kind under `serve.internal_errors.<kind>`.
+//!   kind under `serve.internal_errors.<kind>`. A *poisoned* cell — a
+//!   maintenance writer panicked mid-transaction — fails the whole
+//!   batch `Internal` (counted under `serve.internal_errors.poisoned`)
+//!   until an operator runs recovery; already-pinned snapshots keep
+//!   answering.
+//! * **Counter truncation** — wire counters are `u32`; server-side
+//!   tallies are saturated through `sat_u32` instead of silently
+//!   wrapped, with `serve.counter_saturated` counting each clamp.
 //!
 //! Snapshot consistency across a writer commit is delegated to
-//! [`EpochCell`] — see `ccam_core::epoch` for the design note on why
-//! readers block for the writer's critical section rather than pinning
-//! the pre-commit state.
+//! [`EpochCell`] — see `ccam_core::epoch` for the MVCC-lite design:
+//! readers pin the last committed view (`serve.snapshot_pins` counts
+//! pins, `serve.reader_stall_ms` histograms the time to take one) and
+//! never block on — nor observe — an in-flight writer.
 
 pub mod client;
 pub mod protocol;
@@ -80,12 +91,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ccam_core::epoch::EpochCell;
+use ccam_core::epoch::{EpochCell, Snapshot};
 use ccam_core::query::route::evaluate_path_bounded;
 use ccam_core::query::route_unit_aggregate_bounded;
 use ccam_core::{AccessMethod, Ccam};
 use ccam_graph::NodeId;
-use ccam_storage::{MetricsRegistry, PageStore, StorageError};
+use ccam_storage::{MetricsRegistry, PageStore, SnapshotStore, StorageError};
 use parking_lot::{Condvar, Mutex};
 
 use protocol::{
@@ -222,8 +233,9 @@ pub struct Server;
 impl Server {
     /// Binds `config.addr` and spawns the acceptor and worker threads
     /// over the shared database. The caller keeps its `Arc` clone of
-    /// the [`EpochCell`] — a maintenance writer commits through
-    /// [`EpochCell::write`] while the server reads.
+    /// the [`EpochCell`] — a maintenance writer mutates and commits
+    /// through [`EpochCell::write`] while the server keeps answering
+    /// from pinned pre-commit snapshots.
     pub fn start<S: PageStore + 'static>(
         db: Arc<EpochCell<Ccam<S>>>,
         config: ServerConfig,
@@ -305,8 +317,12 @@ impl<S: PageStore + 'static> ServerHandle<S> {
     /// Metrics as JSON, with current I/O-counter gauges folded in —
     /// the same document the `Stats` protocol op returns.
     pub fn metrics_json(&self) -> String {
-        let io = self.shared.db.read().stats().snapshot();
-        fold_io_gauges(&self.shared.metrics, &io, self.shared.db.epoch());
+        // Counters come off the cell's lock-free stats handle, not a
+        // read guard: metrics must stay observable while a long
+        // reorganization holds the writer lock or the cell is poisoned.
+        if let Some(io) = self.shared.db.io_stats() {
+            fold_io_gauges(&self.shared.metrics, &io.snapshot(), self.shared.db.epoch());
+        }
         self.shared.metrics.to_json()
     }
 
@@ -631,19 +647,51 @@ fn worker_loop<S: PageStore + 'static>(shared: &Arc<Shared<S>>) {
     }
 }
 
-/// Executes one batch under a single epoch read guard: every response
-/// in the frame reflects the same committed snapshot.
+/// Executes one batch on a single pinned snapshot: every response in
+/// the frame reflects the same committed generation, and a writer
+/// committing (or reorganizing) concurrently neither stalls the batch
+/// nor changes what it observes.
+///
+/// Pinning fails only when the cell is poisoned (a maintenance writer
+/// panicked mid-transaction); the whole batch then answers `Internal`,
+/// counted per request under `serve.internal_errors.poisoned`.
 ///
 /// Each request is deadline-checked before it runs (a frame that sat
 /// queued past its budget answers `DeadlineExceeded` without touching
 /// storage) and executes under `catch_unwind` — a panic answers
 /// `Internal` for that request and the rest of the batch proceeds.
 fn execute_batch<S: PageStore>(shared: &Shared<S>, conn: &Conn, batch: &Batch) -> Vec<Response> {
-    let am = shared.db.read();
     let m = &shared.metrics;
     m.inc_by("serve.batches", 1);
     m.inc_by("serve.requests", batch.reqs.len() as u64);
     m.observe("serve.batch_size", batch.reqs.len() as u64);
+    let pin_start = Instant::now();
+    let am: Snapshot<Ccam<SnapshotStore>> = match shared.db.read() {
+        Ok(snap) => snap,
+        Err(e) => {
+            m.inc_by(internal_metric(e.kind()), batch.reqs.len() as u64);
+            if !conn.storage_error_logged.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "ccam-serve: cannot pin snapshot on connection {} ({}): {e}",
+                    conn.id,
+                    e.kind()
+                );
+            }
+            return batch
+                .reqs
+                .iter()
+                .map(|req| Response::Error(Status::Internal, req.op()))
+                .collect();
+        }
+    };
+    m.inc_by("serve.snapshot_pins", 1);
+    // Time-to-pin is the only point a reader could ever wait on the
+    // write path (the publish lock); the histogram proves it stays ~0
+    // even while `reorganize_full` runs.
+    m.observe(
+        "serve.reader_stall_ms",
+        u64::try_from(pin_start.elapsed().as_millis()).unwrap_or(u64::MAX),
+    );
     batch
         .reqs
         .iter()
@@ -663,7 +711,7 @@ fn execute_batch<S: PageStore>(shared: &Shared<S>, conn: &Conn, batch: &Batch) -
                 m.inc_by("serve.worker_panics", 1);
                 Response::Error(Status::Internal, op)
             });
-            let us = start.elapsed().as_micros() as u64;
+            let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
             m.observe(latency_metric(op), us);
             resp
         })
@@ -724,12 +772,26 @@ fn internal_metric(kind: &str) -> &'static str {
     }
 }
 
+/// Clamps a server-side tally to the wire's `u32`, counting each clamp
+/// under `serve.counter_saturated` — a saturated counter is visibly
+/// pegged at `u32::MAX` instead of silently wrapping to a small lie.
+fn sat_u32<T: TryInto<u32>>(m: &MetricsRegistry, v: T) -> u32 {
+    v.try_into().unwrap_or_else(|_| {
+        m.inc_by("serve.counter_saturated", 1);
+        u32::MAX
+    })
+}
+
 /// `Find` retried through the quarantine-skipping path after a checksum
 /// failure: the freshly failed page is quarantined by the attempt, so a
 /// record on any *other* page still answers exactly; a record that may
 /// live on a skipped page answers `Degraded` rather than guessing
 /// `NotFound`.
-fn degraded_find<S: PageStore>(shared: &Shared<S>, am: &Ccam<S>, id: NodeId) -> Response {
+fn degraded_find<S: PageStore>(
+    shared: &Shared<S>,
+    am: &Ccam<SnapshotStore>,
+    id: NodeId,
+) -> Response {
     shared.metrics.inc_by("serve.degraded_reads", 1);
     match am.file().find_degraded(id) {
         Ok(d) => match d.value {
@@ -744,10 +806,11 @@ fn degraded_find<S: PageStore>(shared: &Shared<S>, am: &Ccam<S>, id: NodeId) -> 
 fn execute_one<S: PageStore>(
     shared: &Shared<S>,
     conn: &Conn,
-    am: &Ccam<S>,
+    am: &Ccam<SnapshotStore>,
     req: &Request,
     deadline: Option<Instant>,
 ) -> Response {
+    let m = &shared.metrics;
     let mut cancel = || deadline.is_some_and(|dl| Instant::now() >= dl);
     match req {
         Request::Find(id) => match am.find(*id) {
@@ -763,7 +826,7 @@ fn execute_one<S: PageStore>(
                     shared.metrics.inc_by("serve.degraded_reads", 1);
                     Response::RecordsDegraded {
                         nodes: d.value,
-                        skipped_pages: d.skipped.len() as u32,
+                        skipped_pages: sat_u32(m, d.skipped.len()),
                     }
                 }
                 Err(e) => storage_internal(shared, conn, &e, OpCode::GetSuccessors),
@@ -773,7 +836,7 @@ fn execute_one<S: PageStore>(
         Request::Route(nodes) => match evaluate_path_bounded(am, nodes, &mut cancel) {
             Ok(Some(eval)) => Response::RouteEval {
                 total_cost: eval.total_cost,
-                nodes_visited: eval.nodes_visited as u32,
+                nodes_visited: sat_u32(m, eval.nodes_visited),
                 complete: eval.complete,
             },
             Ok(None) => {
@@ -790,11 +853,11 @@ fn execute_one<S: PageStore>(
         Request::RangeAggregate(arcs) => {
             match route_unit_aggregate_bounded(am, arcs, &mut cancel) {
                 Ok(Some(agg)) => Response::Aggregate {
-                    arcs_found: agg.arcs_found as u32,
-                    arcs_missing: agg.arcs_missing as u32,
+                    arcs_found: sat_u32(m, agg.arcs_found),
+                    arcs_missing: sat_u32(m, agg.arcs_missing),
                     total_cost: agg.total_cost,
                     node_payload_sum: agg.node_payload_sum,
-                    nodes_retrieved: agg.nodes_retrieved as u32,
+                    nodes_retrieved: sat_u32(m, agg.nodes_retrieved),
                 },
                 Ok(None) => {
                     shared.metrics.inc_by("serve.deadline_exceeded", 1);
@@ -808,8 +871,12 @@ fn execute_one<S: PageStore>(
             }
         }
         Request::Stats => {
-            let io = am.stats().snapshot();
-            fold_io_gauges(&shared.metrics, &io, shared.db.epoch());
+            // Lock-free stats handle, not the snapshot's own counters:
+            // views are rebuilt per commit (their counters reset), and
+            // the handle stays readable during a long reorganization.
+            if let Some(io) = shared.db.io_stats() {
+                fold_io_gauges(&shared.metrics, &io.snapshot(), shared.db.epoch());
+            }
             Response::StatsJson(shared.metrics.to_json())
         }
     }
@@ -825,4 +892,26 @@ pub fn fold_io_gauges(m: &MetricsRegistry, io: &ccam_storage::IoSnapshot, epoch:
     m.set_gauge("io.buffer_hits", io.buffer_hits as f64);
     m.set_gauge("io.evictions", io.evictions as f64);
     m.set_gauge("serve.epoch", epoch as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The wire's `u32` counters must clamp at the boundary, not wrap:
+    /// `u32::MAX` passes through exactly, `u32::MAX + 1` (which `as
+    /// u32` would silently turn into 0) pegs at `u32::MAX`, and every
+    /// clamp is counted.
+    #[test]
+    fn sat_u32_boundary_values_clamp_and_count() {
+        let m = MetricsRegistry::new();
+        assert_eq!(sat_u32(&m, 0u64), 0);
+        assert_eq!(sat_u32(&m, u64::from(u32::MAX)), u32::MAX);
+        assert_eq!(m.counter("serve.counter_saturated"), 0);
+        assert_eq!(sat_u32(&m, u64::from(u32::MAX) + 1), u32::MAX);
+        assert_eq!(m.counter("serve.counter_saturated"), 1);
+        assert_eq!(sat_u32(&m, u64::MAX), u32::MAX);
+        assert_eq!(sat_u32(&m, usize::MAX), u32::MAX);
+        assert_eq!(m.counter("serve.counter_saturated"), 3);
+    }
 }

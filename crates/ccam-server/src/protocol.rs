@@ -291,7 +291,8 @@ impl std::error::Error for ProtoError {}
 /// Writes one length-prefixed frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     debug_assert!(payload.len() <= MAX_FRAME_BYTES);
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    let len = u32::try_from(payload.len()).expect("frame length exceeds u32");
+    w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
@@ -321,10 +322,21 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
 // encoding
 // ---------------------------------------------------------------------------
 
+/// Appends one length-prefixed encoded record. An encoded record is a
+/// few dozen bytes plus the payload (itself page-bounded), so the `u32`
+/// length prefix always fits.
+fn put_record(out: &mut Vec<u8>, node: &NodeData) {
+    let rec = encode_record(node);
+    let len = u32::try_from(rec.len()).expect("record length exceeds u32");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&rec);
+}
+
 fn put_response_header(out: &mut Vec<u8>, tag: u32, count: usize) {
     out.push(PROTOCOL_VERSION);
     out.extend_from_slice(&tag.to_le_bytes());
-    out.extend_from_slice(&(count as u16).to_le_bytes());
+    let count = u16::try_from(count).expect("response batch exceeds u16");
+    out.extend_from_slice(&count.to_le_bytes());
 }
 
 /// Encodes a request batch into a frame payload. The server echoes
@@ -340,7 +352,8 @@ pub fn encode_request_batch(tag: u32, deadline_ms: u32, reqs: &[Request]) -> Vec
     out.push(PROTOCOL_VERSION);
     out.extend_from_slice(&tag.to_le_bytes());
     out.extend_from_slice(&deadline_ms.to_le_bytes());
-    out.extend_from_slice(&(reqs.len() as u16).to_le_bytes());
+    let count = u16::try_from(reqs.len()).expect("MAX_BATCH fits u16");
+    out.extend_from_slice(&count.to_le_bytes());
     for req in reqs {
         out.push(req.op() as u8);
         match req {
@@ -348,15 +361,15 @@ pub fn encode_request_batch(tag: u32, deadline_ms: u32, reqs: &[Request]) -> Vec
                 out.extend_from_slice(&id.0.to_le_bytes());
             }
             Request::Route(nodes) => {
-                assert!(nodes.len() <= u16::MAX as usize);
-                out.extend_from_slice(&(nodes.len() as u16).to_le_bytes());
+                let n = u16::try_from(nodes.len()).expect("route exceeds u16::MAX nodes");
+                out.extend_from_slice(&n.to_le_bytes());
                 for n in nodes {
                     out.extend_from_slice(&n.0.to_le_bytes());
                 }
             }
             Request::RangeAggregate(arcs) => {
-                assert!(arcs.len() <= u16::MAX as usize);
-                out.extend_from_slice(&(arcs.len() as u16).to_le_bytes());
+                let n = u16::try_from(arcs.len()).expect("arc list exceeds u16::MAX entries");
+                out.extend_from_slice(&n.to_le_bytes());
                 for (from, to) in arcs {
                     out.extend_from_slice(&from.0.to_le_bytes());
                     out.extend_from_slice(&to.0.to_le_bytes());
@@ -378,9 +391,7 @@ pub fn encode_response_batch(tag: u32, resps: &[Response]) -> Vec<u8> {
             Response::Record(node) => {
                 out.push(Status::Ok as u8);
                 out.push(OpCode::Find as u8);
-                let rec = encode_record(node);
-                out.extend_from_slice(&(rec.len() as u32).to_le_bytes());
-                out.extend_from_slice(&rec);
+                put_record(&mut out, node);
             }
             // A record's successor list is itself u16-counted, so a
             // legitimate GetSuccessors result always fits the u16 count;
@@ -399,11 +410,10 @@ pub fn encode_response_batch(tag: u32, resps: &[Response]) -> Vec<u8> {
             Response::Records(nodes) => {
                 out.push(Status::Ok as u8);
                 out.push(OpCode::GetSuccessors as u8);
-                out.extend_from_slice(&(nodes.len() as u16).to_le_bytes());
+                let n = u16::try_from(nodes.len()).expect("guarded above");
+                out.extend_from_slice(&n.to_le_bytes());
                 for node in nodes {
-                    let rec = encode_record(node);
-                    out.extend_from_slice(&(rec.len() as u32).to_le_bytes());
-                    out.extend_from_slice(&rec);
+                    put_record(&mut out, node);
                 }
             }
             Response::RecordsDegraded {
@@ -413,11 +423,10 @@ pub fn encode_response_batch(tag: u32, resps: &[Response]) -> Vec<u8> {
                 out.push(Status::Degraded as u8);
                 out.push(OpCode::GetSuccessors as u8);
                 out.extend_from_slice(&skipped_pages.to_le_bytes());
-                out.extend_from_slice(&(nodes.len() as u16).to_le_bytes());
+                let n = u16::try_from(nodes.len()).expect("guarded above");
+                out.extend_from_slice(&n.to_le_bytes());
                 for node in nodes {
-                    let rec = encode_record(node);
-                    out.extend_from_slice(&(rec.len() as u32).to_le_bytes());
-                    out.extend_from_slice(&rec);
+                    put_record(&mut out, node);
                 }
             }
             Response::RouteEval {
@@ -449,7 +458,8 @@ pub fn encode_response_batch(tag: u32, resps: &[Response]) -> Vec<u8> {
             Response::StatsJson(json) => {
                 out.push(Status::Ok as u8);
                 out.push(OpCode::Stats as u8);
-                out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+                let len = u32::try_from(json.len()).expect("stats JSON exceeds u32");
+                out.extend_from_slice(&len.to_le_bytes());
                 out.extend_from_slice(json.as_bytes());
             }
             Response::Error(status, op) => {
@@ -657,7 +667,7 @@ mod tests {
             id: NodeId(id),
             x: 3,
             y: 4,
-            payload: vec![1, 2, id as u8],
+            payload: vec![1, 2, u8::try_from(id & 0xff).unwrap()],
             successors: vec![EdgeTo {
                 to: NodeId(id + 1),
                 cost: 7,
@@ -686,6 +696,21 @@ mod tests {
         let (tag, deadline_ms, decoded) = decode_request_batch(&buf).unwrap();
         assert_eq!((tag, deadline_ms), (9, 2_500));
         assert_eq!(decoded, reqs);
+    }
+
+    /// The deadline field's boundary values are load-bearing: 0 means
+    /// "no per-request deadline — the server default applies" (not
+    /// "expire immediately"), and `u32::MAX` must survive the wire
+    /// unchanged rather than saturating or wrapping.
+    #[test]
+    fn request_deadline_boundary_values_round_trip() {
+        let reqs = vec![Request::Find(NodeId(1))];
+        for deadline in [0u32, u32::MAX] {
+            let buf = encode_request_batch(3, deadline, &reqs);
+            let (tag, deadline_ms, decoded) = decode_request_batch(&buf).unwrap();
+            assert_eq!((tag, deadline_ms), (3, deadline));
+            assert_eq!(decoded, reqs);
+        }
     }
 
     #[test]
@@ -820,7 +845,7 @@ mod tests {
         buf.push(PROTOCOL_VERSION);
         buf.extend_from_slice(&0u32.to_le_bytes()); // tag
         buf.extend_from_slice(&0u32.to_le_bytes()); // deadline_ms
-        buf.extend_from_slice(&(MAX_BATCH as u16 + 1).to_le_bytes());
+        buf.extend_from_slice(&(u16::try_from(MAX_BATCH).unwrap() + 1).to_le_bytes());
         assert_eq!(
             decode_request_batch(&buf).unwrap_err(),
             ProtoError::BatchTooLarge(MAX_BATCH + 1)

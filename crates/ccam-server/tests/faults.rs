@@ -9,13 +9,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ccam_core::epoch::EpochCell;
-use ccam_core::{AccessMethod, Ccam, CcamBuilder};
+use ccam_core::{AccessMethod, CcamBuilder};
 use ccam_graph::roadmap::{road_map, RoadMapConfig};
-use ccam_graph::{Network, NodeId};
+use ccam_graph::Network;
 use ccam_server::client::Client;
 use ccam_server::protocol::{OpCode, Request, Response, Status};
 use ccam_server::{Server, ServerConfig, ServerHandle};
-use ccam_storage::{CorruptStore, MemPageStore, PageId, PageStore, StorageResult};
+use ccam_storage::{CorruptStore, MemPageStore, PageId};
 
 fn test_net() -> Network {
     road_map(&RoadMapConfig {
@@ -33,7 +33,7 @@ fn test_net() -> Network {
 fn start_server(config: ServerConfig) -> (ServerHandle<MemPageStore>, Network) {
     let net = test_net();
     let am = CcamBuilder::new(1024).build_static(&net).unwrap();
-    let db = Arc::new(EpochCell::new(am));
+    let db = Arc::new(EpochCell::new(am).unwrap());
     (Server::start(db, config).unwrap(), net)
 }
 
@@ -183,63 +183,20 @@ fn pathological_route_respects_client_deadline() {
     handle.shutdown().unwrap();
 }
 
-/// A store whose reads panic while `armed` — stands in for a bug in the
-/// storage stack surfacing as an unwind inside a worker.
-struct PanickingStore {
-    inner: MemPageStore,
-    armed: Arc<AtomicBool>,
-}
-
-impl PageStore for PanickingStore {
-    fn page_size(&self) -> usize {
-        self.inner.page_size()
-    }
-    fn num_pages(&self) -> u32 {
-        self.inner.num_pages()
-    }
-    fn allocate(&mut self) -> StorageResult<PageId> {
-        self.inner.allocate()
-    }
-    fn read(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
-        if self.armed.load(Ordering::SeqCst) {
-            panic!("injected storage panic reading {id:?}");
-        }
-        self.inner.read(id, buf)
-    }
-    fn write(&mut self, id: PageId, buf: &[u8]) -> StorageResult<()> {
-        self.inner.write(id, buf)
-    }
-    fn free(&mut self, id: PageId) -> StorageResult<()> {
-        self.inner.free(id)
-    }
-    fn is_live(&self, id: PageId) -> bool {
-        self.inner.is_live(id)
-    }
-    fn sync(&mut self) -> StorageResult<()> {
-        self.inner.sync()
-    }
-    fn live_pages(&self) -> Vec<PageId> {
-        self.inner.live_pages()
-    }
-    fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
-        self.inner.ensure_allocated(id)
-    }
-}
-
 /// A request that panics inside the storage stack answers `Internal`
 /// for that request only; the server counts the panic, keeps answering
 /// subsequent requests on the same connection, and still shuts down
 /// cleanly (no corpse discovered at join time).
+///
+/// The panic is injected into the *served view's* read path: the pinned
+/// snapshot's buffer pool invokes the prefetch hook on every fault, so
+/// an armed panicking hook plus dropped cached frames makes the next
+/// storage-touching request unwind inside a worker.
 #[test]
 fn worker_panic_is_isolated_and_the_pool_survives() {
     let net = test_net();
-    let armed = Arc::new(AtomicBool::new(false));
-    let store = PanickingStore {
-        inner: MemPageStore::new(1024).unwrap(),
-        armed: Arc::clone(&armed),
-    };
-    let am = CcamBuilder::new(1024).build_static_on(store, &net).unwrap();
-    let db = Arc::new(EpochCell::new(am));
+    let am = CcamBuilder::new(1024).build_static(&net).unwrap();
+    let db = Arc::new(EpochCell::new(am).unwrap());
     let handle = Server::start(
         Arc::clone(&db),
         ServerConfig {
@@ -255,20 +212,71 @@ fn worker_panic_is_isolated_and_the_pool_survives() {
     let resps = client.call(&[Request::Find(a)]).unwrap();
     assert!(matches!(resps[0], Response::Record(_)));
 
-    // Arm, and force the next read to the store (not the buffer pool).
-    db.read().file().pool().clear().unwrap();
+    // Arm the hook on the published view (all pinned snapshots of this
+    // epoch share it) and drop cached frames so the next read faults.
+    let armed = Arc::new(AtomicBool::new(false));
+    let hook_armed = Arc::clone(&armed);
+    let view = db.read().unwrap();
+    view.file()
+        .pool()
+        .set_prefetcher(Some(Arc::new(move |id: PageId| {
+            if hook_armed.load(Ordering::SeqCst) {
+                panic!("injected storage panic reading {id:?}");
+            }
+            Vec::new()
+        })));
+    view.file().pool().clear().unwrap();
     armed.store(true, Ordering::SeqCst);
     let resps = client
         .call(&[Request::Find(a), Request::Stats, Request::Find(a)])
         .unwrap();
     assert_eq!(resps[0], Response::Error(Status::Internal, OpCode::Find));
-    // The panic is contained per-request: the rest of the batch ran.
+    // The panic is contained per-request: the rest of the batch ran…
     assert!(matches!(resps[1], Response::StatsJson(_)));
-    assert_eq!(resps[2], Response::Error(Status::Internal, OpCode::Find));
+    // …and the faulted page was installed before the hook unwound, so
+    // the retry within the same batch already answers again.
+    assert!(matches!(resps[2], Response::Record(_)));
     assert!(handle.metrics().counter("serve.worker_panics") >= 1);
 
     // Disarm: the same connection and worker pool keep serving.
     armed.store(false, Ordering::SeqCst);
+    let resps = client.call(&[Request::Find(a)]).unwrap();
+    assert!(matches!(resps[0], Response::Record(_)));
+    handle.shutdown().unwrap();
+}
+
+/// A maintenance writer that panics mid-transaction poisons the cell:
+/// in-flight pinned snapshots keep answering, *new* batches fail with
+/// `Internal` (counted under `serve.internal_errors.poisoned`), and
+/// `EpochCell::recover` restores service on the running server.
+#[test]
+fn poisoned_cell_fails_batches_until_recovered() {
+    let (handle, net) = start_server(ServerConfig::default());
+    let db = Arc::clone(handle.db());
+    let a = net.node_ids()[0];
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let resps = client.call(&[Request::Find(a)]).unwrap();
+    assert!(matches!(resps[0], Response::Record(_)));
+
+    // Writer dies mid-transaction, before any commit.
+    let writer_db = Arc::clone(&db);
+    let r = std::thread::spawn(move || {
+        let _am = writer_db.write().unwrap();
+        panic!("injected maintenance panic");
+    })
+    .join();
+    assert!(r.is_err());
+    assert!(db.is_poisoned());
+
+    // Every request of a new batch answers Internal, and the failure is
+    // visible per-kind in the metrics.
+    let resps = client.call(&[Request::Find(a), Request::Stats]).unwrap();
+    assert_eq!(resps[0], Response::Error(Status::Internal, OpCode::Find));
+    assert_eq!(resps[1], Response::Error(Status::Internal, OpCode::Stats));
+    assert!(handle.metrics().counter("serve.internal_errors.poisoned") >= 2);
+
+    // Recovery republishes the committed state on the running server.
+    db.recover().unwrap();
     let resps = client.call(&[Request::Find(a)]).unwrap();
     assert!(matches!(resps[0], Response::Record(_)));
     handle.shutdown().unwrap();
@@ -299,21 +307,26 @@ fn corrupted_pages_degrade_reads_and_heal() {
         })
         .map(|n| n.id);
 
-    let db = Arc::new(EpochCell::new(am));
+    let db = Arc::new(EpochCell::new(am).unwrap());
     let handle = Server::start(Arc::clone(&db), ServerConfig::default()).unwrap();
     let mut client = Client::connect(handle.local_addr()).unwrap();
 
-    // Flush + drop cached copies first — a dirty page written back by
-    // the flush would heal the injected corruption — then corrupt.
-    db.read().file().pool().clear().unwrap();
-    corruption.mark_corrupt(page);
+    // Corrupt the page on the backing store, then republish through the
+    // writer: the commit's capture re-reads the store (cached frames
+    // dropped first — a dirty write-back would heal the injected
+    // corruption) and the fresh view carries the page as unreadable.
+    {
+        let w = db.write().unwrap();
+        w.file().pool().clear().unwrap();
+        corruption.mark_corrupt(page);
+        w.commit().unwrap();
+    }
 
     let resps = client.call(&[Request::Find(target)]).unwrap();
     assert_eq!(resps[0], Response::Error(Status::Degraded, OpCode::Find));
     assert!(handle.metrics().counter("serve.degraded_reads") >= 1);
 
     if let Some(neighbor) = neighbor {
-        db.read().file().pool().clear().unwrap();
         let resps = client.call(&[Request::GetSuccessors(neighbor)]).unwrap();
         match &resps[0] {
             Response::RecordsDegraded {
@@ -330,11 +343,15 @@ fn corrupted_pages_degrade_reads_and_heal() {
         }
     }
 
-    // Heal: clear the injected corruption and the quarantine marks —
-    // reads are exact again on the same running server.
+    // Heal: clear the injected corruption and republish — the next
+    // capture reads the page cleanly, so the new view drops the
+    // quarantine and reads are exact again on the same running server.
     corruption.clear_corrupt(page);
-    db.read().file().clear_quarantined();
-    db.read().file().pool().clear().unwrap();
+    {
+        let w = db.write().unwrap();
+        w.file().pool().clear().unwrap();
+        w.commit().unwrap();
+    }
     let resps = client.call(&[Request::Find(target)]).unwrap();
     match &resps[0] {
         Response::Record(n) => assert_eq!(n.id, target),

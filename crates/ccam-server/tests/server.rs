@@ -30,7 +30,7 @@ fn build_db() -> (Ccam, Network) {
 
 fn start_server(config: ServerConfig) -> (ServerHandle<ccam_storage::MemPageStore>, Network) {
     let (am, net) = build_db();
-    let db = Arc::new(EpochCell::new(am));
+    let db = Arc::new(EpochCell::new(am).unwrap());
     (Server::start(db, config).unwrap(), net)
 }
 
@@ -117,7 +117,7 @@ fn route_and_aggregate_match_direct_evaluation() {
     let arcs: Vec<(NodeId, NodeId)> = walk.windows(2).map(|w| (w[0], w[1])).collect();
     let direct_agg = ccam_core::query::route_unit_aggregate(&am, &arcs).unwrap();
 
-    let db = Arc::new(EpochCell::new(am));
+    let db = Arc::new(EpochCell::new(am).unwrap());
     let handle = Server::start(db, ServerConfig::default()).unwrap();
     let mut client = Client::connect(handle.local_addr()).unwrap();
     let resps = client
@@ -217,7 +217,7 @@ fn batches_are_snapshot_consistent_across_commits() {
     // a batch runs under one epoch read guard.
     let (am, net) = build_db();
     let target = net.node_ids()[7];
-    let db = Arc::new(EpochCell::new(am));
+    let db = Arc::new(EpochCell::new(am).unwrap());
     let handle = Server::start(
         Arc::clone(&db),
         ServerConfig {
@@ -237,14 +237,15 @@ fn batches_are_snapshot_consistent_across_commits() {
         while !writer_stop.load(Ordering::Relaxed) {
             // One write transaction under the epoch guard: delete +
             // re-insert with a flipped payload is invisible to readers
-            // until the guard drops.
-            let mut am = writer_db.write();
+            // until commit publishes the next snapshot.
+            let mut am = writer_db.write().unwrap();
             let deleted = am.delete_node(target).unwrap().unwrap();
             let mut node = deleted.data;
             let byte = if flip { 0xAA } else { 0xBB };
             flip = !flip;
             node.payload = vec![byte; 8];
             am.insert_node(&node, &deleted.incoming).unwrap();
+            am.commit().unwrap();
         }
     });
 

@@ -37,9 +37,12 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
+use std::sync::Arc;
+
 use crate::error::{StorageError, StorageResult};
 use crate::page::PageId;
 use crate::recovery::{replay, RecoveryReport};
+use crate::snapshot::{PageChange, PageImage, PageVersions};
 use crate::store::{PageStore, WalInfo};
 use crate::wal::{LogRecord, Wal};
 
@@ -68,6 +71,11 @@ pub struct WalStore<S: PageStore> {
     /// Retained batches are already applied to the data file, so replay
     /// on reopen merely redoes them (redo is idempotent).
     max_wal_bytes: Option<u64>,
+    /// Multi-version committed page images, kept once
+    /// [`WalStore::enable_snapshots`] seeds the mirror. Each successful
+    /// `sync()` publishes the committed batch as one new generation;
+    /// pinned readers keep resolving the generation they pinned.
+    versions: Option<Arc<PageVersions>>,
 }
 
 impl<S: PageStore> WalStore<S> {
@@ -99,7 +107,68 @@ impl<S: PageStore> WalStore<S> {
             logged: false,
             poisoned: false,
             max_wal_bytes: None,
+            versions: None,
         }
+    }
+
+    /// Turns on multi-version snapshot reads: seeds an in-memory mirror
+    /// of the committed page set with one tolerant scan (pages failing
+    /// their checksum become [`PageImage::Unreadable`] — snapshot reads
+    /// of them degrade exactly like device reads would), after which
+    /// every committed batch is published as a new generation readers
+    /// can pin via [`PageStore::page_versions`].
+    ///
+    /// Must be called at a commit boundary: fails with
+    /// [`StorageError::Poisoned`] while a batch is pending, logged or
+    /// the wrapper is poisoned.
+    pub fn enable_snapshots(&mut self) -> StorageResult<Arc<PageVersions>> {
+        if let Some(v) = &self.versions {
+            return Ok(Arc::clone(v));
+        }
+        if self.pending_ops() != 0 || self.logged || self.poisoned {
+            return Err(StorageError::Poisoned);
+        }
+        let mut images = Vec::new();
+        let mut buf = vec![0u8; self.inner.page_size()];
+        for page in self.inner.live_pages() {
+            match self.inner.read(page, &mut buf) {
+                Ok(()) => images.push((page.0, PageImage::Bytes(buf.clone().into_boxed_slice()))),
+                Err(StorageError::ChecksumMismatch { .. }) => {
+                    images.push((page.0, PageImage::Unreadable));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let versions = PageVersions::from_images(self.inner.page_size(), images);
+        self.versions = Some(Arc::clone(&versions));
+        Ok(versions)
+    }
+
+    /// Publishes the just-applied batch as the next committed
+    /// generation. Called from `sync()` while the pending sets still
+    /// describe the batch.
+    fn publish_versions(&self) {
+        let Some(versions) = &self.versions else {
+            return;
+        };
+        let mut changes = Vec::with_capacity(self.pending_ops());
+        for &p in &self.pending_allocs {
+            // Allocated but never written this batch: the page is live
+            // and zero-filled in the inner store.
+            if !self.pending_writes.contains_key(&p.0) && !self.pending_frees.contains(&p.0) {
+                changes.push((
+                    p.0,
+                    PageChange::Written(vec![0u8; self.inner.page_size()].into_boxed_slice()),
+                ));
+            }
+        }
+        for (&id, data) in &self.pending_writes {
+            changes.push((id, PageChange::Written(data.clone())));
+        }
+        for &id in &self.pending_frees {
+            changes.push((id, PageChange::Freed));
+        }
+        versions.publish(changes);
     }
 
     /// Read-only view of the wrapped store.
@@ -325,6 +394,9 @@ impl<S: PageStore> PageStore for WalStore<S> {
         }
         match self.apply_logged() {
             Ok(()) => {
+                // The batch is durable in the data file: publish it to
+                // snapshot readers before forgetting what it contained.
+                self.publish_versions();
                 self.pending_writes.clear();
                 self.pending_allocs.clear();
                 self.pending_frees.clear();
@@ -372,6 +444,14 @@ impl<S: PageStore> PageStore for WalStore<S> {
             checkpoints: self.wal.checkpoint_count(),
             bytes_appended: self.wal.bytes_appended(),
         })
+    }
+
+    fn page_versions(&self) -> Option<Arc<PageVersions>> {
+        self.versions.clone()
+    }
+
+    fn enable_snapshots(&mut self) -> StorageResult<Option<Arc<PageVersions>>> {
+        WalStore::enable_snapshots(self).map(Some)
     }
 
     fn ensure_allocated(&mut self, id: PageId) -> StorageResult<()> {
@@ -434,6 +514,62 @@ mod tests {
         assert_eq!(s.pending_ops(), 0);
         // Commit checkpoints: the log holds no batch afterwards.
         assert!(s.wal().len() < 100);
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn snapshots_pin_committed_generations_across_commits() {
+        use crate::snapshot::SnapshotStore;
+
+        let wal_path = temp_path("snapshots.wal");
+        let mut s = WalStore::create(MemPageStore::new(64).unwrap(), &wal_path).unwrap();
+        let p = s.allocate().unwrap();
+        s.write(p, &[1u8; 64]).unwrap();
+        s.sync().unwrap();
+
+        let versions = s.enable_snapshots().unwrap();
+        let gen0 = SnapshotStore::pin(&versions);
+
+        // A pending (uncommitted) overlay is invisible to snapshots and
+        // to a pin taken right now.
+        s.write(p, &[2u8; 64]).unwrap();
+        let q = s.allocate().unwrap();
+        s.write(q, &[3u8; 64]).unwrap();
+        let still_gen0 = SnapshotStore::pin(&versions);
+        assert_eq!(still_gen0.generation(), gen0.generation());
+
+        s.sync().unwrap();
+        let gen1 = SnapshotStore::pin(&versions);
+        assert_eq!(gen1.generation(), gen0.generation() + 1);
+
+        let mut buf = [0u8; 64];
+        gen0.read(p, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 64]);
+        assert!(matches!(
+            gen0.read(q, &mut buf),
+            Err(StorageError::InvalidPage(_))
+        ));
+        gen1.read(p, &mut buf).unwrap();
+        assert_eq!(buf, [2u8; 64]);
+        gen1.read(q, &mut buf).unwrap();
+        assert_eq!(buf, [3u8; 64]);
+
+        // A rolled-back overlay never becomes a generation.
+        s.write(p, &[9u8; 64]).unwrap();
+        s.rollback().unwrap();
+        s.sync().unwrap();
+        assert_eq!(versions.committed_gen(), gen1.generation());
+
+        // Frees publish: a new pin no longer sees q, the old pin does.
+        s.free(q).unwrap();
+        s.sync().unwrap();
+        let gen2 = SnapshotStore::pin(&versions);
+        assert!(!gen2.is_live(q));
+        gen1.read(q, &mut buf).unwrap();
+        assert_eq!(buf, [3u8; 64]);
+
+        drop((gen0, still_gen0, gen1, gen2));
+        assert_eq!(versions.retained_versions(), 0);
         std::fs::remove_file(&wal_path).ok();
     }
 

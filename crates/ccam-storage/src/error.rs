@@ -54,6 +54,10 @@ pub enum StorageError {
     /// buffer pool drops the aborted transaction's dirty frames — instead
     /// of treating a full disk as a transient fault to retry.
     NoSpace,
+    /// A mutation was attempted through a read-only snapshot store
+    /// (see `snapshot::SnapshotStore`); snapshots serve one pinned
+    /// committed generation and never accept writes.
+    ReadOnlySnapshot,
 }
 
 impl StorageError {
@@ -72,6 +76,7 @@ impl StorageError {
             StorageError::BadPageSize(_) => "bad_page_size",
             StorageError::Poisoned => "poisoned",
             StorageError::NoSpace => "no_space",
+            StorageError::ReadOnlySnapshot => "read_only_snapshot",
         }
     }
 }
@@ -105,6 +110,9 @@ impl fmt::Display for StorageError {
                 )
             }
             StorageError::NoSpace => write!(f, "no space left on device"),
+            StorageError::ReadOnlySnapshot => {
+                write!(f, "mutation attempted through a read-only snapshot")
+            }
         }
     }
 }

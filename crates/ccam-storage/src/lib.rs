@@ -40,6 +40,7 @@ pub mod page;
 pub mod recovery;
 pub mod retry;
 pub mod slotted;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod testing;
@@ -54,6 +55,7 @@ pub use page::{PageId, BLOCK_1K, BLOCK_2K, BLOCK_4K, BLOCK_512, MIN_PAGE_SIZE};
 pub use recovery::RecoveryReport;
 pub use retry::{RetryPolicy, RetryStore};
 pub use slotted::{SlotId, SlottedPage};
+pub use snapshot::{PageImage, PageVersions, SnapshotStore};
 pub use stats::{IoSnapshot, IoStats, OpSpan};
 pub use store::{FilePageStore, MemPageStore, PageStore, WalInfo};
 pub use testing::{

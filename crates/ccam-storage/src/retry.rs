@@ -295,6 +295,16 @@ impl<S: PageStore> PageStore for RetryStore<S> {
     fn wal_info(&self) -> Option<crate::store::WalInfo> {
         self.inner.wal_info()
     }
+
+    fn page_versions(&self) -> Option<std::sync::Arc<crate::snapshot::PageVersions>> {
+        self.inner.page_versions()
+    }
+
+    fn enable_snapshots(
+        &mut self,
+    ) -> StorageResult<Option<std::sync::Arc<crate::snapshot::PageVersions>>> {
+        self.inner.enable_snapshots()
+    }
 }
 
 #[cfg(test)]

@@ -116,6 +116,25 @@ pub trait PageStore: Send {
     fn wal_info(&self) -> Option<WalInfo> {
         None
     }
+
+    /// The store's multi-version committed page images, when it keeps
+    /// them (see `WalStore::enable_snapshots`). Readers pin a generation
+    /// of this to get stall-free snapshot reads; stores without native
+    /// versioning return `None` and snapshots fall back to a one-shot
+    /// deep copy.
+    fn page_versions(&self) -> Option<std::sync::Arc<crate::snapshot::PageVersions>> {
+        None
+    }
+
+    /// Asks the store to start keeping multi-version committed images
+    /// (see `WalStore::enable_snapshots`). Returns `None` when the store
+    /// has no native versioning — callers then fall back to deep-copy
+    /// snapshots. Must be called at a commit boundary.
+    fn enable_snapshots(
+        &mut self,
+    ) -> StorageResult<Option<std::sync::Arc<crate::snapshot::PageVersions>>> {
+        Ok(None)
+    }
 }
 
 /// Boxed stores delegate, so `Box<dyn PageStore>` is itself a
@@ -180,6 +199,16 @@ impl<P: PageStore + ?Sized> PageStore for Box<P> {
 
     fn wal_info(&self) -> Option<WalInfo> {
         (**self).wal_info()
+    }
+
+    fn page_versions(&self) -> Option<std::sync::Arc<crate::snapshot::PageVersions>> {
+        (**self).page_versions()
+    }
+
+    fn enable_snapshots(
+        &mut self,
+    ) -> StorageResult<Option<std::sync::Arc<crate::snapshot::PageVersions>>> {
+        (**self).enable_snapshots()
     }
 }
 

@@ -161,6 +161,16 @@ impl<S: PageStore> PageStore for FlakyStore<S> {
     fn wal_info(&self) -> Option<crate::store::WalInfo> {
         self.inner.wal_info()
     }
+
+    fn page_versions(&self) -> Option<std::sync::Arc<crate::snapshot::PageVersions>> {
+        self.inner.page_versions()
+    }
+
+    fn enable_snapshots(
+        &mut self,
+    ) -> StorageResult<Option<std::sync::Arc<crate::snapshot::PageVersions>>> {
+        self.inner.enable_snapshots()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -437,6 +447,16 @@ impl<S: PageStore> PageStore for CrashStore<S> {
     fn wal_info(&self) -> Option<crate::store::WalInfo> {
         self.inner.wal_info()
     }
+
+    fn page_versions(&self) -> Option<std::sync::Arc<crate::snapshot::PageVersions>> {
+        self.inner.page_versions()
+    }
+
+    fn enable_snapshots(
+        &mut self,
+    ) -> StorageResult<Option<std::sync::Arc<crate::snapshot::PageVersions>>> {
+        self.inner.enable_snapshots()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -684,6 +704,16 @@ impl<S: PageStore> PageStore for CorruptStore<S> {
     fn wal_info(&self) -> Option<crate::store::WalInfo> {
         self.inner.wal_info()
     }
+
+    fn page_versions(&self) -> Option<std::sync::Arc<crate::snapshot::PageVersions>> {
+        self.inner.page_versions()
+    }
+
+    fn enable_snapshots(
+        &mut self,
+    ) -> StorageResult<Option<std::sync::Arc<crate::snapshot::PageVersions>>> {
+        self.inner.enable_snapshots()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -894,6 +924,16 @@ impl<S: PageStore> PageStore for FullDiskStore<S> {
 
     fn wal_info(&self) -> Option<crate::store::WalInfo> {
         self.inner.wal_info()
+    }
+
+    fn page_versions(&self) -> Option<std::sync::Arc<crate::snapshot::PageVersions>> {
+        self.inner.page_versions()
+    }
+
+    fn enable_snapshots(
+        &mut self,
+    ) -> StorageResult<Option<std::sync::Arc<crate::snapshot::PageVersions>>> {
+        self.inner.enable_snapshots()
     }
 }
 
@@ -1114,6 +1154,16 @@ impl<S: PageStore> PageStore for ChaosStore<S> {
     fn wal_info(&self) -> Option<crate::store::WalInfo> {
         self.inner.wal_info()
     }
+
+    fn page_versions(&self) -> Option<std::sync::Arc<crate::snapshot::PageVersions>> {
+        self.inner.page_versions()
+    }
+
+    fn enable_snapshots(
+        &mut self,
+    ) -> StorageResult<Option<std::sync::Arc<crate::snapshot::PageVersions>>> {
+        self.inner.enable_snapshots()
+    }
 }
 
 /// Raw per-operation counters of a [`CountingStore`].
@@ -1218,6 +1268,16 @@ impl<S: PageStore> PageStore for CountingStore<S> {
 
     fn wal_info(&self) -> Option<crate::store::WalInfo> {
         self.inner.wal_info()
+    }
+
+    fn page_versions(&self) -> Option<std::sync::Arc<crate::snapshot::PageVersions>> {
+        self.inner.page_versions()
+    }
+
+    fn enable_snapshots(
+        &mut self,
+    ) -> StorageResult<Option<std::sync::Arc<crate::snapshot::PageVersions>>> {
+        self.inner.enable_snapshots()
     }
 }
 
@@ -1401,19 +1461,16 @@ mod tests {
                     latency_us: 0,         // …for zero time: schedule only
                 },
             );
-            let p = {
-                // Build before arming.
-                let mut s = s;
-                let p = s.allocate().unwrap();
-                s.write(p, &[1u8; 64]).unwrap();
-                ctl.arm();
-                let mut buf = [0u8; 64];
-                for _ in 0..64 {
-                    s.read(p, &mut buf).unwrap();
-                }
-                ctl.injected_stalls()
-            };
-            p
+            // Build before arming.
+            let mut s = s;
+            let p = s.allocate().unwrap();
+            s.write(p, &[1u8; 64]).unwrap();
+            ctl.arm();
+            let mut buf = [0u8; 64];
+            for _ in 0..64 {
+                s.read(p, &mut buf).unwrap();
+            }
+            ctl.injected_stalls()
         };
         assert_eq!(run(11), run(11), "same seed, same stall schedule");
         assert!(run(11) > 0, "a 25% rate must stall at least once in 64");

@@ -1010,8 +1010,18 @@ fn serve(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         .map(|s| parse_u64(s, "--max-seconds"))
         .transpose()?;
 
-    let am = open_db(db_path, opts)?;
-    let db = Arc::new(ccam::core::epoch::EpochCell::new(am));
+    let mut am = open_db(db_path, opts)?;
+    // WAL-backed stacks get native copy-on-write page versioning;
+    // anything else falls back to deep-copied snapshots per commit.
+    let native = am
+        .enable_snapshots()
+        .map_err(|e| format!("enable snapshots: {e}"))?;
+    let db = Arc::new(
+        ccam::core::epoch::EpochCell::new(am).map_err(|e| format!("publish snapshot: {e}"))?,
+    );
+    if !native {
+        eprintln!("note: store has no page versioning; snapshots are deep copies");
+    }
     let handle =
         ccam::server::Server::start(Arc::clone(&db), config.clone()).map_err(|e| e.to_string())?;
     println!("listening on {}", handle.local_addr());
@@ -1031,10 +1041,10 @@ fn serve(args: &[String], opts: &OpenOptions) -> Result<(), String> {
 
     let metrics = Arc::clone(handle.metrics());
     handle.shutdown().map_err(|e| format!("shutdown: {e}"))?;
-    // All workers are joined: fold the final I/O counters in and report.
-    {
-        let am = db.read();
-        ccam::server::fold_io_gauges(&metrics, &am.stats().snapshot(), db.epoch());
+    // All workers are joined: fold the final I/O counters in and
+    // report. io_stats() is lock-free — no need to pin a snapshot.
+    if let Some(io) = db.io_stats() {
+        ccam::server::fold_io_gauges(&metrics, &io.snapshot(), db.epoch());
     }
     eprintln!(
         "served {} requests in {} batches ({} overloaded)",
