@@ -377,6 +377,7 @@ fn main() {
             idle_timeout_ms: idle_timeout.as_millis() as u64,
             write_timeout_ms: 500,
             deadline_ms: 200,
+            ..ServerConfig::default()
         },
     )
     .unwrap_or_else(|e| die(&format!("server: {e}")));

@@ -604,6 +604,49 @@ impl<S: ccam_storage::PageStore> AccessMethod<S> for Ccam<S> {
 }
 
 impl<S: ccam_storage::PageStore> Ccam<S> {
+    /// Replication follower apply: redoes a shipped WAL segment onto the
+    /// backing store ([`ccam_storage::apply_segment`]) and re-coheres the
+    /// in-memory layers on top of the changed pages — cached frames are
+    /// discarded (their contents may predate the segment) and the node
+    /// index is rebuilt. Batches at or below `applied_lsn` are skipped,
+    /// so re-applying an overlapping segment after a crash is harmless.
+    ///
+    /// The caller publishes the new state to readers afterwards (via
+    /// `EpochCell` commit); until then snapshot readers keep their pinned
+    /// generation.
+    pub fn apply_replicated(
+        &mut self,
+        records: &[ccam_storage::StampedRecord],
+        applied_lsn: u64,
+    ) -> StorageResult<ccam_storage::SegmentApply> {
+        self.file.pool().discard_frames();
+        let apply = self
+            .file
+            .pool()
+            .with_store_mut(|s| ccam_storage::apply_segment(s, records, applied_lsn))?;
+        self.file.rebuild_index()?;
+        self.update_counts.clear();
+        Ok(apply)
+    }
+
+    /// Replication follower re-seed: replaces the backing store's live
+    /// page set with a full primary image ([`ccam_storage::apply_image`])
+    /// and rebuilds the in-memory layers, for catch-up when the primary's
+    /// log no longer retains our position.
+    pub fn apply_replicated_image(
+        &mut self,
+        pages: &[(ccam_storage::PageId, Vec<u8>)],
+    ) -> StorageResult<u64> {
+        self.file.pool().discard_frames();
+        let written = self
+            .file
+            .pool()
+            .with_store_mut(|s| ccam_storage::apply_image(s, pages))?;
+        self.file.rebuild_index()?;
+        self.update_counts.clear();
+        Ok(written)
+    }
+
     /// Asks the backing store to keep multi-version committed page
     /// images (`WalStore::enable_snapshots`), making every subsequent
     /// snapshot capture a cheap generation pin instead of a deep copy.

@@ -175,6 +175,20 @@ impl<T: Snapshotable> EpochCell<T> {
         Ok(epoch)
     }
 
+    /// Runs `f` with shared access to the writer-side value, briefly
+    /// holding the writer lock without opening a transaction (no commit,
+    /// no epoch movement — snapshot readers are unaffected). The
+    /// replication streamer uses this to collect committed log records
+    /// between writer transactions; keep `f` short, since it excludes
+    /// writers for its duration.
+    pub fn with_writer<R>(&self, f: impl FnOnce(&T) -> R) -> StorageResult<R> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(StorageError::Poisoned);
+        }
+        let w = self.writer.lock();
+        Ok(f(&w))
+    }
+
     /// True after a writer panicked mid-transaction and before
     /// [`EpochCell::recover`] succeeded.
     pub fn is_poisoned(&self) -> bool {

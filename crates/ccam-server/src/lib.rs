@@ -81,17 +81,19 @@
 
 pub mod client;
 pub mod protocol;
+pub mod repl;
 
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ccam_core::epoch::{EpochCell, Snapshot};
+use ccam_core::epoch::{EpochCell, Snapshot, Snapshotable};
 use ccam_core::query::route::evaluate_path_bounded;
 use ccam_core::query::route_unit_aggregate_bounded;
 use ccam_core::{AccessMethod, Ccam};
@@ -130,6 +132,36 @@ pub struct ServerConfig {
     /// frame acceptance (queueing spends budget). 0 = no default; such
     /// requests run unbounded.
     pub deadline_ms: u64,
+    /// Replication role — see [`ReplRole`]. Defaults to a standalone
+    /// primary with no replication listener.
+    pub role: ReplRole,
+}
+
+/// What this server is in a replication topology.
+#[derive(Debug, Clone)]
+pub enum ReplRole {
+    /// Read-write primary. With `repl_addr` set, a replication listener
+    /// is bound there and followers may subscribe (see [`repl`]).
+    Primary {
+        /// Address for the replication listener (`127.0.0.1:0` picks a
+        /// free port); `None` disables replication.
+        repl_addr: Option<String>,
+    },
+    /// Read-only follower replicating from a primary's replication
+    /// listener. All v2 read ops answer from locally replayed state;
+    /// writes answer `NotPrimary` with the primary's client address
+    /// (learned during the replication handshake).
+    Replica {
+        /// The primary's *replication* address to subscribe to.
+        primary: String,
+        /// Seed for the reconnect backoff jitter.
+        seed: u64,
+        /// Where to persist the last-applied primary LSN between
+        /// restarts. Optional hint: losing it forces a full catch-up or
+        /// image handoff; a stale value only re-applies batches the
+        /// apply path skips idempotently.
+        lsn_path: Option<PathBuf>,
+    },
 }
 
 impl Default for ServerConfig {
@@ -141,6 +173,7 @@ impl Default for ServerConfig {
             idle_timeout_ms: 30_000,
             write_timeout_ms: 10_000,
             deadline_ms: 0,
+            role: ReplRole::Primary { repl_addr: None },
         }
     }
 }
@@ -211,6 +244,9 @@ struct Shared<S: PageStore + 'static> {
     /// server must not accumulate dead sockets.
     conns: Mutex<Vec<Arc<Conn>>>,
     readers: Mutex<Vec<(u64, JoinHandle<()>)>>,
+    /// `Some` iff this server is a replica: follower-side replication
+    /// state (link health, applied LSN, the primary's client address).
+    repl: Option<Arc<repl::ReplState>>,
 }
 
 /// Forgets a closed connection: drops its `Conn` (and the two socket
@@ -242,6 +278,16 @@ impl Server {
     ) -> std::io::Result<ServerHandle<S>> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let repl_state = match &config.role {
+            ReplRole::Replica { .. } => {
+                // The primary's client address is unknown until the
+                // first handshake; NotPrimary answers an empty address
+                // (and clients keep their configured endpoints) until
+                // then.
+                Some(Arc::new(repl::ReplState::new(String::new())))
+            }
+            ReplRole::Primary { .. } => None,
+        };
         let shared = Arc::new(Shared {
             db,
             metrics: Arc::new(MetricsRegistry::new()),
@@ -256,7 +302,42 @@ impl Server {
             work_cv: Condvar::new(),
             conns: Mutex::new(Vec::new()),
             readers: Mutex::new(Vec::new()),
+            repl: repl_state,
         });
+        let mut repl_listener = None;
+        let mut follower = None;
+        match &config.role {
+            ReplRole::Primary {
+                repl_addr: Some(addr),
+            } => {
+                repl_listener = Some(repl::start_listener(&shared, addr, local_addr.to_string())?);
+            }
+            ReplRole::Primary { repl_addr: None } => {}
+            ReplRole::Replica {
+                primary,
+                seed,
+                lsn_path,
+            } => {
+                let shared2 = Arc::clone(&shared);
+                let repl2 = Arc::clone(shared.repl.as_ref().expect("replica state set above"));
+                let primary = primary.clone();
+                let seed = *seed;
+                let lsn_path = lsn_path.clone();
+                follower = Some(
+                    std::thread::Builder::new()
+                        .name("ccam-repl-follower".to_string())
+                        .spawn(move || {
+                            repl::follower_loop(
+                                &shared2,
+                                &repl2,
+                                &primary,
+                                seed,
+                                lsn_path.as_ref(),
+                            );
+                        })?,
+                );
+            }
+        }
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -276,6 +357,8 @@ impl Server {
             acceptor: Some(acceptor),
             workers,
             local_addr,
+            repl_listener,
+            follower,
         })
     }
 }
@@ -287,12 +370,37 @@ pub struct ServerHandle<S: PageStore + 'static> {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     local_addr: SocketAddr,
+    repl_listener: Option<repl::ReplListener>,
+    follower: Option<JoinHandle<()>>,
 }
 
 impl<S: PageStore + 'static> ServerHandle<S> {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The replication listener's bound address, when this server is a
+    /// primary with replication enabled.
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.repl_listener.as_ref().map(|l| l.local_addr)
+    }
+
+    /// The last primary LSN this replica has applied (0 when this
+    /// server is not a replica or nothing has been applied yet).
+    pub fn applied_lsn(&self) -> u64 {
+        self.shared
+            .repl
+            .as_ref()
+            .map_or(0, |r| r.applied_lsn.load(Ordering::Acquire))
+    }
+
+    /// True when this server is a replica with a live primary link.
+    pub fn repl_connected(&self) -> bool {
+        self.shared
+            .repl
+            .as_ref()
+            .is_some_and(|r| r.connected.load(Ordering::Acquire))
     }
 
     /// The server's metric registry (request counters, latency and
@@ -322,6 +430,9 @@ impl<S: PageStore + 'static> ServerHandle<S> {
         // reorganization holds the writer lock or the cell is poisoned.
         if let Some(io) = self.shared.db.io_stats() {
             fold_io_gauges(&self.shared.metrics, &io.snapshot(), self.shared.db.epoch());
+        }
+        if let Some(repl) = &self.shared.repl {
+            repl::fold_repl_gauges(&self.shared.metrics, repl);
         }
         self.shared.metrics.to_json()
     }
@@ -361,6 +472,21 @@ impl<S: PageStore + 'static> ServerHandle<S> {
         shared.work_cv.notify_all();
         for w in self.workers.drain(..) {
             panicked |= w.join().is_err();
+        }
+        // Replication threads observe `shutting_down` on their next poll
+        // (streamers), read timeout (follower), or accept (poked awake).
+        if let Some(mut l) = self.repl_listener.take() {
+            repl::poke(l.local_addr);
+            if let Some(a) = l.acceptor.take() {
+                panicked |= a.join().is_err();
+            }
+            let streamers = std::mem::take(&mut *l.streamers.lock());
+            for s in streamers {
+                panicked |= s.join().is_err();
+            }
+        }
+        if let Some(f) = self.follower.take() {
+            panicked |= f.join().is_err();
         }
         if panicked {
             return Err(std::io::Error::other("server thread panicked"));
@@ -685,6 +811,13 @@ fn execute_batch<S: PageStore>(shared: &Shared<S>, conn: &Conn, batch: &Batch) -
         }
     };
     m.inc_by("serve.snapshot_pins", 1);
+    // A replica with a dead primary link keeps answering (availability
+    // over freshness), but every such read is visibly stale-flagged.
+    if let Some(repl) = &shared.repl {
+        if !repl.connected.load(Ordering::Acquire) {
+            m.inc_by("serve.stale_reads", batch.reqs.len() as u64);
+        }
+    }
     // Time-to-pin is the only point a reader could ever wait on the
     // write path (the publish lock); the histogram proves it stays ~0
     // even while `reorganize_full` runs.
@@ -725,6 +858,7 @@ fn latency_metric(op: OpCode) -> &'static str {
         OpCode::Route => "serve.route.elapsed_us",
         OpCode::RangeAggregate => "serve.range_aggregate.elapsed_us",
         OpCode::Stats => "serve.stats.elapsed_us",
+        OpCode::Upsert => "serve.upsert.elapsed_us",
     }
 }
 
@@ -870,6 +1004,24 @@ fn execute_one<S: PageStore>(
                 Err(e) => storage_internal(shared, conn, &e, OpCode::RangeAggregate),
             }
         }
+        Request::Upsert { id, payload } => {
+            if let Some(repl) = &shared.repl {
+                // Replicas do not accept writes; redirect to the primary
+                // address learned in the replication handshake (empty
+                // until first contact — the client keeps its configured
+                // endpoints then).
+                m.inc_by("serve.not_primary", 1);
+                return Response::NotPrimary {
+                    primary: repl.primary.lock().clone(),
+                    op: OpCode::Upsert,
+                };
+            }
+            match upsert_node(shared, *id, payload) {
+                Ok(Some(epoch)) => Response::Upserted { epoch },
+                Ok(None) => Response::Error(Status::NotFound, OpCode::Upsert),
+                Err(e) => storage_internal(shared, conn, &e, OpCode::Upsert),
+            }
+        }
         Request::Stats => {
             // Lock-free stats handle, not the snapshot's own counters:
             // views are rebuilt per commit (their counters reset), and
@@ -877,7 +1029,52 @@ fn execute_one<S: PageStore>(
             if let Some(io) = shared.db.io_stats() {
                 fold_io_gauges(&shared.metrics, &io.snapshot(), shared.db.epoch());
             }
+            if let Some(repl) = &shared.repl {
+                repl::fold_repl_gauges(&shared.metrics, repl);
+            }
             Response::StatsJson(shared.metrics.to_json())
+        }
+    }
+}
+
+/// Replaces an existing node's payload as one committed transaction:
+/// delete + re-insert with the same edges run as a single WAL batch
+/// (auto-commit is suspended for the pair), then the new state is
+/// published through the epoch. Returns the new epoch, or `None` when
+/// the node does not exist. Any failure restores the committed state
+/// before propagating — the writer value never stays torn.
+fn upsert_node<S: PageStore>(
+    shared: &Shared<S>,
+    id: NodeId,
+    payload: &[u8],
+) -> Result<Option<u64>, StorageError> {
+    let mut w = shared.db.write()?;
+    let was_auto = w.file().auto_commit();
+    w.file_mut().set_auto_commit(false);
+    let outcome = (|| -> Result<bool, StorageError> {
+        let Some(del) = w.delete_node(id)? else {
+            return Ok(false);
+        };
+        let mut data = del.data;
+        data.payload = payload.to_vec();
+        w.insert_node(&data, &del.incoming)?;
+        Ok(true)
+    })();
+    w.file_mut().set_auto_commit(was_auto);
+    match outcome {
+        Ok(true) => match w.file().commit() {
+            Ok(()) => Ok(Some(w.commit()?)),
+            Err(e) => {
+                let _ = w.restore_committed();
+                Err(e)
+            }
+        },
+        // Not found: the lookup mutated nothing, so there is nothing to
+        // roll back and no epoch to publish.
+        Ok(false) => Ok(None),
+        Err(e) => {
+            let _ = w.restore_committed();
+            Err(e)
         }
     }
 }

@@ -39,6 +39,7 @@
 //! | `Route` | 3 | `u16` node count, then that many `u64` node ids |
 //! | `RangeAggregate` | 4 | `u16` arc count, then that many (`u64` from, `u64` to) pairs |
 //! | `Stats` | 5 | empty |
+//! | `Upsert` | 6 | node id `u64`, `u16` payload length, payload bytes |
 //!
 //! # Response encoding
 //!
@@ -55,6 +56,7 @@
 //! | `Internal` | 5 | storage error while executing |
 //! | `DeadlineExceeded` | 6 | request budget ran out before/while executing |
 //! | `Degraded` | 7 | answered around quarantined pages (partial body for `GetSuccessors`) |
+//! | `NotPrimary` | 8 | write sent to a read-only replica; body carries the primary's address |
 //!
 //! `Ok` bodies: `Find` → one length-prefixed (`u32`) node record in the
 //! [`ccam_graph::record`] layout; `GetSuccessors` → `u16` count of such
@@ -62,12 +64,17 @@
 //! complete; `RangeAggregate` → `u32` arcs found, `u32` arcs missing,
 //! `u64` total cost, `u64` payload sum, `u32` nodes retrieved; `Stats`
 //! → `u32`-length-prefixed UTF-8 JSON from the server's
-//! `MetricsRegistry`.
+//! `MetricsRegistry`; `Upsert` → `u64` commit epoch the write was
+//! published at.
 //!
 //! `Degraded` is body-less for every op except `GetSuccessors`, where it
 //! carries a partial result: `u32` count of pages skipped as
 //! quarantined, then the `GetSuccessors` body shape (`u16` record
 //! count + records) — the successors that were still reachable.
+//!
+//! `NotPrimary` carries a `u16`-length-prefixed UTF-8 address of the
+//! current primary (possibly empty when unknown), so a client holding a
+//! replica connection can redirect its writes.
 //!
 //! # Versioning
 //!
@@ -75,7 +82,9 @@
 //! single `BadRequest` response and the connection is closed. Future
 //! revisions bump [`PROTOCOL_VERSION`]; op and status codes are
 //! append-only. (v1 → v2 added the request deadline field and the
-//! `DeadlineExceeded`/`Degraded` statuses.)
+//! `DeadlineExceeded`/`Degraded` statuses; the `Upsert` op and
+//! `NotPrimary` status were appended within v2 — older clients never
+//! send the former and can treat the latter as a generic error.)
 
 use std::io::{self, Read, Write};
 
@@ -117,6 +126,9 @@ pub enum Status {
     /// (`GetSuccessors` carries what was reachable) or withheld because
     /// the data needed lives on an unreadable page.
     Degraded = 7,
+    /// A write (or other primary-only op) reached a read-only replica;
+    /// the body names the primary to redirect to.
+    NotPrimary = 8,
 }
 
 impl Status {
@@ -130,6 +142,7 @@ impl Status {
             5 => Status::Internal,
             6 => Status::DeadlineExceeded,
             7 => Status::Degraded,
+            8 => Status::NotPrimary,
             other => return Err(ProtoError::BadStatus(other)),
         })
     }
@@ -149,6 +162,9 @@ pub enum OpCode {
     RangeAggregate = 4,
     /// Server metrics snapshot as JSON.
     Stats = 5,
+    /// Replace (or report missing) one node's payload — the protocol's
+    /// write path, accepted only by the primary.
+    Upsert = 6,
 }
 
 impl OpCode {
@@ -159,6 +175,7 @@ impl OpCode {
             3 => OpCode::Route,
             4 => OpCode::RangeAggregate,
             5 => OpCode::Stats,
+            6 => OpCode::Upsert,
             other => return Err(ProtoError::BadOpCode(other)),
         })
     }
@@ -171,6 +188,7 @@ impl OpCode {
             OpCode::Route => "route",
             OpCode::RangeAggregate => "range_aggregate",
             OpCode::Stats => "stats",
+            OpCode::Upsert => "upsert",
         }
     }
 }
@@ -188,6 +206,15 @@ pub enum Request {
     RangeAggregate(Vec<(NodeId, NodeId)>),
     /// Snapshot the server's metrics registry as JSON.
     Stats,
+    /// Replace the payload of an existing node (its position and edges
+    /// are preserved). Answered `NotFound` when the node is absent and
+    /// `NotPrimary` by a replica.
+    Upsert {
+        /// The node to update.
+        id: NodeId,
+        /// The replacement payload bytes.
+        payload: Vec<u8>,
+    },
 }
 
 impl Request {
@@ -199,6 +226,7 @@ impl Request {
             Request::Route(_) => OpCode::Route,
             Request::RangeAggregate(_) => OpCode::RangeAggregate,
             Request::Stats => OpCode::Stats,
+            Request::Upsert { .. } => OpCode::Upsert,
         }
     }
 }
@@ -243,6 +271,20 @@ pub enum Response {
     },
     /// `Stats` result: the metrics registry as JSON.
     StatsJson(String),
+    /// `Upsert` applied and published.
+    Upserted {
+        /// Commit epoch the write became visible at.
+        epoch: u64,
+    },
+    /// The request needed the primary but reached a replica; `primary`
+    /// is the address to redirect to (empty when unknown). Carried with
+    /// [`Status::NotPrimary`] on the wire.
+    NotPrimary {
+        /// Current primary address as the replica knows it.
+        primary: String,
+        /// The echoed op.
+        op: OpCode,
+    },
     /// Non-`Ok` outcome for the echoed op.
     Error(Status, OpCode),
 }
@@ -376,6 +418,12 @@ pub fn encode_request_batch(tag: u32, deadline_ms: u32, reqs: &[Request]) -> Vec
                 }
             }
             Request::Stats => {}
+            Request::Upsert { id, payload } => {
+                out.extend_from_slice(&id.0.to_le_bytes());
+                let n = u16::try_from(payload.len()).expect("payload exceeds u16::MAX bytes");
+                out.extend_from_slice(&n.to_le_bytes());
+                out.extend_from_slice(payload);
+            }
         }
     }
     out
@@ -462,6 +510,18 @@ pub fn encode_response_batch(tag: u32, resps: &[Response]) -> Vec<u8> {
                 out.extend_from_slice(&len.to_le_bytes());
                 out.extend_from_slice(json.as_bytes());
             }
+            Response::Upserted { epoch } => {
+                out.push(Status::Ok as u8);
+                out.push(OpCode::Upsert as u8);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            Response::NotPrimary { primary, op } => {
+                out.push(Status::NotPrimary as u8);
+                out.push(*op as u8);
+                let n = u16::try_from(primary.len()).expect("primary address exceeds u16::MAX");
+                out.extend_from_slice(&n.to_le_bytes());
+                out.extend_from_slice(primary.as_bytes());
+            }
             Response::Error(status, op) => {
                 out.push(*status as u8);
                 out.push(*op as u8);
@@ -470,6 +530,11 @@ pub fn encode_response_batch(tag: u32, resps: &[Response]) -> Vec<u8> {
                 // decoder stays total.
                 if *status == Status::Degraded && *op == OpCode::GetSuccessors {
                     out.extend_from_slice(&0u32.to_le_bytes());
+                    out.extend_from_slice(&0u16.to_le_bytes());
+                }
+                // NotPrimary always carries an address body; an
+                // Error-shaped one encodes as empty likewise.
+                if *status == Status::NotPrimary {
                     out.extend_from_slice(&0u16.to_le_bytes());
                 }
             }
@@ -590,6 +655,12 @@ pub fn decode_request_batch(buf: &[u8]) -> Result<(u32, u32, Vec<Request>), Prot
                 Request::RangeAggregate(arcs)
             }
             OpCode::Stats => Request::Stats,
+            OpCode::Upsert => {
+                let id = NodeId(c.u64()?);
+                let n = c.u16()? as usize;
+                let payload = c.take(n)?.to_vec();
+                Request::Upsert { id, payload }
+            }
         });
     }
     c.finish()?;
@@ -616,6 +687,13 @@ pub fn decode_response_batch(buf: &[u8]) -> Result<(u32, Vec<Response>), ProtoEr
                 nodes,
                 skipped_pages,
             });
+            continue;
+        }
+        if status == Status::NotPrimary {
+            let n = c.u16()? as usize;
+            let bytes = c.take(n)?;
+            let primary = String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)?;
+            resps.push(Response::NotPrimary { primary, op });
             continue;
         }
         if status != Status::Ok {
@@ -651,6 +729,7 @@ pub fn decode_response_batch(buf: &[u8]) -> Result<(u32, Vec<Response>), ProtoEr
                     String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)?,
                 )
             }
+            OpCode::Upsert => Response::Upserted { epoch: c.u64()? },
         });
     }
     c.finish()?;
@@ -684,6 +763,10 @@ mod tests {
             Request::Route(vec![NodeId(1), NodeId(2), NodeId(3)]),
             Request::RangeAggregate(vec![(NodeId(1), NodeId(2))]),
             Request::Stats,
+            Request::Upsert {
+                id: NodeId(11),
+                payload: vec![0xca, 0xfe],
+            },
         ];
         let buf = encode_request_batch(0xDEAD_BEEF, 0, &reqs);
         assert_eq!(decode_request_batch(&buf).unwrap(), (0xDEAD_BEEF, 0, reqs));
@@ -739,6 +822,15 @@ mod tests {
                 nodes: vec![node(8)],
                 skipped_pages: 3,
             },
+            Response::Upserted { epoch: 42 },
+            Response::NotPrimary {
+                primary: "127.0.0.1:4444".to_string(),
+                op: OpCode::Upsert,
+            },
+            Response::NotPrimary {
+                primary: String::new(),
+                op: OpCode::Stats,
+            },
         ];
         let buf = encode_response_batch(7, &resps);
         assert_eq!(decode_response_batch(&buf).unwrap(), (7, resps));
@@ -759,6 +851,22 @@ mod tests {
             vec![Response::RecordsDegraded {
                 nodes: vec![],
                 skipped_pages: 0,
+            }]
+        );
+    }
+
+    #[test]
+    fn not_primary_error_decodes_as_empty_address() {
+        // Error(NotPrimary, _) encodes with an empty address body so the
+        // NotPrimary wire shape is uniform; it decodes as NotPrimary with
+        // an unknown primary, not back to Error.
+        let buf = encode_response_batch(1, &[Response::Error(Status::NotPrimary, OpCode::Upsert)]);
+        let (_, resps) = decode_response_batch(&buf).unwrap();
+        assert_eq!(
+            resps,
+            vec![Response::NotPrimary {
+                primary: String::new(),
+                op: OpCode::Upsert,
             }]
         );
     }

@@ -34,17 +34,150 @@
 //! committed by a later, unrelated flush (e.g. the buffer pool's
 //! write-back on drop).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::path::Path;
 
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use crate::error::{StorageError, StorageResult};
 use crate::page::PageId;
-use crate::recovery::{replay, RecoveryReport};
+use crate::recovery::{live_snapshot, replay, RecoveryReport};
 use crate::snapshot::{PageChange, PageImage, PageVersions};
 use crate::store::{PageStore, WalInfo};
-use crate::wal::{LogRecord, Wal};
+use crate::wal::{LogRecord, StampedRecord, Wal};
+
+/// Default hard ceiling on retained-log growth when no byte cap is
+/// configured: past this, checkpoints truncate even over the objections
+/// of a stalled subscriber (which must then catch up via an image
+/// handoff instead of the log tail).
+const DEFAULT_RETENTION_HARD_CAP: u64 = 64 << 20;
+
+// ---------------------------------------------------------------------------
+// Log retention: who still needs which WAL bytes
+// ---------------------------------------------------------------------------
+
+/// Registry of log-tail subscribers (replication followers, mostly).
+/// Each subscriber holds a [`RetentionSlot`] carrying its last-applied
+/// LSN; the minimum across live slots is a floor below which the log
+/// must not be truncated, gating [`WalStore::checkpoint`].
+pub struct WalRetention {
+    slots: Mutex<RetentionSlots>,
+}
+
+#[derive(Default)]
+struct RetentionSlots {
+    next_id: u64,
+    applied: HashMap<u64, u64>,
+}
+
+impl WalRetention {
+    fn new() -> Arc<WalRetention> {
+        Arc::new(WalRetention {
+            slots: Mutex::new(RetentionSlots::default()),
+        })
+    }
+
+    /// Registers a subscriber whose state reflects everything up to
+    /// `applied_lsn`. The returned slot pins the log from there until
+    /// advanced or dropped.
+    pub fn subscribe(self: &Arc<Self>, applied_lsn: u64) -> RetentionSlot {
+        let mut s = self.slots.lock();
+        let id = s.next_id;
+        s.next_id += 1;
+        s.applied.insert(id, applied_lsn);
+        RetentionSlot {
+            retention: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Smallest applied LSN across live subscribers (`None` when there
+    /// are none).
+    pub fn min_lsn(&self) -> Option<u64> {
+        self.slots.lock().applied.values().copied().min()
+    }
+
+    /// Number of live subscriber slots.
+    pub fn subscribers(&self) -> usize {
+        self.slots.lock().applied.len()
+    }
+}
+
+/// One subscriber's claim on the log tail; dropping it releases the
+/// claim.
+pub struct RetentionSlot {
+    retention: Arc<WalRetention>,
+    id: u64,
+}
+
+impl RetentionSlot {
+    /// Records that the subscriber has durably applied everything up to
+    /// `applied_lsn` (monotonic: lower values are ignored).
+    pub fn advance(&self, applied_lsn: u64) {
+        let mut s = self.retention.slots.lock();
+        if let Some(v) = s.applied.get_mut(&self.id) {
+            if applied_lsn > *v {
+                *v = applied_lsn;
+            }
+        }
+    }
+}
+
+impl Drop for RetentionSlot {
+    fn drop(&mut self) {
+        self.retention.slots.lock().applied.remove(&self.id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replication feed
+// ---------------------------------------------------------------------------
+
+/// Answer to "give me every committed log record past LSN `after`"
+/// ([`PageStore::repl_feed`]).
+#[derive(Debug)]
+pub enum ReplFeed {
+    /// The store has no streamable log (not WAL-backed).
+    Unsupported,
+    /// A checkpoint already reclaimed the bytes after `after`; the
+    /// subscriber must re-seed from a full image instead.
+    NotRetained {
+        /// First LSN the retained tail can still serve.
+        tail_start_lsn: u64,
+    },
+    /// Committed records in log order, every one stamped past `after`.
+    Records {
+        /// The records (possibly empty when the subscriber is caught up).
+        records: Vec<StampedRecord>,
+        /// The log's next LSN — what "caught up" currently means.
+        next_lsn: u64,
+    },
+}
+
+/// A full committed-state snapshot for seeding a subscriber that fell
+/// behind the retained log tail.
+#[derive(Debug)]
+pub struct ReplImage {
+    /// The image reflects every record up to and including this LSN.
+    pub applied_lsn: u64,
+    /// Page size of the image pages.
+    pub page_size: usize,
+    /// Every live page and its committed contents, ascending by id.
+    pub pages: Vec<(PageId, Vec<u8>)>,
+}
+
+/// Answer to an image-handoff request ([`PageStore::repl_image`]).
+#[derive(Debug)]
+pub enum ReplImageState {
+    /// The store has no streamable log (not WAL-backed).
+    Unsupported,
+    /// Mid-batch or mid-repair: retry at the next commit boundary.
+    Busy,
+    /// The committed snapshot.
+    Ready(ReplImage),
+}
 
 /// A [`PageStore`] wrapper that write-ahead logs every mutation and turns
 /// `sync()` into an atomic commit point. See the module docs for the
@@ -76,6 +209,12 @@ pub struct WalStore<S: PageStore> {
     /// `sync()` publishes the committed batch as one new generation;
     /// pinned readers keep resolving the generation they pinned.
     versions: Option<Arc<PageVersions>>,
+    /// Log-tail subscribers gating checkpoint truncation.
+    retention: Arc<WalRetention>,
+    /// `(generation, commit LSN)` for recent committed generations, so a
+    /// pinned old generation maps to the LSN floor it implies. Pruned to
+    /// the min pinned generation each commit.
+    gen_lsns: VecDeque<(u64, u64)>,
 }
 
 impl<S: PageStore> WalStore<S> {
@@ -108,6 +247,8 @@ impl<S: PageStore> WalStore<S> {
             poisoned: false,
             max_wal_bytes: None,
             versions: None,
+            retention: WalRetention::new(),
+            gen_lsns: VecDeque::new(),
         }
     }
 
@@ -209,18 +350,113 @@ impl<S: PageStore> WalStore<S> {
         self.max_wal_bytes
     }
 
+    /// The retention registry gating log truncation (see
+    /// [`WalRetention`]). Subscribe before streaming the tail so a
+    /// checkpoint cannot reclaim records mid-catch-up.
+    pub fn wal_retention(&self) -> Arc<WalRetention> {
+        Arc::clone(&self.retention)
+    }
+
+    /// The LSN floor below which the log must not be truncated: the
+    /// minimum across subscriber slots and any pinned stale generation.
+    /// `None` when nothing constrains truncation.
+    ///
+    /// A pin at the *current* committed generation normally needs
+    /// nothing from the log (its state is fully in the data file) — but
+    /// while a freshly logged batch is still unpublished
+    /// (`publish_pending`), that same pin is about to become one
+    /// generation stale, so it pins the batch being committed.
+    fn truncation_floor(&self, publish_pending: bool) -> Option<u64> {
+        let mut floor = self.retention.min_lsn();
+        if let Some(v) = &self.versions {
+            if let Some(mp) = v.min_pinned_gen() {
+                let stale = mp < v.committed_gen() || publish_pending;
+                if stale {
+                    // The pinned generation implies the LSN of the commit
+                    // that produced it; a pin predating our tracking
+                    // window conservatively retains everything.
+                    let lsn = self
+                        .gen_lsns
+                        .iter()
+                        .find(|&&(g, _)| g == mp)
+                        .map_or(0, |&(_, l)| l);
+                    floor = Some(floor.map_or(lsn, |f| f.min(lsn)));
+                }
+            }
+        }
+        floor
+    }
+
+    /// True when truncating the whole record area strands no subscriber
+    /// or pinned generation: the floor has applied everything up to the
+    /// last stamped LSN.
+    fn checkpoint_allowed(&self, publish_pending: bool) -> bool {
+        match self.truncation_floor(publish_pending) {
+            None => true,
+            Some(f) => f.saturating_add(1) >= self.wal.next_lsn(),
+        }
+    }
+
+    /// Byte size past which truncation proceeds even over a lagging
+    /// subscriber's floor, bounding log growth under a stalled follower
+    /// (which then re-seeds via [`WalStore::handoff_image`]).
+    fn retention_hard_cap(&self) -> u64 {
+        self.max_wal_bytes
+            .map_or(DEFAULT_RETENTION_HARD_CAP, |l| l.saturating_mul(4))
+    }
+
     /// Forces a checkpoint now: syncs the inner store and truncates the
     /// log. Every committed batch is applied to the data file at `sync()`
     /// time regardless of the byte cap, so the log never holds anything
     /// the data file lacks — except mid-apply after a failure, when the
     /// wrapper is poisoned and this refuses (retry `sync()` first).
+    ///
+    /// Truncation is skipped (the inner sync still happens) while a
+    /// subscriber or pinned old generation still needs the tail —
+    /// compare [`WalInfo::retained_lsn`] against [`WalInfo::next_lsn`]
+    /// to see whether bytes were reclaimable.
     pub fn checkpoint(&mut self) -> StorageResult<()> {
         if self.logged || self.poisoned {
             return Err(StorageError::Poisoned);
         }
         self.inner.sync()?;
-        self.wal.checkpoint()?;
+        if self.checkpoint_allowed(false) {
+            self.wal.checkpoint()?;
+        }
         Ok(())
+    }
+
+    /// Every committed log record stamped past `after`, or
+    /// [`ReplFeed::NotRetained`] when a checkpoint already reclaimed
+    /// them. Records in the log are committed by construction (batches
+    /// land in one atomic append), so anything returned is safe to ship.
+    pub fn repl_records_after(&mut self, after: u64) -> StorageResult<ReplFeed> {
+        if after.saturating_add(1) < self.wal.tail_start_lsn() {
+            return Ok(ReplFeed::NotRetained {
+                tail_start_lsn: self.wal.tail_start_lsn(),
+            });
+        }
+        let records = self.wal.records_after(after)?;
+        Ok(ReplFeed::Records {
+            records,
+            next_lsn: self.wal.next_lsn(),
+        })
+    }
+
+    /// Full committed-state snapshot for seeding a subscriber that fell
+    /// behind the retained tail. Only valid at a commit boundary —
+    /// returns [`ReplImageState::Busy`] while a batch is pending or
+    /// logged (retry after the next `sync()`).
+    pub fn handoff_image(&mut self) -> StorageResult<ReplImageState> {
+        if self.pending_ops() != 0 || self.logged || self.poisoned {
+            return Ok(ReplImageState::Busy);
+        }
+        let pages = live_snapshot(&self.inner)?;
+        Ok(ReplImageState::Ready(ReplImage {
+            applied_lsn: self.wal.next_lsn() - 1,
+            page_size: self.inner.page_size(),
+            pages,
+        }))
     }
 
     /// Discards the pending (unlogged) overlay: buffered writes and
@@ -297,7 +533,11 @@ impl<S: PageStore> WalStore<S> {
             None => true, // tightest log: truncate after every batch
             Some(limit) => self.wal.len() > limit,
         };
-        if over_cap {
+        // A lagging subscriber (or pinned generation about to go stale)
+        // holds the tail back — up to the hard cap, past which truncation
+        // proceeds and the laggard must re-seed from an image.
+        let forced = self.wal.len() > self.retention_hard_cap();
+        if over_cap && (forced || self.checkpoint_allowed(self.versions.is_some())) {
             self.wal.checkpoint()?;
         }
         Ok(())
@@ -397,6 +637,17 @@ impl<S: PageStore> PageStore for WalStore<S> {
                 // The batch is durable in the data file: publish it to
                 // snapshot readers before forgetting what it contained.
                 self.publish_versions();
+                if let Some(v) = &self.versions {
+                    // Remember which commit LSN produced this generation
+                    // (the batch's Commit marker was stamped last), and
+                    // prune entries no pin can reference any more.
+                    self.gen_lsns
+                        .push_back((v.committed_gen(), self.wal.next_lsn() - 1));
+                    let keep_from = v.min_pinned_gen().unwrap_or(v.committed_gen());
+                    while self.gen_lsns.front().is_some_and(|&(g, _)| g < keep_from) {
+                        self.gen_lsns.pop_front();
+                    }
+                }
                 self.pending_writes.clear();
                 self.pending_allocs.clear();
                 self.pending_frees.clear();
@@ -443,7 +694,24 @@ impl<S: PageStore> PageStore for WalStore<S> {
             commits: self.wal.commit_count(),
             checkpoints: self.wal.checkpoint_count(),
             bytes_appended: self.wal.bytes_appended(),
+            retained_lsn: self
+                .truncation_floor(false)
+                .unwrap_or_else(|| self.wal.next_lsn() - 1),
+            next_lsn: self.wal.next_lsn(),
+            tail_start_lsn: self.wal.tail_start_lsn(),
         })
+    }
+
+    fn wal_retention(&self) -> Option<Arc<WalRetention>> {
+        Some(WalStore::wal_retention(self))
+    }
+
+    fn repl_feed(&mut self, after: u64) -> StorageResult<ReplFeed> {
+        WalStore::repl_records_after(self, after)
+    }
+
+    fn repl_image(&mut self) -> StorageResult<ReplImageState> {
+        WalStore::handoff_image(self)
     }
 
     fn page_versions(&self) -> Option<Arc<PageVersions>> {
@@ -778,6 +1046,130 @@ mod tests {
         ));
         s.sync().unwrap();
         WalStore::checkpoint(&mut s).unwrap();
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn retention_slot_blocks_checkpoint_until_caught_up() {
+        let wal_path = temp_path("retention.wal");
+        let mut s = WalStore::create(MemPageStore::new(64).unwrap(), &wal_path).unwrap();
+        let a = s.allocate().unwrap();
+        s.write(a, &[1u8; 64]).unwrap();
+
+        // A subscriber from genesis holds the tail across commits even
+        // with checkpoint-on-every-commit (no byte cap).
+        let slot = s.wal_retention().subscribe(0);
+        s.sync().unwrap();
+        assert!(!s.wal().is_empty(), "subscribed tail was truncated");
+        let info = PageStore::wal_info(&s).unwrap();
+        assert_eq!(info.retained_lsn, 0);
+        assert!(info.next_lsn > 1);
+
+        // Feed the subscriber: everything from LSN 0 is streamable.
+        let ReplFeed::Records { records, next_lsn } = s.repl_records_after(0).unwrap() else {
+            panic!("tail should be retained");
+        };
+        assert_eq!(next_lsn, s.wal().next_lsn());
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.record, LogRecord::PageImage { .. })));
+
+        // Caught up → manual checkpoint truncates again.
+        slot.advance(next_lsn - 1);
+        WalStore::checkpoint(&mut s).unwrap();
+        assert!(s.wal().is_empty());
+
+        // Now the subscriber's old position is gone.
+        drop(slot);
+        let stale = s.wal_retention().subscribe(0);
+        match s.repl_records_after(0).unwrap() {
+            ReplFeed::NotRetained { tail_start_lsn } => {
+                assert_eq!(tail_start_lsn, s.wal().tail_start_lsn());
+            }
+            _ => panic!("stale position should not be retained"),
+        }
+        drop(stale);
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn dropped_slot_releases_retention() {
+        let wal_path = temp_path("retention-drop.wal");
+        let mut s = WalStore::create(MemPageStore::new(64).unwrap(), &wal_path).unwrap();
+        let a = s.allocate().unwrap();
+        s.write(a, &[1u8; 64]).unwrap();
+        let slot = s.wal_retention().subscribe(0);
+        s.sync().unwrap();
+        assert!(!s.wal().is_empty());
+        drop(slot);
+        WalStore::checkpoint(&mut s).unwrap();
+        assert!(s.wal().is_empty());
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn hard_cap_forces_truncation_past_stalled_subscriber() {
+        let wal_path = temp_path("hard-cap.wal");
+        let mut s = WalStore::create(MemPageStore::new(64).unwrap(), &wal_path).unwrap();
+        s.set_max_wal_bytes(Some(300)); // hard cap = 1200 bytes
+        let a = s.allocate().unwrap();
+        let _slot = s.wal_retention().subscribe(0); // never advances
+        for i in 0..40u8 {
+            s.write(a, &[i; 64]).unwrap();
+            s.sync().unwrap();
+        }
+        // The stalled subscriber could not pin the log past the hard cap.
+        assert!(
+            s.wal().len() <= 1200 + 200,
+            "stalled subscriber grew the log to {}",
+            s.wal().len()
+        );
+        assert!(s.wal().checkpoint_count() > 0);
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn pinned_old_generation_holds_the_tail() {
+        use crate::snapshot::SnapshotStore;
+
+        let wal_path = temp_path("pin-retention.wal");
+        let mut s = WalStore::create(MemPageStore::new(64).unwrap(), &wal_path).unwrap();
+        let a = s.allocate().unwrap();
+        s.write(a, &[1u8; 64]).unwrap();
+        s.sync().unwrap();
+        let versions = s.enable_snapshots().unwrap();
+
+        // Commit once with snapshots on so the generation↔LSN map has an
+        // entry, then pin that generation and commit past it.
+        s.write(a, &[2u8; 64]).unwrap();
+        s.sync().unwrap();
+        let pin = SnapshotStore::pin(&versions);
+        s.write(a, &[3u8; 64]).unwrap();
+        s.sync().unwrap();
+        assert!(!s.wal().is_empty(), "pinned old generation was truncated");
+
+        drop(pin);
+        WalStore::checkpoint(&mut s).unwrap();
+        assert!(s.wal().is_empty());
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn handoff_image_reflects_committed_state_only() {
+        let wal_path = temp_path("handoff.wal");
+        let mut s = WalStore::create(MemPageStore::new(64).unwrap(), &wal_path).unwrap();
+        let a = s.allocate().unwrap();
+        s.write(a, &[7u8; 64]).unwrap();
+        // Mid-batch: busy.
+        assert!(matches!(s.handoff_image().unwrap(), ReplImageState::Busy));
+        s.sync().unwrap();
+        let ReplImageState::Ready(img) = s.handoff_image().unwrap() else {
+            panic!("commit boundary should produce an image");
+        };
+        assert_eq!(img.applied_lsn, s.wal().next_lsn() - 1);
+        assert_eq!(img.pages.len(), 1);
+        assert_eq!(img.pages[0].0, a);
+        assert!(img.pages[0].1.iter().all(|&b| b == 7));
         std::fs::remove_file(&wal_path).ok();
     }
 

@@ -47,12 +47,12 @@ pub mod testing;
 pub mod wal;
 
 pub use buffer::{BufferPool, PoolStrategy, Prefetcher, ShardCounters, LINEAR_CAPACITY_MAX};
-pub use durable::WalStore;
+pub use durable::{ReplFeed, ReplImage, ReplImageState, RetentionSlot, WalRetention, WalStore};
 pub use error::{StorageError, StorageResult};
 pub use integrity::{committed_images, scrub, scrub_file, PageStatus, ScrubReport};
 pub use metrics::{Histogram, MetricsRegistry, OpProfile, PageAccessKind, PageEvent};
 pub use page::{PageId, BLOCK_1K, BLOCK_2K, BLOCK_4K, BLOCK_512, MIN_PAGE_SIZE};
-pub use recovery::RecoveryReport;
+pub use recovery::{apply_image, apply_segment, RecoveryReport, SegmentApply};
 pub use retry::{RetryPolicy, RetryStore};
 pub use slotted::{SlotId, SlottedPage};
 pub use snapshot::{PageImage, PageVersions, SnapshotStore};
@@ -63,4 +63,4 @@ pub use testing::{
     CrashController, CrashStore, DiskFullController, FlakyStore, FullDiskStore, SweepRng,
     TornWrite,
 };
-pub use wal::{wal_sidecar, LogRecord, Wal};
+pub use wal::{wal_sidecar, LogRecord, StampedRecord, Wal};

@@ -24,7 +24,7 @@
 use crate::error::StorageResult;
 use crate::page::PageId;
 use crate::store::PageStore;
-use crate::wal::{LogRecord, Wal, WalScan};
+use crate::wal::{LogRecord, StampedRecord, Wal, WalScan};
 
 /// Summary of one recovery pass, surfaced by [`crate::WalStore::open`].
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -120,6 +120,87 @@ fn redo<S: PageStore>(
     Ok(())
 }
 
+/// Outcome of one [`apply_segment`] pass on a replication follower.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentApply {
+    /// Highest LSN the store now reflects (the last applied commit or
+    /// checkpoint marker; unchanged when the segment held nothing new).
+    pub applied_lsn: u64,
+    /// Committed batches redone by this pass.
+    pub batches: u64,
+    /// Page images rewritten by this pass.
+    pub pages: u64,
+}
+
+/// Incremental replay for log-shipping replication: redoes onto `store`
+/// every *complete* committed batch in `records` whose commit marker is
+/// stamped past `applied_lsn`, then syncs. Batches at or below
+/// `applied_lsn` are skipped, so re-shipping an overlapping segment —
+/// after a follower crash mid-apply, say — is harmless (redo itself is
+/// idempotent too, making a crash *between* redo and the durable
+/// applied-LSN update equally safe). Checkpoint markers advance the
+/// applied LSN without touching the store; an unterminated trailing
+/// batch is held back for the next segment.
+pub fn apply_segment<S: PageStore>(
+    store: &mut S,
+    records: &[StampedRecord],
+    applied_lsn: u64,
+) -> StorageResult<SegmentApply> {
+    let mut report = RecoveryReport::default();
+    let mut out = SegmentApply {
+        applied_lsn,
+        ..SegmentApply::default()
+    };
+    let mut batch: Vec<&StampedRecord> = Vec::new();
+    for stamped in records {
+        match &stamped.record {
+            LogRecord::Checkpoint => {
+                if stamped.lsn > out.applied_lsn && batch.is_empty() {
+                    out.applied_lsn = stamped.lsn;
+                }
+            }
+            LogRecord::Commit => {
+                if stamped.lsn > out.applied_lsn {
+                    for r in batch.drain(..) {
+                        redo(store, &r.record, &mut report)?;
+                    }
+                    out.batches += 1;
+                    out.applied_lsn = stamped.lsn;
+                } else {
+                    // The whole batch predates our applied position.
+                    batch.clear();
+                }
+            }
+            _ => batch.push(stamped),
+        }
+    }
+    if out.batches > 0 {
+        store.sync()?;
+    }
+    out.pages = report.replayed_pages;
+    Ok(out)
+}
+
+/// Full-state handoff for a follower too stale for the retained log
+/// tail: makes `store`'s live page set byte-identical to `pages` (the
+/// primary's committed snapshot) — extra pages are freed, image pages
+/// are materialized and rewritten — then syncs. Returns the number of
+/// pages written.
+pub fn apply_image<S: PageStore>(store: &mut S, pages: &[(PageId, Vec<u8>)]) -> StorageResult<u64> {
+    let keep: std::collections::BTreeSet<u32> = pages.iter().map(|(p, _)| p.0).collect();
+    for live in store.live_pages() {
+        if !keep.contains(&live.0) {
+            store.free(live)?;
+        }
+    }
+    for (p, data) in pages {
+        store.ensure_allocated(*p)?;
+        store.write(*p, data)?;
+    }
+    store.sync()?;
+    Ok(pages.len() as u64)
+}
+
 /// Convenience used by tests: ids and contents of every live page,
 /// ascending — two stores with equal snapshots are observably identical.
 pub fn live_snapshot<S: PageStore>(store: &S) -> StorageResult<Vec<(PageId, Vec<u8>)>> {
@@ -199,6 +280,82 @@ mod tests {
         assert!(report2.was_clean());
         assert_eq!(live_snapshot(&store).unwrap(), snap);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn apply_segment_skips_old_batches_and_holds_back_tail() {
+        let mut store = MemPageStore::new(64).unwrap();
+        let seg = vec![
+            StampedRecord {
+                lsn: 1,
+                record: LogRecord::Alloc { page: PageId(0) },
+            },
+            StampedRecord {
+                lsn: 2,
+                record: LogRecord::PageImage {
+                    page: PageId(0),
+                    data: vec![0x11; 64].into_boxed_slice(),
+                },
+            },
+            StampedRecord {
+                lsn: 3,
+                record: LogRecord::Commit,
+            },
+            StampedRecord {
+                lsn: 4,
+                record: LogRecord::PageImage {
+                    page: PageId(0),
+                    data: vec![0x22; 64].into_boxed_slice(),
+                },
+            },
+            StampedRecord {
+                lsn: 5,
+                record: LogRecord::Commit,
+            },
+            // Unterminated tail: must not be applied.
+            StampedRecord {
+                lsn: 6,
+                record: LogRecord::PageImage {
+                    page: PageId(0),
+                    data: vec![0x33; 64].into_boxed_slice(),
+                },
+            },
+        ];
+        let a = apply_segment(&mut store, &seg, 0).unwrap();
+        assert_eq!(a.applied_lsn, 5);
+        assert_eq!(a.batches, 2);
+        assert_eq!(a.pages, 2);
+        let snap = live_snapshot(&store).unwrap();
+        assert!(snap[0].1.iter().all(|&b| b == 0x22));
+
+        // Re-shipping the same segment from a stale applied position is
+        // a no-op on the final state (idempotent catch-up).
+        let b = apply_segment(&mut store, &seg, 3).unwrap();
+        assert_eq!(b.applied_lsn, 5);
+        assert_eq!(b.batches, 1);
+        assert_eq!(live_snapshot(&store).unwrap(), snap);
+        let c = apply_segment(&mut store, &seg, 5).unwrap();
+        assert_eq!(c.batches, 0);
+        assert_eq!(c.applied_lsn, 5);
+    }
+
+    #[test]
+    fn apply_image_makes_live_set_identical() {
+        let mut store = MemPageStore::new(64).unwrap();
+        use crate::store::PageStore as _;
+        let stale = store.allocate().unwrap();
+        store.write(stale, &[9u8; 64]).unwrap();
+
+        let image = vec![(PageId(1), vec![0xaa; 64]), (PageId(3), vec![0xbb; 64])];
+        apply_image(&mut store, &image).unwrap();
+        let snap = live_snapshot(&store).unwrap();
+        assert_eq!(
+            snap.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            vec![PageId(1), PageId(3)]
+        );
+        assert!(!store.is_live(stale));
+        assert!(snap[0].1.iter().all(|&b| b == 0xaa));
+        assert!(snap[1].1.iter().all(|&b| b == 0xbb));
     }
 
     #[test]

@@ -30,6 +30,14 @@ pub struct WalInfo {
     pub checkpoints: u64,
     /// Record bytes appended over the handle's lifetime.
     pub bytes_appended: u64,
+    /// The LSN floor truncation is gated on: smallest applied LSN among
+    /// replication subscribers and stale pinned generations, or
+    /// `next_lsn - 1` when nothing holds the tail.
+    pub retained_lsn: u64,
+    /// Next LSN to be stamped.
+    pub next_lsn: u64,
+    /// First LSN the retained log tail can still serve.
+    pub tail_start_lsn: u64,
 }
 
 /// Abstraction over a flat collection of fixed-size pages.
@@ -135,6 +143,31 @@ pub trait PageStore: Send {
     ) -> StorageResult<Option<std::sync::Arc<crate::snapshot::PageVersions>>> {
         Ok(None)
     }
+
+    // -- replication hooks (defaulted no-ops for plain stores) -----------
+    //
+    // Log-shipping replication streams the WAL tail to followers; these
+    // let the serving layer drive it through `Box<dyn PageStore>`.
+
+    /// The registry of log-tail subscribers gating checkpoint truncation
+    /// (see `WalRetention`). `None` without a WAL.
+    fn wal_retention(&self) -> Option<std::sync::Arc<crate::WalRetention>> {
+        None
+    }
+
+    /// Committed log records stamped past `after`, for shipping to a
+    /// replication subscriber. [`crate::ReplFeed::Unsupported`] without
+    /// a WAL.
+    fn repl_feed(&mut self, _after: u64) -> StorageResult<crate::ReplFeed> {
+        Ok(crate::ReplFeed::Unsupported)
+    }
+
+    /// Full committed-state snapshot for re-seeding a subscriber that
+    /// fell behind the retained log tail.
+    /// [`crate::ReplImageState::Unsupported`] without a WAL.
+    fn repl_image(&mut self) -> StorageResult<crate::ReplImageState> {
+        Ok(crate::ReplImageState::Unsupported)
+    }
 }
 
 /// Boxed stores delegate, so `Box<dyn PageStore>` is itself a
@@ -209,6 +242,18 @@ impl<P: PageStore + ?Sized> PageStore for Box<P> {
         &mut self,
     ) -> StorageResult<Option<std::sync::Arc<crate::snapshot::PageVersions>>> {
         (**self).enable_snapshots()
+    }
+
+    fn wal_retention(&self) -> Option<std::sync::Arc<crate::WalRetention>> {
+        (**self).wal_retention()
+    }
+
+    fn repl_feed(&mut self, after: u64) -> StorageResult<crate::ReplFeed> {
+        (**self).repl_feed(after)
+    }
+
+    fn repl_image(&mut self) -> StorageResult<crate::ReplImageState> {
+        (**self).repl_image()
     }
 }
 

@@ -145,6 +145,68 @@ pub struct StampedRecord {
     pub record: LogRecord,
 }
 
+fn parse_record(page_size: usize, kind: u8, body: &[u8]) -> Option<LogRecord> {
+    match kind {
+        KIND_PAGE_IMAGE => {
+            if body.len() != 4 + page_size {
+                return None;
+            }
+            let page = PageId(u32::from_le_bytes(body[0..4].try_into().unwrap()));
+            Some(LogRecord::PageImage {
+                page,
+                data: body[4..].to_vec().into_boxed_slice(),
+            })
+        }
+        KIND_ALLOC | KIND_FREE => {
+            if body.len() != 4 {
+                return None;
+            }
+            let page = PageId(u32::from_le_bytes(body.try_into().unwrap()));
+            Some(match kind {
+                KIND_ALLOC => LogRecord::Alloc { page },
+                _ => LogRecord::Free { page },
+            })
+        }
+        KIND_COMMIT if body.is_empty() => Some(LogRecord::Commit),
+        KIND_CHECKPOINT if body.is_empty() => Some(LogRecord::Checkpoint),
+        _ => None,
+    }
+}
+
+/// Walks record frames in `buf` (the record area, header excluded)
+/// starting at expected LSN `start_lsn`, stopping at EOF or the first
+/// torn/stale/malformed frame. Returns the well-formed records plus the
+/// byte offset the scan stopped at.
+fn scan_frames(buf: &[u8], start_lsn: u64, page_size: usize) -> (Vec<StampedRecord>, usize) {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    let mut last_lsn = start_lsn.saturating_sub(1);
+    let max_payload = page_size + 64;
+    while buf.len() - off >= FRAME_HEADER_LEN {
+        let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap());
+        if len < PAYLOAD_PREFIX_LEN || len > max_payload || buf.len() - off - FRAME_HEADER_LEN < len
+        {
+            break; // torn tail
+        }
+        let payload = &buf[off + FRAME_HEADER_LEN..off + FRAME_HEADER_LEN + len];
+        if crc32(payload) != crc {
+            break; // torn tail
+        }
+        let lsn = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+        if lsn <= last_lsn {
+            break; // stale bytes from an older log generation
+        }
+        let Some(record) = parse_record(page_size, payload[8], &payload[9..]) else {
+            break; // unknown kind / malformed body: treat as torn
+        };
+        last_lsn = lsn;
+        records.push(StampedRecord { lsn, record });
+        off += FRAME_HEADER_LEN + len;
+    }
+    (records, off)
+}
+
 // ---------------------------------------------------------------------------
 // The log file
 // ---------------------------------------------------------------------------
@@ -161,6 +223,10 @@ pub struct Wal {
     next_lsn: u64,
     /// Current end-of-log offset (records append here).
     end: u64,
+    /// LSN of the first record in the retained tail (the header's
+    /// `start_lsn`). Records with lower LSNs have been truncated away by
+    /// a checkpoint and can no longer be streamed.
+    tail_start_lsn: u64,
     /// Lifetime counters, for experiments attributing WAL overhead.
     commits: u64,
     bytes_appended: u64,
@@ -196,6 +262,7 @@ impl Wal {
             page_size,
             next_lsn: 1,
             end: HEADER_LEN,
+            tail_start_lsn: 1,
             commits: 0,
             bytes_appended: 0,
             checkpoints: 0,
@@ -223,6 +290,7 @@ impl Wal {
             page_size,
             next_lsn: 1,
             end: HEADER_LEN,
+            tail_start_lsn: 1,
             commits: 0,
             bytes_appended: 0,
             checkpoints: 0,
@@ -245,38 +313,18 @@ impl Wal {
             }
         };
         wal.next_lsn = start_lsn;
+        wal.tail_start_lsn = start_lsn;
 
         // Scan record frames until EOF or the first damaged frame.
         let mut buf = Vec::new();
         wal.file.seek(SeekFrom::Start(HEADER_LEN))?;
         wal.file.read_to_end(&mut buf)?;
-        let mut off = 0usize;
-        let mut last_lsn = start_lsn.saturating_sub(1);
-        let max_payload = wal.page_size + 64;
-        while buf.len() - off >= FRAME_HEADER_LEN {
-            let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap());
-            if len < PAYLOAD_PREFIX_LEN
-                || len > max_payload
-                || buf.len() - off - FRAME_HEADER_LEN < len
-            {
-                break; // torn tail
-            }
-            let payload = &buf[off + FRAME_HEADER_LEN..off + FRAME_HEADER_LEN + len];
-            if crc32(payload) != crc {
-                break; // torn tail
-            }
-            let lsn = u64::from_le_bytes(payload[0..8].try_into().unwrap());
-            if lsn <= last_lsn {
-                break; // stale bytes from an older log generation
-            }
-            let Some(record) = wal.parse_record(payload[8], &payload[9..]) else {
-                break; // unknown kind / malformed body: treat as torn
-            };
-            last_lsn = lsn;
-            scan.records.push(StampedRecord { lsn, record });
-            off += FRAME_HEADER_LEN + len;
-        }
+        let (records, off) = scan_frames(&buf, start_lsn, wal.page_size);
+        let last_lsn = records
+            .last()
+            .map(|r| r.lsn)
+            .unwrap_or(start_lsn.saturating_sub(1));
+        scan.records = records;
 
         wal.end = HEADER_LEN + off as u64;
         scan.truncated_bytes = file_len.saturating_sub(wal.end);
@@ -286,34 +334,6 @@ impl Wal {
         }
         wal.next_lsn = last_lsn + 1;
         Ok((wal, scan))
-    }
-
-    fn parse_record(&self, kind: u8, body: &[u8]) -> Option<LogRecord> {
-        match kind {
-            KIND_PAGE_IMAGE => {
-                if body.len() != 4 + self.page_size {
-                    return None;
-                }
-                let page = PageId(u32::from_le_bytes(body[0..4].try_into().unwrap()));
-                Some(LogRecord::PageImage {
-                    page,
-                    data: body[4..].to_vec().into_boxed_slice(),
-                })
-            }
-            KIND_ALLOC | KIND_FREE => {
-                if body.len() != 4 {
-                    return None;
-                }
-                let page = PageId(u32::from_le_bytes(body.try_into().unwrap()));
-                Some(match kind {
-                    KIND_ALLOC => LogRecord::Alloc { page },
-                    _ => LogRecord::Free { page },
-                })
-            }
-            KIND_COMMIT if body.is_empty() => Some(LogRecord::Commit),
-            KIND_CHECKPOINT if body.is_empty() => Some(LogRecord::Checkpoint),
-            _ => None,
-        }
     }
 
     fn write_header(&mut self) -> StorageResult<()> {
@@ -399,6 +419,10 @@ impl Wal {
         self.file.set_len(HEADER_LEN)?;
         self.end = HEADER_LEN;
         self.write_header()?;
+        // The header just persisted `next_lsn` as the new start; the
+        // checkpoint marker below is stamped with exactly that LSN, so it
+        // is the first record of the retained tail.
+        self.tail_start_lsn = self.next_lsn;
         let mut buf = Vec::new();
         self.encode_into(&mut buf, &LogRecord::Checkpoint);
         self.file.seek(SeekFrom::Start(self.end))?;
@@ -422,6 +446,30 @@ impl Wal {
     /// Next LSN to be stamped.
     pub fn next_lsn(&self) -> u64 {
         self.next_lsn
+    }
+
+    /// LSN of the first record still present in the log's record area.
+    /// A reader that has applied everything up to LSN `L` can be served
+    /// from this log iff `L + 1 >= tail_start_lsn`; otherwise the bytes
+    /// it needs were reclaimed by a checkpoint.
+    pub fn tail_start_lsn(&self) -> u64 {
+        self.tail_start_lsn
+    }
+
+    /// Re-reads the retained record area and returns every well-formed
+    /// record with `lsn > after`, in log order. The scan applies the same
+    /// framing checks as [`Wal::open`], so a torn in-flight tail (never
+    /// present here in practice — appends are single atomic writes under
+    /// the store lock) is simply excluded.
+    pub fn records_after(&mut self, after: u64) -> StorageResult<Vec<StampedRecord>> {
+        let mut buf = Vec::new();
+        self.file.seek(SeekFrom::Start(HEADER_LEN))?;
+        let record_area = (self.end - HEADER_LEN) as usize;
+        buf.resize(record_area, 0);
+        self.file.read_exact(&mut buf)?;
+        let (mut records, _) = scan_frames(&buf, self.tail_start_lsn, self.page_size);
+        records.retain(|r| r.lsn > after);
+        Ok(records)
     }
 
     /// Current log file length in bytes (header included).
@@ -586,6 +634,41 @@ mod tests {
         assert_eq!(scan.records.len(), 1);
         assert_eq!(scan.records[0].record, LogRecord::Checkpoint);
         assert_eq!(wal.next_lsn(), lsn_after);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn records_after_filters_by_lsn_and_tracks_tail() {
+        let path = temp_path("records-after");
+        let mut wal = Wal::create(&path, 64).unwrap();
+        assert_eq!(wal.tail_start_lsn(), 1);
+        wal.append_batch(&[LogRecord::Alloc { page: PageId(1) }])
+            .unwrap(); // LSNs 1 (Alloc), 2 (Commit)
+        wal.append_batch(&[LogRecord::Free { page: PageId(1) }])
+            .unwrap(); // LSNs 3 (Free), 4 (Commit)
+
+        let all = wal.records_after(0).unwrap();
+        assert_eq!(all.len(), 4);
+        let tail = wal.records_after(2).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].lsn, 3);
+        assert_eq!(tail[0].record, LogRecord::Free { page: PageId(1) });
+        assert_eq!(tail[1].record, LogRecord::Commit);
+        assert!(wal.records_after(4).unwrap().is_empty());
+
+        // Checkpoint reclaims the tail; only the marker survives and the
+        // retained floor advances to its LSN.
+        wal.checkpoint().unwrap();
+        assert_eq!(wal.tail_start_lsn(), 5);
+        let after_ckpt = wal.records_after(0).unwrap();
+        assert_eq!(after_ckpt.len(), 1);
+        assert_eq!(after_ckpt[0].lsn, 5);
+        assert_eq!(after_ckpt[0].record, LogRecord::Checkpoint);
+
+        // Reopen restores the floor from the header.
+        drop(wal);
+        let (wal, _) = Wal::open(&path, 64).unwrap();
+        assert_eq!(wal.tail_start_lsn(), 5);
         std::fs::remove_file(&path).ok();
     }
 

@@ -172,6 +172,12 @@ fn dump_db_metrics(
             r.inc_by("wal_commits", info.commits);
             r.inc_by("wal_bytes_appended", info.bytes_appended);
             r.set_gauge("wal_live_bytes", info.live_bytes as f64);
+            // Replication visibility: the oldest LSN a checkpoint must
+            // keep (for subscribed followers / pinned generations) and
+            // the log's current bounds.
+            r.set_gauge("wal.retained_lsn", info.retained_lsn as f64);
+            r.set_gauge("wal.next_lsn", info.next_lsn as f64);
+            r.set_gauge("wal.tail_start_lsn", info.tail_start_lsn as f64);
         }
         // Per-shard buffer-pool counters (hit/miss/eviction skew shows
         // whether the page-id distribution balances the shards).
@@ -257,7 +263,9 @@ fn usage() -> String {
      ccam replay <db> <trace.txt>\n  \
      ccam profile <db> [--ops N] [--routes N] [--len L] [--seed N] [--updates] [--json]\n  \
      ccam serve <db> [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-seconds S]\n  \
-     [--deadline-ms MS] [--idle-timeout-ms MS] [--write-timeout-ms MS]\n\
+     [--deadline-ms MS] [--idle-timeout-ms MS] [--write-timeout-ms MS]\n  \
+     [--repl-addr HOST:PORT] (primary: accept follower subscriptions)\n  \
+     [--replica-of HOST:PORT] [--repl-seed N] (read-only follower of a primary's repl port)\n\
      database commands also accept: [--retry [N]] [--verify-checksums] [--metrics-json <path>]\n  \
      [--max-wal-bytes N] (WAL databases: auto-checkpoint past N live log bytes)\n\
      find/succ also accept: [--explain] (print the page-access trace)"
@@ -602,11 +610,28 @@ fn checkpoint_cmd(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     ws.checkpoint().map_err(|e| e.to_string())?;
     let after = ws.wal().len();
     println!("checkpointed {db}: log {before} -> {after} bytes");
+    let info = ws.wal_info();
+    if let Some(info) = &info {
+        // A retained floor below next_lsn means a subscribed follower
+        // or pinned snapshot generation still needs those log bytes —
+        // the checkpoint kept them instead of truncating.
+        if info.retained_lsn + 1 < info.next_lsn {
+            println!(
+                "retained from lsn {} (next {}): follower or pinned generation holds the log",
+                info.retained_lsn, info.next_lsn
+            );
+        }
+    }
     if let Some(sink) = &opts.metrics {
         let r = &sink.registry;
         r.inc_by("recovery.replayed_batches", report.replayed_batches);
         r.inc_by("wal_checkpoints", 1);
         r.set_gauge("wal_live_bytes", after as f64);
+        if let Some(info) = &info {
+            r.set_gauge("wal.retained_lsn", info.retained_lsn as f64);
+            r.set_gauge("wal.next_lsn", info.next_lsn as f64);
+            r.set_gauge("wal.tail_start_lsn", info.tail_start_lsn as f64);
+        }
         dump_metrics(opts, None)?;
     }
     Ok(())
@@ -967,12 +992,39 @@ fn serve(args: &[String], opts: &OpenOptions) -> Result<(), String> {
             "deadline-ms",
             "idle-timeout-ms",
             "write-timeout-ms",
+            "repl-addr",
+            "replica-of",
+            "repl-seed",
         ],
     );
     let [db_path] = pos.as_slice() else {
         return Err("serve needs <db>".into());
     };
+    // Replication role: `--replica-of <primary-repl-addr>` subscribes
+    // this server to a primary's replication port and serves read-only;
+    // `--repl-addr <host:port>` opens a replication port for followers.
+    // The two are mutually exclusive — a follower never re-ships.
+    let role = match (flags.get("replica-of"), flags.get("repl-addr")) {
+        (Some(_), Some(_)) => {
+            return Err("--replica-of and --repl-addr are mutually exclusive".into());
+        }
+        (Some(primary), None) => ccam::server::ReplRole::Replica {
+            primary: primary.clone(),
+            seed: flags
+                .get("repl-seed")
+                .map(|s| parse_u64(s, "--repl-seed"))
+                .transpose()?
+                .unwrap_or(1),
+            // Sidecar position hint: losing it only costs a full
+            // catch-up, never correctness.
+            lsn_path: Some(PathBuf::from(format!("{db_path}.repllsn"))),
+        },
+        (None, repl_addr) => ccam::server::ReplRole::Primary {
+            repl_addr: repl_addr.cloned(),
+        },
+    };
     let config = ccam::server::ServerConfig {
+        role,
         addr: flags
             .get("addr")
             .cloned()
@@ -1025,6 +1077,12 @@ fn serve(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     let handle =
         ccam::server::Server::start(Arc::clone(&db), config.clone()).map_err(|e| e.to_string())?;
     println!("listening on {}", handle.local_addr());
+    if let Some(repl) = handle.repl_addr() {
+        println!("replication on {repl}");
+    }
+    if let ccam::server::ReplRole::Replica { primary, .. } = &config.role {
+        println!("replica of {primary}");
+    }
     println!(
         "workers {} queue-depth {} db {}",
         config.workers, config.queue_depth, db_path
@@ -1040,11 +1098,22 @@ fn serve(args: &[String], opts: &OpenOptions) -> Result<(), String> {
     }
 
     let metrics = Arc::clone(handle.metrics());
+    // Fold the replication gauges (lag, link state) into the shared
+    // registry while the link state is still meaningful — the handle
+    // and its repl state are consumed by shutdown.
+    let _ = handle.metrics_json();
     handle.shutdown().map_err(|e| format!("shutdown: {e}"))?;
     // All workers are joined: fold the final I/O counters in and
     // report. io_stats() is lock-free — no need to pin a snapshot.
     if let Some(io) = db.io_stats() {
         ccam::server::fold_io_gauges(&metrics, &io.snapshot(), db.epoch());
+    }
+    // WAL position gauges: what a checkpoint could reclaim and what
+    // replication retention still pins.
+    if let Ok(Some(info)) = db.with_writer(|am| am.file().pool().with_store(|s| s.wal_info())) {
+        metrics.set_gauge("wal.retained_lsn", info.retained_lsn as f64);
+        metrics.set_gauge("wal.next_lsn", info.next_lsn as f64);
+        metrics.set_gauge("wal.tail_start_lsn", info.tail_start_lsn as f64);
     }
     eprintln!(
         "served {} requests in {} batches ({} overloaded)",
