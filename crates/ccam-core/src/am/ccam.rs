@@ -18,7 +18,8 @@ use std::collections::HashMap;
 
 use ccam_graph::{Network, NodeData, NodeId};
 use ccam_partition::{
-    cluster_nodes_into_pages_with, refine_m_way, ClusterOptions, PartGraph, Partitioner,
+    cluster_nodes_into_pages_with, refine_m_way, ClusterOptions, PartGraph, PartitionStrategy,
+    Partitioner,
 };
 use ccam_storage::{PageId, StorageError, StorageResult};
 
@@ -44,6 +45,7 @@ pub struct CcamBuilder {
     weights: Option<HashMap<(NodeId, NodeId), u64>>,
     mway_passes: usize,
     threads: usize,
+    strategy: PartitionStrategy,
 }
 
 impl CcamBuilder {
@@ -58,6 +60,7 @@ impl CcamBuilder {
             weights: None,
             mway_passes: 0,
             threads: 1,
+            strategy: PartitionStrategy::Flat,
         }
     }
 
@@ -74,6 +77,16 @@ impl CcamBuilder {
     /// Default: 1 (sequential).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Selects the clustering strategy for bulk `Static-Create()`:
+    /// [`PartitionStrategy::Flat`] (the paper's recursive bipartition,
+    /// the default) or [`PartitionStrategy::Multilevel`] (coarsen→
+    /// partition→refine, for million-node networks). Pages and CRR stay
+    /// deterministic for either choice.
+    pub fn strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -173,10 +186,9 @@ impl CcamBuilder {
             }
         }
         let graph = PartGraph::new(sizes, &edges);
-        let opts = ClusterOptions {
-            partitioner: self.partitioner,
-            threads: self.threads,
-        };
+        let opts = ClusterOptions::new(self.partitioner)
+            .threads(self.threads)
+            .strategy(self.strategy);
         let mut groups = cluster_nodes_into_pages_with(&graph, am.file.clustering_budget(), opts);
         if self.mway_passes > 0 {
             groups = refine_m_way(

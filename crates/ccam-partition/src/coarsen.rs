@@ -1,0 +1,661 @@
+//! Multilevel coarsen→partition→refine clustering
+//! ([`PartitionStrategy::Multilevel`](crate::PartitionStrategy)).
+//!
+//! The flat recursive path in [`crate::recursive`] runs the full
+//! ratio-cut machinery (multi-seed FM to convergence) on the *whole*
+//! graph at every bisection level — fine at the paper's 1079 nodes,
+//! prohibitive at country scale. This module implements the standard
+//! escape hatch used by multilevel partitioners (METIS, KaHIP, the
+//! nested-dissection CCH pipeline):
+//!
+//! 1. **Coarsen** — [`heavy_edge_matching`] pairs each node with its
+//!    heaviest-edge unmatched neighbour (deterministic index-order
+//!    tie-breaking), [`contract`] merges matched pairs into coarse nodes
+//!    (byte sizes and parallel edge weights accumulate), and
+//!    [`coarsen_stack`] repeats until a **min-vertex floor** or a
+//!    reduction stall. Coarse nodes are capped at one page so matching
+//!    never builds a node that cannot be stored; a maximally-coarse
+//!    node is itself a well-packed page.
+//! 2. **Partition** — the coarsest graph (orders of magnitude smaller)
+//!    is clustered with the unchanged flat recursive path, including its
+//!    rayon fan-out; on a disconnected network each component runs its
+//!    own V-cycle in parallel.
+//! 3. **Uncoarsen + refine** — the coarse page assignment is projected
+//!    back up the stack one level at a time; each level runs a greedy
+//!    boundary pass (strict cut-gain moves under the page-size budget)
+//!    and, on levels small enough to afford it, pairwise
+//!    [`crate::fm::refine`] over adjacent page pairs.
+//!
+//! Every step is deterministic and independent of the thread count:
+//! matching and greedy refinement are sequential index-order scans, the
+//! coarse clustering inherits the flat path's parallel==sequential
+//! guarantee, and component results are concatenated in component order.
+//! Same input + seed + thread count ⇒ byte-identical pages, exactly as
+//! for the flat strategy.
+
+use crate::fm::{self, Bounds, Objective};
+use crate::graph::{InducedScratch, PartGraph};
+use crate::metrics::cut_weight;
+use crate::recursive::{cluster_flat, pack_groups, ClusterOptions};
+
+/// Tuning knobs for the multilevel pipeline. The defaults are sized for
+/// road networks; they only matter above
+/// [`direct_threshold`](Self::direct_threshold) nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultilevelOpts {
+    /// Coarsening stops once a level has at most this many nodes (the
+    /// level stack's min-vertex floor).
+    pub min_vertex_floor: usize,
+    /// Graphs at or below this many nodes skip the V-cycle entirely and
+    /// run the flat recursive path (coarsening overhead would dominate).
+    pub direct_threshold: usize,
+    /// Pairwise FM boundary refinement runs only on levels with at most
+    /// this many nodes; larger levels use the linear-time greedy pass
+    /// alone.
+    pub fm_pairwise_max: usize,
+    /// Hard cap on the number of coarsening levels (safety bound; the
+    /// reduction-stall check normally stops the stack first).
+    pub max_levels: usize,
+}
+
+impl Default for MultilevelOpts {
+    fn default() -> Self {
+        MultilevelOpts {
+            min_vertex_floor: 256,
+            direct_threshold: 512,
+            fm_pairwise_max: 24_576,
+            max_levels: 32,
+        }
+    }
+}
+
+/// FM passes per refined page pair during uncoarsening.
+const PAIR_FM_PASSES: usize = 4;
+
+/// Greedy boundary passes per level (each pass only applies strict
+/// cut-improving moves, so the loop also stops as soon as a pass moves
+/// nothing).
+const GREEDY_PASSES: usize = 3;
+
+/// A coarsening level: the contracted graph plus the projection map from
+/// the finer graph it was built from (`coarse_of[fine] = coarse`).
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The contracted graph (accumulated node sizes and edge weights).
+    pub graph: PartGraph,
+    /// Fine-node → coarse-node index map (length = finer graph's nodes).
+    pub coarse_of: Vec<usize>,
+}
+
+/// Heavy-edge matching with deterministic tie-breaking.
+///
+/// Nodes are visited in index order; each unmatched node pairs with its
+/// unmatched neighbour of maximum edge weight whose combined byte size
+/// stays within `max_size` (ties break to the lowest neighbour index).
+/// Returns `mate[v]` — the partner of `v`, or `v` itself when unmatched.
+pub fn heavy_edge_matching(g: &PartGraph, max_size: usize) -> Vec<usize> {
+    const UNSEEN: usize = usize::MAX;
+    let n = g.len();
+    let mut mate = vec![UNSEEN; n];
+    for v in 0..n {
+        if mate[v] != UNSEEN {
+            continue;
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for &(u, w) in g.neighbors(v) {
+            if mate[u] != UNSEEN || g.size(v) + g.size(u) > max_size {
+                continue;
+            }
+            let wins = match best {
+                None => true,
+                Some((bw, bu)) => w > bw || (w == bw && u < bu),
+            };
+            if wins {
+                best = Some((w, u));
+            }
+        }
+        match best {
+            Some((_, u)) => {
+                mate[v] = u;
+                mate[u] = v;
+            }
+            None => mate[v] = v,
+        }
+    }
+    mate
+}
+
+/// Contracts matched pairs into coarse nodes: sizes sum, parallel edges
+/// between coarse nodes merge by weight (intra-pair edges vanish as
+/// self-loops). Coarse indices are assigned in order of each pair's
+/// lowest fine index, so contraction is deterministic.
+pub fn contract(g: &PartGraph, mate: &[usize]) -> CoarseLevel {
+    let n = g.len();
+    let mut coarse_of = vec![usize::MAX; n];
+    let mut sizes = Vec::new();
+    for v in 0..n {
+        if coarse_of[v] != usize::MAX {
+            continue;
+        }
+        let id = sizes.len();
+        coarse_of[v] = id;
+        let mut s = g.size(v);
+        let m = mate[v];
+        if m != v {
+            coarse_of[m] = id;
+            s += g.size(m);
+        }
+        sizes.push(s);
+    }
+    let mut edges = Vec::new();
+    for v in 0..n {
+        for &(u, w) in g.neighbors(v) {
+            if u > v && coarse_of[u] != coarse_of[v] {
+                edges.push((coarse_of[v], coarse_of[u], w));
+            }
+        }
+    }
+    CoarseLevel {
+        graph: PartGraph::new(sizes, &edges),
+        coarse_of,
+    }
+}
+
+/// Builds the coarsening stack: repeated heavy-edge matching and
+/// contraction with coarse nodes capped at `max_node_size` bytes,
+/// stopping at the min-vertex floor, the level cap, or when a level
+/// shrinks by less than 5% (matching has stalled against the size cap).
+///
+/// `stack[0]` is one level coarser than `g`; `stack.last()` is the
+/// coarsest graph.
+pub fn coarsen_stack(
+    g: &PartGraph,
+    max_node_size: usize,
+    opts: &MultilevelOpts,
+) -> Vec<CoarseLevel> {
+    let mut stack: Vec<CoarseLevel> = Vec::new();
+    loop {
+        let cur = stack.last().map_or(g, |l| &l.graph);
+        if cur.len() <= opts.min_vertex_floor || stack.len() >= opts.max_levels {
+            break;
+        }
+        let cur_len = cur.len();
+        let level = {
+            let mate = heavy_edge_matching(cur, max_node_size);
+            contract(cur, &mate)
+        };
+        // Stalled: less than 5% reduction means the size cap (or graph
+        // structure) is blocking further matching.
+        if level.graph.len() * 20 > cur_len * 19 {
+            break;
+        }
+        stack.push(level);
+    }
+    stack
+}
+
+/// Connected components of `g`, each sorted ascending, ordered by their
+/// smallest node index.
+fn components(g: &PartGraph) -> Vec<Vec<usize>> {
+    let n = g.len();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for root in 0..n {
+        if seen[root] {
+            continue;
+        }
+        seen[root] = true;
+        queue.push_back(root);
+        let mut comp = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            comp.push(v);
+            for &(u, _) in g.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Multilevel `cluster-nodes-into-pages()`: the entry point dispatched
+/// from [`crate::cluster_nodes_into_pages_with`] for
+/// [`PartitionStrategy::Multilevel`](crate::PartitionStrategy).
+///
+/// Size feasibility (every record ≤ `page_size`) is checked by the
+/// caller. `parallel` is true when a rayon pool is installed; it only
+/// affects wall-clock time, never the result.
+pub(crate) fn cluster_multilevel(
+    g: &PartGraph,
+    page_size: usize,
+    opts: &ClusterOptions,
+    parallel: bool,
+) -> Vec<Vec<usize>> {
+    let ml = opts.multilevel;
+    if g.len() <= ml.direct_threshold {
+        return cluster_flat(g, page_size, opts.partitioner, parallel);
+    }
+    let comps = components(g);
+    if comps.len() > 1 {
+        // Independent subgraphs coarsen (and cluster) in parallel; the
+        // final pack runs globally so under-filled per-component pages
+        // can still share a physical page, as in the flat path.
+        let cluster_comp = |nodes: &[usize]| -> Vec<Vec<usize>> {
+            let (sub, _) = g.induced(nodes);
+            v_cycle_or_flat(&sub, page_size, opts, false)
+                .into_iter()
+                .map(|grp| grp.into_iter().map(|v| nodes[v]).collect())
+                .collect()
+        };
+        let per_comp = if parallel {
+            map_components(&comps, &cluster_comp)
+        } else {
+            comps.iter().map(|c| cluster_comp(c)).collect()
+        };
+        let groups: Vec<Vec<usize>> = per_comp.into_iter().flatten().collect();
+        return pack_groups(g, groups, page_size);
+    }
+    v_cycle_or_flat(g, page_size, opts, parallel)
+}
+
+/// Fans component clustering out with `rayon::join`, concatenating
+/// results in component order so the output is independent of thread
+/// scheduling (same pattern as the recursive fan-out in
+/// [`crate::recursive`]).
+fn map_components<F>(comps: &[Vec<usize>], f: &F) -> Vec<Vec<Vec<usize>>>
+where
+    F: Fn(&[usize]) -> Vec<Vec<usize>> + Sync,
+{
+    if comps.len() <= 1 {
+        return comps.iter().map(|c| f(c)).collect();
+    }
+    let mid = comps.len() / 2;
+    let (mut left, right) = rayon::join(
+        || map_components(&comps[..mid], f),
+        || map_components(&comps[mid..], f),
+    );
+    left.extend(right);
+    left
+}
+
+/// One V-cycle on a connected graph (or the flat path below the direct
+/// threshold).
+fn v_cycle_or_flat(
+    g: &PartGraph,
+    page_size: usize,
+    opts: &ClusterOptions,
+    parallel: bool,
+) -> Vec<Vec<usize>> {
+    let ml = opts.multilevel;
+    if g.len() <= ml.direct_threshold {
+        return cluster_flat(g, page_size, opts.partitioner, parallel);
+    }
+    // Coarse nodes are capped at one page: matching never forms a node
+    // that cannot be stored, and a maximally-coarse node is itself a
+    // well-packed page (it only grew by heavy-edge merges that fit).
+    // Refinement and pack_groups recover packing granularity for the
+    // nodes that stalled below the cap.
+    let max_node_size = page_size;
+    let stack = coarsen_stack(g, max_node_size, &ml);
+    if stack.is_empty() {
+        // No reduction possible (e.g. an edgeless graph): flat path.
+        return cluster_flat(g, page_size, opts.partitioner, parallel);
+    }
+
+    // Partition the coarsest graph with the unchanged flat machinery
+    // (this is where the existing rayon fan-out engages).
+    let coarsest = &stack.last().expect("non-empty stack").graph;
+    let coarse_groups = cluster_flat(coarsest, page_size, opts.partitioner, parallel);
+    let group_count = coarse_groups.len();
+    let mut part = vec![0usize; coarsest.len()];
+    for (gi, grp) in coarse_groups.iter().enumerate() {
+        for &v in grp {
+            part[v] = gi;
+        }
+    }
+
+    // Project back up the stack, refining boundaries at every level.
+    for li in (0..stack.len()).rev() {
+        let finer: &PartGraph = if li == 0 { g } else { &stack[li - 1].graph };
+        let coarse_of = &stack[li].coarse_of;
+        part = coarse_of.iter().map(|&c| part[c]).collect();
+        refine_level(finer, &mut part, group_count, page_size, &ml);
+    }
+
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); group_count];
+    for (v, &p) in part.iter().enumerate() {
+        groups[p].push(v);
+    }
+    groups.retain(|grp| !grp.is_empty());
+    pack_groups(g, groups, page_size)
+}
+
+/// Per-level boundary refinement: greedy strict-gain moves, then (on
+/// affordable levels) pairwise FM over adjacent page pairs.
+fn refine_level(
+    g: &PartGraph,
+    part: &mut [usize],
+    group_count: usize,
+    page_size: usize,
+    ml: &MultilevelOpts,
+) {
+    let mut sizes = vec![0usize; group_count];
+    for (v, &p) in part.iter().enumerate() {
+        sizes[p] += g.size(v);
+    }
+    for _ in 0..GREEDY_PASSES {
+        if greedy_pass(g, part, &mut sizes, page_size) == 0 {
+            break;
+        }
+    }
+    if g.len() <= ml.fm_pairwise_max {
+        pairwise_fm(g, part, &mut sizes, page_size);
+    }
+}
+
+/// One greedy boundary pass: every node (index order) moves to the
+/// adjacent page with the strictly highest connection weight, provided
+/// the target page stays within the byte budget. Each move strictly
+/// decreases the cut, so repeated passes terminate. Returns the number
+/// of moves applied.
+fn greedy_pass(g: &PartGraph, part: &mut [usize], sizes: &mut [usize], page_size: usize) -> usize {
+    let mut moved = 0usize;
+    // Per-node scratch: (group, connection weight) pairs, merged by
+    // linear scan (node degrees on road networks are tiny).
+    let mut local: Vec<(usize, u64)> = Vec::new();
+    for v in 0..g.len() {
+        let cg = part[v];
+        local.clear();
+        for &(u, w) in g.neighbors(v) {
+            let pu = part[u];
+            match local.iter_mut().find(|(p, _)| *p == pu) {
+                Some(e) => e.1 += w,
+                None => local.push((pu, w)),
+            }
+        }
+        let to_cur = local.iter().find(|(p, _)| *p == cg).map_or(0, |&(_, w)| w);
+        let mut best: Option<(u64, usize)> = None;
+        for &(t, wt) in &local {
+            if t == cg || wt <= to_cur || sizes[t] + g.size(v) > page_size {
+                continue;
+            }
+            let wins = match best {
+                None => true,
+                Some((bw, bt)) => wt > bw || (wt == bw && t < bt),
+            };
+            if wins {
+                best = Some((wt, t));
+            }
+        }
+        if let Some((_, t)) = best {
+            sizes[cg] -= g.size(v);
+            sizes[t] += g.size(v);
+            part[v] = t;
+            moved += 1;
+        }
+    }
+    moved
+}
+
+/// Pairwise FM refinement: for every adjacent page pair (deterministic
+/// ascending order), refine the induced two-page subproblem with
+/// [`fm::refine`] under pair-budget bounds and apply the result when it
+/// strictly improves the pair's internal cut. Node moves stay within the
+/// pair, so edges to third pages are unaffected and the global cut is
+/// monotonically non-increasing.
+fn pairwise_fm(g: &PartGraph, part: &mut [usize], sizes: &mut [usize], page_size: usize) {
+    let group_count = sizes.len();
+    // Adjacent page pairs under the *current* assignment.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for v in 0..g.len() {
+        for &(u, _) in g.neighbors(v) {
+            if u > v && part[u] != part[v] {
+                pairs.push((part[u].min(part[v]), part[u].max(part[v])));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    // Page membership lists, ascending within each page.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); group_count];
+    for (v, &p) in part.iter().enumerate() {
+        members[p].push(v);
+    }
+
+    let mut scratch = InducedScratch::new();
+    let mut nodes: Vec<usize> = Vec::new();
+    for (a, b) in pairs {
+        if members[a].is_empty() || members[b].is_empty() {
+            continue;
+        }
+        nodes.clear();
+        nodes.extend_from_slice(&members[a]);
+        nodes.extend_from_slice(&members[b]);
+        let sub = g.induced_with(&nodes, &mut scratch);
+        let side: Vec<bool> = nodes.iter().map(|&v| part[v] == b).collect();
+        let start_part: Vec<usize> = side.iter().map(|&s| s as usize).collect();
+        let start_cut = cut_weight(&sub, &start_part);
+        if start_cut == 0 {
+            continue; // the pair is no longer adjacent after earlier moves
+        }
+        let total = sizes[a] + sizes[b];
+        let bounds = Bounds::pair_budget(total, page_size);
+        let bp = fm::refine(&sub, side, bounds, Objective::Cut, PAIR_FM_PASSES);
+        if bp.cut < start_cut {
+            let (mut ma, mut mb) = (Vec::new(), Vec::new());
+            let (mut sa, mut sb) = (0usize, 0usize);
+            for (i, &v) in nodes.iter().enumerate() {
+                if bp.side[i] {
+                    part[v] = b;
+                    mb.push(v);
+                    sb += g.size(v);
+                } else {
+                    part[v] = a;
+                    ma.push(v);
+                    sa += g.size(v);
+                }
+            }
+            // `nodes` concatenates two ascending runs; restore order.
+            ma.sort_unstable();
+            mb.sort_unstable();
+            members[a] = ma;
+            members[b] = mb;
+            sizes[a] = sa;
+            sizes[b] = sb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recursive::{check_clustering, cluster_nodes_into_pages_with};
+    use crate::{metrics::residue_ratio, PartitionStrategy, Partitioner};
+
+    fn grid(n: usize) -> PartGraph {
+        let idx = |x: usize, y: usize| y * n + x;
+        let mut edges = Vec::new();
+        for y in 0..n {
+            for x in 0..n {
+                if x + 1 < n {
+                    edges.push((idx(x, y), idx(x + 1, y), 1));
+                }
+                if y + 1 < n {
+                    edges.push((idx(x, y), idx(x, y + 1), 1));
+                }
+            }
+        }
+        PartGraph::new(vec![16; n * n], &edges)
+    }
+
+    fn ml_opts() -> ClusterOptions {
+        ClusterOptions {
+            strategy: PartitionStrategy::Multilevel,
+            threads: 1,
+            ..ClusterOptions::new(Partitioner::RatioCut)
+        }
+    }
+
+    #[test]
+    fn matching_pairs_heaviest_edges_deterministically() {
+        // 0-1 heavy, 1-2 light, 2-3 heavy: expect (0,1) and (2,3).
+        let g = PartGraph::new(vec![1; 4], &[(0, 1, 9), (1, 2, 1), (2, 3, 9)]);
+        let mate = heavy_edge_matching(&g, usize::MAX);
+        assert_eq!(mate, vec![1, 0, 3, 2]);
+        // Ties break to the lowest neighbour index.
+        let g = PartGraph::new(vec![1; 3], &[(0, 1, 5), (0, 2, 5)]);
+        let mate = heavy_edge_matching(&g, usize::MAX);
+        assert_eq!(mate, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn matching_respects_size_cap() {
+        let g = PartGraph::new(vec![10, 10, 3], &[(0, 1, 9), (1, 2, 1)]);
+        let mate = heavy_edge_matching(&g, 15);
+        // 0+1 = 20 > 15 is forbidden; 1 matches 2 instead (13 ≤ 15).
+        assert_eq!(mate[0], 0);
+        assert_eq!(mate[1], 2);
+        assert_eq!(mate[2], 1);
+    }
+
+    #[test]
+    fn contraction_accumulates_sizes_and_weights() {
+        // Path 0-1-2-3; match (0,1) and (2,3).
+        let g = PartGraph::new(vec![1, 2, 3, 4], &[(0, 1, 5), (1, 2, 7), (2, 3, 5)]);
+        let lvl = contract(&g, &[1, 0, 3, 2]);
+        assert_eq!(lvl.graph.len(), 2);
+        assert_eq!(lvl.coarse_of, vec![0, 0, 1, 1]);
+        assert_eq!(lvl.graph.size(0), 3);
+        assert_eq!(lvl.graph.size(1), 7);
+        // Only the middle edge survives, full weight.
+        assert_eq!(lvl.graph.total_edge_weight(), 7);
+        assert_eq!(lvl.graph.neighbors(0), &[(1, 7)]);
+    }
+
+    #[test]
+    fn contraction_merges_parallel_coarse_edges() {
+        // Square 0-1-2-3-0; match (0,1) and (2,3): the two cross edges
+        // (1,2) and (3,0) become one coarse edge of weight 2.
+        let g = PartGraph::new(vec![1; 4], &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+        let lvl = contract(&g, &[1, 0, 3, 2]);
+        assert_eq!(lvl.graph.len(), 2);
+        assert_eq!(lvl.graph.neighbors(0), &[(1, 2)]);
+    }
+
+    #[test]
+    fn stack_respects_floor_and_shrinks() {
+        let g = grid(32); // 1024 nodes
+        let opts = MultilevelOpts::default();
+        let stack = coarsen_stack(&g, 64, &opts);
+        assert!(!stack.is_empty());
+        let mut prev = g.len();
+        for lvl in &stack {
+            assert!(lvl.graph.len() < prev, "levels must shrink");
+            assert_eq!(lvl.coarse_of.len(), prev);
+            // Total bytes are conserved by contraction.
+            assert_eq!(lvl.graph.total_size(), g.total_size());
+            prev = lvl.graph.len();
+        }
+        // Coarse node size cap respected.
+        for lvl in &stack {
+            for v in 0..lvl.graph.len() {
+                assert!(lvl.graph.size(v) <= 64);
+            }
+        }
+    }
+
+    #[test]
+    fn multilevel_clustering_is_a_valid_partition() {
+        let g = grid(40); // 1600 nodes > direct threshold
+        let pages = cluster_nodes_into_pages_with(&g, 128, ml_opts());
+        check_clustering(&g, &pages, 128);
+    }
+
+    #[test]
+    fn multilevel_quality_tracks_flat() {
+        let g = grid(40);
+        let flat = cluster_nodes_into_pages_with(
+            &g,
+            256,
+            ClusterOptions::new(Partitioner::RatioCut).threads(1),
+        );
+        let ml = cluster_nodes_into_pages_with(&g, 256, ml_opts());
+        let rr = |pages: &[Vec<usize>]| {
+            let mut part = vec![0usize; g.len()];
+            for (i, page) in pages.iter().enumerate() {
+                for &v in page {
+                    part[v] = i;
+                }
+            }
+            residue_ratio(&g, &part)
+        };
+        let (f, m) = (rr(&flat), rr(&ml));
+        assert!(
+            m >= f * 0.95,
+            "multilevel residue {m:.4} fell more than 5% below flat {f:.4}"
+        );
+    }
+
+    #[test]
+    fn multilevel_handles_disconnected_components() {
+        // Two 18x18 grids with disjoint index ranges.
+        let n = 18;
+        let idx = |c: usize, x: usize, y: usize| c * n * n + y * n + x;
+        let mut edges = Vec::new();
+        for c in 0..2 {
+            for y in 0..n {
+                for x in 0..n {
+                    if x + 1 < n {
+                        edges.push((idx(c, x, y), idx(c, x + 1, y), 1));
+                    }
+                    if y + 1 < n {
+                        edges.push((idx(c, x, y), idx(c, x, y + 1), 1));
+                    }
+                }
+            }
+        }
+        let g = PartGraph::new(vec![16; 2 * n * n], &edges);
+        let mut opts = ml_opts();
+        opts.multilevel.direct_threshold = 64; // force the V-cycle per component
+        let pages = cluster_nodes_into_pages_with(&g, 128, opts);
+        check_clustering(&g, &pages, 128);
+        // Parallel component fan-out must not change the result.
+        let par = cluster_nodes_into_pages_with(&g, 128, opts.threads(4));
+        assert_eq!(pages, par);
+    }
+
+    #[test]
+    fn multilevel_deterministic_across_thread_counts() {
+        let g = grid(36); // 1296 nodes
+        let baseline = cluster_nodes_into_pages_with(&g, 160, ml_opts());
+        for threads in [0, 2, 3, 8] {
+            let run = cluster_nodes_into_pages_with(&g, 160, ml_opts().threads(threads));
+            assert_eq!(baseline, run, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn small_graphs_take_the_flat_path() {
+        let g = grid(8); // 64 nodes ≤ direct_threshold
+        let flat = cluster_nodes_into_pages_with(
+            &g,
+            128,
+            ClusterOptions::new(Partitioner::RatioCut).threads(1),
+        );
+        let ml = cluster_nodes_into_pages_with(&g, 128, ml_opts());
+        assert_eq!(flat, ml);
+    }
+
+    #[test]
+    fn edgeless_graph_still_pages() {
+        let g = PartGraph::new(vec![16; 600], &[]);
+        let pages = cluster_nodes_into_pages_with(&g, 64, ml_opts());
+        check_clustering(&g, &pages, 64);
+    }
+}

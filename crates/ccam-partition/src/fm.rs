@@ -59,6 +59,21 @@ impl Bounds {
             }
         }
     }
+
+    /// Bounds for refining a *pair of pages* holding `total` bytes under
+    /// a per-page `budget`: each side may hold at most `budget` bytes, so
+    /// the other side must hold at least `total - budget`. This is the
+    /// weighted-node form used by the multilevel uncoarsening pass
+    /// ([`crate::coarsen`]), where node byte sizes are *accumulated*
+    /// coarse weights rather than uniform records — the invariant that
+    /// every move keeps both pages within budget holds for any node-size
+    /// distribution, because FM checks these byte bounds per move.
+    pub fn pair_budget(total: usize, budget: usize) -> Bounds {
+        Bounds {
+            min_side: total.saturating_sub(budget),
+            max_side: budget.min(total),
+        }
+    }
 }
 
 /// A two-way partition: `side[v]` is false for part A, true for part B.
@@ -372,5 +387,64 @@ mod tests {
         let g = PartGraph::new(vec![5], &[]);
         let bp = fiduccia_mattheyses(&g, 0);
         assert_eq!(bp.cut, 0);
+    }
+
+    #[test]
+    fn pair_budget_bounds() {
+        // 150 bytes across two 100-byte pages: each side 50..=100.
+        let b = Bounds::pair_budget(150, 100);
+        assert_eq!((b.min_side, b.max_side), (50, 100));
+        // Pair fits one page: fully free, may collapse to one side.
+        let b = Bounds::pair_budget(80, 100);
+        assert_eq!((b.min_side, b.max_side), (0, 80));
+    }
+
+    /// Refinement on a *contracted* graph (accumulated node weights from
+    /// heavy-edge matching) must respect the byte-balance bounds even
+    /// though node weights are wildly non-uniform.
+    #[test]
+    fn refinement_on_contracted_graph_respects_balance_under_node_weights() {
+        use crate::coarsen::{contract, heavy_edge_matching};
+
+        // A weighted path whose contraction yields nodes of sizes
+        // 3, 7, 11, 15 — no uniform-record assumptions survive.
+        let fine = PartGraph::new(
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+            &[
+                (0, 1, 9),
+                (1, 2, 1),
+                (2, 3, 9),
+                (3, 4, 1),
+                (4, 5, 9),
+                (5, 6, 1),
+                (6, 7, 9),
+            ],
+        );
+        let mate = heavy_edge_matching(&fine, usize::MAX);
+        let coarse = contract(&fine, &mate).graph;
+        assert_eq!(coarse.len(), 4);
+        let weights: Vec<usize> = (0..4).map(|v| coarse.size(v)).collect();
+        assert_eq!(weights, vec![3, 7, 11, 15]);
+
+        // Contraction leaves the path c0-c1-c2-c3 with unit edges. Start
+        // from the feasible but suboptimal split {c0,c3} | {c1,c2}
+        // (cut 2) under a 24-byte pair budget: total is 36 bytes, so
+        // each side must stay within 12..=24 bytes.
+        let total = coarse.total_size();
+        let bounds = Bounds::pair_budget(total, 24);
+        let start = vec![false, true, true, false];
+        let bp = refine(&coarse, start, bounds, Objective::Cut, 8);
+        let (a, b) = side_sizes(&coarse, &bp.side);
+        assert_eq!(a + b, total);
+        assert!(
+            (bounds.min_side..=bounds.max_side).contains(&a)
+                && (bounds.min_side..=bounds.max_side).contains(&b),
+            "sides {a}/{b} violate bounds {bounds:?}"
+        );
+        // The only balance-feasible improvement moves c0 across: the
+        // heavier cut-1 splits ({c3} alone, 15 bytes) are rejected by the
+        // weighted-node bounds, so FM must land on {c0,c1,c2} | {c3}.
+        assert_eq!(bp.cut, 1);
+        assert_eq!(bp.side, vec![true, true, true, false]);
     }
 }

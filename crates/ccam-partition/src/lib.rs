@@ -15,6 +15,9 @@
 //! * [`recursive`] — the paper's `cluster-nodes-into-pages()` procedure
 //!   (Figure 2): recursive two-way splitting until every subset fits a
 //!   page, each at least half full whenever possible,
+//! * [`coarsen`] — the multilevel coarsen→partition→refine V-cycle
+//!   ([`PartitionStrategy::Multilevel`]) that makes clustering scale to
+//!   million-node networks,
 //! * [`multiway`] — direct m-way partitioning (the paper notes it "may be
 //!   used to further improve the result", §2.2) for the ablation bench,
 //! * [`metrics`] — cut weight, ratio-cut objective and residue ratios.
@@ -23,6 +26,7 @@
 //! frequencies — either 1 (uniform CRR experiments) or counts derived
 //! from a route workload (WCRR experiments).
 
+pub mod coarsen;
 pub mod fm;
 pub mod graph;
 pub mod kl;
@@ -31,9 +35,11 @@ pub mod multiway;
 pub mod ratiocut;
 pub mod recursive;
 
+pub use coarsen::MultilevelOpts;
 pub use graph::{InducedScratch, PartGraph};
 pub use metrics::{cut_weight, ratio_cut_cost, residue_ratio};
 pub use multiway::{m_way_cluster, refine_m_way};
 pub use recursive::{
-    cluster_nodes_into_pages, cluster_nodes_into_pages_with, ClusterOptions, Partitioner,
+    cluster_nodes_into_pages, cluster_nodes_into_pages_with, ClusterOptions, PartitionStrategy,
+    Partitioner,
 };

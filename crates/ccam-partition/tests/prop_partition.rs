@@ -5,8 +5,8 @@
 use ccam_partition::fm::side_sizes;
 use ccam_partition::recursive::check_clustering;
 use ccam_partition::{
-    cluster_nodes_into_pages, cluster_nodes_into_pages_with, cut_weight, ClusterOptions, PartGraph,
-    Partitioner,
+    cluster_nodes_into_pages, cluster_nodes_into_pages_with, cut_weight, residue_ratio,
+    ClusterOptions, PartGraph, PartitionStrategy, Partitioner,
 };
 use proptest::prelude::*;
 
@@ -129,16 +129,126 @@ proptest! {
         let sequential = cluster_nodes_into_pages_with(
             &g,
             page_size,
-            ClusterOptions { partitioner: Partitioner::RatioCut, threads: 1 },
+            ClusterOptions::new(Partitioner::RatioCut).threads(1),
         );
         check_clustering(&g, &sequential, page_size);
         for threads in [0, 2, 3, 7] {
             let parallel = cluster_nodes_into_pages_with(
                 &g,
                 page_size,
-                ClusterOptions { partitioner: Partitioner::RatioCut, threads },
+                ClusterOptions::new(Partitioner::RatioCut).threads(threads),
             );
             prop_assert_eq!(&sequential, &parallel, "threads = {}", threads);
         }
+    }
+}
+
+/// A graph large enough that the multilevel strategy really coarsens
+/// (above its 512-node direct threshold): a Hamiltonian path plus random
+/// extra edges, bounded record sizes.
+fn arb_multilevel_graph() -> impl Strategy<Value = PartGraph> {
+    (560usize..700).prop_flat_map(|n| {
+        let extra = prop::collection::vec((0..n, 0..n, 1u64..5), 0..n);
+        let sizes = prop::collection::vec(8usize..40, n);
+        (Just(n), sizes, extra).prop_map(|(n, sizes, extra)| {
+            let mut edges: Vec<(usize, usize, u64)> = (0..n - 1).map(|i| (i, i + 1, 1)).collect();
+            edges.extend(extra);
+            PartGraph::new(sizes, &edges)
+        })
+    })
+}
+
+/// A seeded paper-scale road grid (~33×33 ≈ the paper's 1079-node
+/// Minneapolis section): unit-ish edge weights perturbed by the seed,
+/// mixed record sizes.
+fn seeded_paper_grid(seed: u64) -> PartGraph {
+    let n = 33usize;
+    let idx = |x: usize, y: usize| y * n + x;
+    // Tiny deterministic LCG so the grid is fully determined by `seed`.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut edges = Vec::new();
+    for y in 0..n {
+        for x in 0..n {
+            if x + 1 < n {
+                edges.push((idx(x, y), idx(x + 1, y), 1 + next() % 4));
+            }
+            if y + 1 < n {
+                edges.push((idx(x, y), idx(x, y + 1), 1 + next() % 4));
+            }
+        }
+    }
+    let sizes: Vec<usize> = (0..n * n).map(|_| 48 + (next() % 48) as usize).collect();
+    PartGraph::new(sizes, &edges)
+}
+
+fn pages_residue(g: &PartGraph, pages: &[Vec<usize>]) -> f64 {
+    let mut part = vec![0usize; g.len()];
+    for (i, page) in pages.iter().enumerate() {
+        for &v in page {
+            part[v] = i;
+        }
+    }
+    residue_ratio(g, part.as_slice())
+}
+
+proptest! {
+    // Each case runs several full multilevel clusterings of a >560-node
+    // graph; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The multilevel pipeline inherits the flat path's determinism
+    /// guarantee: same input ⇒ byte-identical pages for every thread
+    /// count (the V-cycle itself is sequential; only the coarse-graph
+    /// clustering and component fan-out use rayon, both of which are
+    /// order-preserving).
+    #[test]
+    fn multilevel_clustering_equals_sequential(g in arb_multilevel_graph(), page_mult in 4usize..8) {
+        let max_record = (0..g.len()).map(|v| g.size(v)).max().unwrap();
+        let page_size = max_record * page_mult;
+        let opts = ClusterOptions::new(Partitioner::RatioCut)
+            .strategy(PartitionStrategy::Multilevel);
+        let sequential = cluster_nodes_into_pages_with(&g, page_size, opts.threads(1));
+        check_clustering(&g, &sequential, page_size);
+        for threads in [0, 2, 3, 7] {
+            let parallel = cluster_nodes_into_pages_with(&g, page_size, opts.threads(threads));
+            prop_assert_eq!(&sequential, &parallel, "threads = {}", threads);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// CRR parity: on seeded paper-scale grids the multilevel strategy's
+    /// residue ratio stays within 5% (relative) of the flat partitioner's.
+    #[test]
+    fn multilevel_crr_within_tolerance_of_flat(seed in 0u64..1000, page_mult in 8usize..16) {
+        let g = seeded_paper_grid(seed);
+        let page_size = 96 * page_mult;
+        let flat = cluster_nodes_into_pages_with(
+            &g,
+            page_size,
+            ClusterOptions::new(Partitioner::RatioCut).threads(1),
+        );
+        let ml = cluster_nodes_into_pages_with(
+            &g,
+            page_size,
+            ClusterOptions::new(Partitioner::RatioCut)
+                .threads(1)
+                .strategy(PartitionStrategy::Multilevel),
+        );
+        check_clustering(&g, &ml, page_size);
+        let (f, m) = (pages_residue(&g, &flat), pages_residue(&g, &ml));
+        prop_assert!(
+            m >= f * 0.95,
+            "seed {}: multilevel residue {:.4} fell more than 5% below flat {:.4}",
+            seed, m, f
+        );
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ccam generate <out.net> [--seed N] [--grid W] [--minneapolis]
-//! ccam build    <in.net> <out.db> [--block N] [--method ccam-s|ccam-d|dfs|bfs|wdfs|grid] [--wal] [--threads N]
+//! ccam build    <in.net> <out.db> [--block N] [--method ccam-s|ccam-d|dfs|bfs|wdfs|grid] [--wal] [--threads N] [--strategy flat|multilevel]
 //! ccam stats    <db>
 //! ccam find     <db> <node-id>
 //! ccam succ     <db> <node-id>
@@ -70,6 +70,7 @@ use ccam::core::validate::{validate, ValidationConfig};
 use ccam::graph::roadmap::{road_map, RoadMapConfig};
 use ccam::graph::walks::random_walk_routes;
 use ccam::graph::{load_network, save_network, Network, NodeId};
+use ccam::partition::PartitionStrategy;
 use ccam::storage::stats::IoStats;
 use ccam::storage::{
     wal_sidecar, FilePageStore, MetricsRegistry, PageStore, RetryPolicy, RetryStore, Wal, WalStore,
@@ -250,6 +251,7 @@ fn usage() -> String {
     "usage:\n  ccam generate <out.net> [--seed N] [--grid W] [--minneapolis]\n  \
      ccam build <in.net> <out.db> [--block N] [--method ccam-s|ccam-d|dfs|bfs|wdfs|grid] [--wal]\n  \
      \x20           [--threads N] (ccam-s clustering threads; 0 or omitted = all cores)\n  \
+     \x20           [--strategy flat|multilevel] (ccam-s clustering; multilevel scales to millions of nodes)\n  \
      ccam stats <db>\n  \
      ccam find <db> <node-id>\n  \
      ccam succ <db> <node-id>\n  \
@@ -327,7 +329,7 @@ fn generate(args: &[String]) -> Result<(), String> {
 }
 
 fn build(args: &[String], opts: &OpenOptions) -> Result<(), String> {
-    let (pos, flags) = parse_flags(args, &["block", "method", "threads"]);
+    let (pos, flags) = parse_flags(args, &["block", "method", "threads", "strategy"]);
     let [input, out] = pos.as_slice() else {
         return Err("build needs <in.net> <out.db>".into());
     };
@@ -344,6 +346,14 @@ fn build(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         .transpose()?
         .unwrap_or(0) as usize;
     let method = flags.map_or("ccam-s", "method");
+    // Clustering strategy for ccam-s: flat recursion (the paper's
+    // default) or the multilevel V-cycle for very large networks. The
+    // result is deterministic either way.
+    let strategy = match flags.map_or("flat", "strategy") {
+        "flat" => PartitionStrategy::Flat,
+        "multilevel" => PartitionStrategy::Multilevel,
+        other => return Err(format!("unknown --strategy {other} (flat|multilevel)")),
+    };
     let wal = flags.contains_key("wal");
     let net = load_network(Path::new(input)).map_err(|e| e.to_string())?;
 
@@ -373,6 +383,7 @@ fn build(args: &[String], opts: &OpenOptions) -> Result<(), String> {
         "ccam-s" => {
             let am = CcamBuilder::new(block)
                 .threads(threads)
+                .strategy(strategy)
                 .build_static_on(make_store(&out_path)?, &net)
                 .map_err(|e| e.to_string())?;
             am.file().commit().map_err(|e| e.to_string())?;
