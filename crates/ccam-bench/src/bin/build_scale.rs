@@ -194,39 +194,39 @@ fn main() {
     let speedup_ok = speedup >= min_speedup;
     let parity_ok = crr_parity >= CRR_PARITY_MIN;
     let mut j = String::new();
-    let _ = write!(
+    let _ = writeln!(
         j,
         "{{\n  \"config\": {{\"nodes\": {nodes}, \"grid\": {side}, \"edges\": {edges}, \
          \"block\": {block}, \"routes\": {routes_n}, \"available_threads\": {cores}, \
-         \"quick\": {quick}}},\n"
+         \"quick\": {quick}}},"
     );
-    let _ = write!(
+    let _ = writeln!(
         j,
         "  \"paper_scale\": {{\n    \"network_nodes\": {},\n{}{}    \
-         \"crr_parity\": {crr_parity:.4},\n    \"route_access_ratio\": {route_ratio:.4}\n  }},\n",
+         \"crr_parity\": {crr_parity:.4},\n    \"route_access_ratio\": {route_ratio:.4}\n  }},",
         paper_net.len(),
-        paper[0].json(4),
-        paper[1].json(4),
+        paper[0].json(4, false),
+        paper[1].json(4, false),
     );
-    let _ = write!(
+    let _ = writeln!(
         j,
         "  \"scale\": {{\n    \
          \"cluster_flat\": {{\"secs\": {flat_secs:.3}, \"nodes_per_sec\": {:.0}, \
          \"pages\": {flat_pages}, \"residue_ratio\": {flat_rr:.4}}},\n    \
          \"cluster_multilevel\": {{\"secs\": {ml_secs:.3}, \"nodes_per_sec\": {:.0}, \
          \"pages\": {ml_pages}, \"residue_ratio\": {ml_rr:.4}}},\n    \
-         \"speedup\": {speedup:.3},\n{}  }},\n",
+         \"speedup\": {speedup:.3},\n{}  }},",
         nodes as f64 / flat_secs,
         nodes as f64 / ml_secs,
-        scale_row.json(4),
+        scale_row.json(4, true),
     );
-    let _ = write!(
+    let _ = writeln!(
         j,
         "  \"prefetch\": {{\"frames\": {PREFETCH_FRAMES}, \"routes\": {}, \
          \"off\": {{\"demand_misses\": {}, \"secs\": {:.4}}}, \
          \"on\": {{\"physical_reads\": {}, \"prefetch_issued\": {}, \"demand_misses\": {}, \
          \"secs\": {:.4}}}, \
-         \"demand_miss_reduction\": {miss_reduction:.4}, \"wall_delta_secs\": {:.4}}},\n",
+         \"demand_miss_reduction\": {miss_reduction:.4}, \"wall_delta_secs\": {:.4}}},",
         scale_routes.len(),
         prefetch.off_reads,
         prefetch.off_secs,
@@ -236,13 +236,14 @@ fn main() {
         prefetch.on_secs,
         prefetch.on_secs - prefetch.off_secs,
     );
-    let _ = write!(
+    let _ = writeln!(
         j,
         "  \"gates\": {{\"min_speedup\": {min_speedup:.1}, \"speedup_ok\": {speedup_ok}, \
          \"crr_parity_min\": {CRR_PARITY_MIN}, \"crr_parity_ok\": {parity_ok}, \
-         \"pass\": {}}}\n}}\n",
+         \"pass\": {}}}\n}}",
         speedup_ok && parity_ok
     );
+    check_json(&j);
     std::fs::write(&out, &j).expect("write report");
     println!("wrote {out}");
 
@@ -317,11 +318,20 @@ struct BuildRow {
 
 impl BuildRow {
     /// One JSON line, indented `indent` spaces, keyed `build_<name>`.
-    fn json(&self, indent: usize) -> String {
+    /// `last` suppresses the separating comma when the row closes its
+    /// enclosing object — JSON allows no trailing comma.
+    fn json(&self, indent: usize, last: bool) -> String {
         format!(
             "{:indent$}\"build_{}\": {{\"secs\": {:.3}, \"nodes_per_sec\": {:.0}, \
-             \"pages\": {}, \"crr\": {:.4}, \"route_page_accesses\": {:.2}}},\n",
-            "", self.name, self.secs, self.nodes_per_sec, self.pages, self.crr, self.route_io,
+             \"pages\": {}, \"crr\": {:.4}, \"route_page_accesses\": {:.2}}}{}\n",
+            "",
+            self.name,
+            self.secs,
+            self.nodes_per_sec,
+            self.pages,
+            self.crr,
+            self.route_io,
+            if last { "" } else { "," },
         )
     }
 }
@@ -340,6 +350,96 @@ fn report_build(name: &'static str, b: &TimedBuild, routes: &[Route]) -> BuildRo
         row.secs, row.nodes_per_sec, row.pages, row.crr, row.route_io
     );
     row
+}
+
+/// Minimal JSON well-formedness check (the workspace carries no serde):
+/// the report is parsed before it is written, so a formatting bug —
+/// e.g. a trailing comma — fails this run loudly instead of the
+/// `json.load` downstream in CI. Panics with a byte offset on error.
+fn check_json(s: &str) {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    json_value(b, &mut i);
+    json_ws(b, &mut i);
+    assert!(i == b.len(), "invalid JSON: trailing data at byte {i}");
+}
+
+fn json_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn json_string(b: &[u8], i: &mut usize) {
+    assert!(
+        b.get(*i) == Some(&b'"'),
+        "invalid JSON: expected string at byte {}",
+        *i
+    );
+    *i += 1;
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return;
+            }
+            b'\\' => *i += 2,
+            _ => *i += 1,
+        }
+    }
+    panic!("invalid JSON: unterminated string");
+}
+
+fn json_value(b: &[u8], i: &mut usize) {
+    json_ws(b, i);
+    match b.get(*i) {
+        Some(&open @ (b'{' | b'[')) => {
+            let close = if open == b'{' { b'}' } else { b']' };
+            *i += 1;
+            json_ws(b, i);
+            if b.get(*i) == Some(&close) {
+                *i += 1;
+                return;
+            }
+            loop {
+                if open == b'{' {
+                    json_ws(b, i);
+                    json_string(b, i);
+                    json_ws(b, i);
+                    assert!(
+                        b.get(*i) == Some(&b':'),
+                        "invalid JSON: expected ':' at byte {}",
+                        *i
+                    );
+                    *i += 1;
+                }
+                json_value(b, i);
+                json_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1, // next member; a trailing comma fails above
+                    Some(&c) if c == close => {
+                        *i += 1;
+                        return;
+                    }
+                    c => panic!(
+                        "invalid JSON: expected ',' or close at byte {}, got {c:?}",
+                        *i
+                    ),
+                }
+            }
+        }
+        Some(b'"') => json_string(b, i),
+        Some(b't') if b[*i..].starts_with(b"true") => *i += 4,
+        Some(b'f') if b[*i..].starts_with(b"false") => *i += 5,
+        Some(b'n') if b[*i..].starts_with(b"null") => *i += 4,
+        Some(&c) if c == b'-' || c.is_ascii_digit() => {
+            *i += 1;
+            while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+                *i += 1;
+            }
+        }
+        c => panic!("invalid JSON: unexpected token at byte {}: {c:?}", *i),
+    }
 }
 
 struct PrefetchResult {
@@ -417,5 +517,54 @@ fn bench_prefetch(am: &Ccam, routes: &[Route]) -> PrefetchResult {
         on_issued,
         on_demand: on_reads - on_issued,
         on_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> BuildRow {
+        BuildRow {
+            name: "multilevel",
+            secs: 1.5,
+            nodes_per_sec: 666.6,
+            pages: 12,
+            crr: 0.7419,
+            route_io: 5.53,
+        }
+    }
+
+    /// The REVIEW.md regression: a row closing its enclosing object must
+    /// not leave a trailing comma.
+    #[test]
+    fn build_row_closing_an_object_is_valid_json() {
+        let j = format!("{{\n{}}}\n", row().json(2, true));
+        check_json(&j);
+    }
+
+    #[test]
+    fn build_row_followed_by_more_keys_is_valid_json() {
+        let j = format!("{{\n{}  \"x\": 1\n}}\n", row().json(2, false));
+        check_json(&j);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid JSON")]
+    fn check_json_rejects_trailing_comma() {
+        check_json("{\"a\": 1,}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid JSON")]
+    fn check_json_rejects_trailing_data() {
+        check_json("{\"a\": 1} }");
+    }
+
+    #[test]
+    fn check_json_accepts_report_shapes() {
+        check_json("{\"a\": [1, -2.5e3, true, false, null], \"b\": {\"c\": \"d\\\"e\"}}");
+        check_json("  [ ]  ");
+        check_json("{}");
     }
 }

@@ -140,7 +140,9 @@ fn main() {
         ("flat", PartitionStrategy::Flat),
         ("multilevel", PartitionStrategy::Multilevel),
     ];
-    let mut sweeps: Vec<(&str, Vec<(usize, f64, f64, usize)>, bool)> = Vec::new();
+    // (thread count, seconds, nodes/sec, page count) per sweep point.
+    type SweepRow = (usize, f64, f64, usize);
+    let mut sweeps: Vec<(&str, Vec<SweepRow>, bool)> = Vec::new();
     for &(sname, strategy) in &strategies {
         let mut rows = Vec::new();
         let mut reference: Option<Vec<Vec<usize>>> = None;
@@ -166,7 +168,7 @@ fn main() {
         sweeps.push((sname, rows, identical));
     }
     let (_, ref cluster_rows, _) = sweeps[0];
-    let secs_at = |rows: &[(usize, f64, f64, usize)], want: usize| {
+    let secs_at = |rows: &[SweepRow], want: usize| {
         rows.iter().find(|(t, ..)| *t == want).map(|&(_, s, ..)| s)
     };
     if sweep_skipped {

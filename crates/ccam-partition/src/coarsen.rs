@@ -408,6 +408,14 @@ fn greedy_pass(g: &PartGraph, part: &mut [usize], sizes: &mut [usize], page_size
 /// strictly improves the pair's internal cut. Node moves stay within the
 /// pair, so edges to third pages are unaffected and the global cut is
 /// monotonically non-increasing.
+///
+/// The pair list is computed once, from the pre-refinement assignment:
+/// a pair that becomes adjacent only through earlier moves in the same
+/// sweep is not rescanned here (it gets its chance at the next finer
+/// level). This is a deliberate single-sweep choice — recomputing pairs
+/// after every application would cost another full edge scan per
+/// improvement for a second-order quality gain, and correctness is
+/// unaffected either way.
 fn pairwise_fm(g: &PartGraph, part: &mut [usize], sizes: &mut [usize], page_size: usize) {
     let group_count = sizes.len();
     // Adjacent page pairs under the *current* assignment.

@@ -68,7 +68,16 @@ impl Bounds {
     /// coarse weights rather than uniform records — the invariant that
     /// every move keeps both pages within budget holds for any node-size
     /// distribution, because FM checks these byte bounds per move.
+    ///
+    /// Precondition: `total <= 2 * budget`, i.e. both pages are
+    /// individually within budget (which the pairwise uncoarsening pass
+    /// guarantees). Otherwise `min_side` would exceed `max_side` and
+    /// [`refine`] could make no move at all.
     pub fn pair_budget(total: usize, budget: usize) -> Bounds {
+        debug_assert!(
+            total <= 2 * budget,
+            "pair_budget: total {total} exceeds 2*budget {budget}; bounds would invert"
+        );
         Bounds {
             min_side: total.saturating_sub(budget),
             max_side: budget.min(total),
